@@ -1,0 +1,39 @@
+"""Code-size / energy study (the follow-up the paper's conclusions announce).
+
+Times the full pipeline — ISE generation, block rewriting with custom
+instructions, energy accounting — per benchmark and records the code-size and
+energy reductions in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_codesize_energy
+from repro.hwmodel import ISEConstraints
+
+from .conftest import run_once
+
+_BENCHMARKS = ("fbital00", "autcor00", "adpcm_decoder")
+
+
+@pytest.mark.parametrize("workload", _BENCHMARKS)
+def test_codesize_energy_study(benchmark, workload):
+    benchmark.group = "code size & energy"
+    constraints = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+    table = run_once(
+        benchmark,
+        run_codesize_energy,
+        benchmarks=(workload,),
+        constraints=constraints,
+    )
+    row = table.rows[0]
+    benchmark.extra_info.update(
+        {
+            "speedup": row["speedup"],
+            "code_size_reduction": row["code_size_reduction"],
+            "energy_reduction": row["energy_reduction"],
+        }
+    )
+    assert row["instructions_after"] <= row["instructions_before"]
+    assert row["energy_after"] <= row["energy_before"]

@@ -1,0 +1,52 @@
+"""Figure 1 (reuse motivation) and the gain-component ablation study.
+
+* ``test_figure1_motivation`` times the Figure-1 harness and records the
+  savings of the largest ISE versus the highly reusable ISE.
+* ``test_ablation_*`` times full ISEGEN generation with individual gain
+  components disabled, recording the achieved speedup so the contribution of
+  each component can be read off the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ISEGen, ISEGenConfig
+from repro.experiments import ablation_configs, run_figure1
+from repro.hwmodel import ISEConstraints
+from repro.workloads import load_workload
+
+from .conftest import run_once
+
+_ABLATION_WORKLOADS = ("autcor00", "viterb00", "adpcm_decoder")
+_PROGRAMS = {name: load_workload(name) for name in _ABLATION_WORKLOADS}
+_CONFIGS = ablation_configs()
+
+
+def test_figure1_motivation(benchmark):
+    benchmark.group = "figure1 motivation"
+    table = run_once(benchmark, run_figure1)
+    rows = {row["selection"]: row for row in table.rows}
+    benchmark.extra_info["largest_ise_saving"] = rows[
+        "largest ISE (tailed cluster)"
+    ]["saved_per_execution"]
+    benchmark.extra_info["reusable_ise_saving"] = rows[
+        "reusable ISE (small cluster)"
+    ]["saved_per_execution"]
+    assert (
+        rows["reusable ISE (small cluster)"]["saved_per_execution"]
+        > rows["largest ISE (tailed cluster)"]["saved_per_execution"]
+    )
+
+
+@pytest.mark.parametrize("workload", _ABLATION_WORKLOADS)
+@pytest.mark.parametrize("variant", list(_CONFIGS))
+def test_ablation_gain_components(benchmark, workload, variant, paper_constraints):
+    program = _PROGRAMS[workload]
+    config: ISEGenConfig = _CONFIGS[variant]
+    benchmark.group = f"ablation {workload}"
+    generator = ISEGen(constraints=paper_constraints, config=config)
+    result = run_once(benchmark, generator.generate, program)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["speedup"] = round(result.speedup, 4)
+    assert result.speedup >= 1.0

@@ -1,0 +1,47 @@
+"""Figure 4: speedup (left panel) and ISE-generation runtime (right panel).
+
+Each benchmark case runs one algorithm on one EEMBC / MediaBench kernel with
+I/O (4,2) and four AFUs.  The pytest-benchmark timing *is* the Figure-4
+runtime panel; the achieved speedup (left panel) is recorded in
+``extra_info['speedup']``.  Configurations the exhaustive baselines cannot
+handle are skipped — the missing bars of the original figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_exact, run_genetic, run_isegen, run_iterative
+from repro.errors import BaselineInfeasibleError
+from repro.workloads import PAPER_BENCHMARKS, load_workload, workload_spec
+
+from .conftest import run_once
+
+_RUNNERS = {
+    "Exact": run_exact,
+    "Iterative": run_iterative,
+    "Genetic": run_genetic,
+    "ISEGEN": run_isegen,
+}
+
+_PROGRAMS = {name: load_workload(name) for name in PAPER_BENCHMARKS}
+
+
+@pytest.mark.parametrize("algorithm", list(_RUNNERS))
+@pytest.mark.parametrize("workload", list(PAPER_BENCHMARKS))
+def test_figure4_generation(benchmark, workload, algorithm, paper_constraints):
+    program = _PROGRAMS[workload]
+    runner = _RUNNERS[algorithm]
+    spec = workload_spec(workload)
+    benchmark.group = f"figure4 {workload}({spec.critical_block_size})"
+    try:
+        result = run_once(benchmark, runner, program, paper_constraints)
+    except BaselineInfeasibleError:
+        pytest.skip(
+            f"{algorithm} cannot handle the {spec.critical_block_size}-node "
+            f"critical block of {workload} (as in the paper)"
+        )
+    benchmark.extra_info["speedup"] = round(result.speedup, 4)
+    benchmark.extra_info["num_ises"] = result.num_ises
+    benchmark.extra_info["critical_block"] = spec.critical_block_size
+    assert result.speedup >= 1.0

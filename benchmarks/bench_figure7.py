@@ -1,0 +1,43 @@
+"""Figure 7: reusability of the AES cuts (instances per I/O constraint).
+
+The benchmark times the full Figure-7 pipeline for one I/O point: generate
+the AES cut with ISEGEN, then enumerate every disjoint structural instance of
+it in the 696-node block.  The instance count — the Figure-7 y-axis — is
+recorded in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ISEGen
+from repro.hwmodel import ISEConstraints
+from repro.reuse import annotate_instances
+from repro.workloads import load_workload
+
+from .conftest import run_once
+
+IO_POINTS = ((3, 1), (4, 2), (8, 4))
+
+_AES = load_workload("aes")
+
+
+def _generate_and_count(constraints):
+    result = ISEGen(constraints).generate(_AES)
+    report = annotate_instances(result)
+    return result, report
+
+
+@pytest.mark.parametrize("io", IO_POINTS, ids=lambda io: f"io{io[0]}_{io[1]}")
+def test_figure7_instance_counting(benchmark, io):
+    constraints = ISEConstraints(max_inputs=io[0], max_outputs=io[1], max_ises=1)
+    benchmark.group = "figure7 AES reuse"
+    result, report = run_once(benchmark, _generate_and_count, constraints)
+    if not report.cuts:
+        pytest.skip(f"no feasible cut found at I/O {constraints.io}")
+    cut1 = report.cuts[0]
+    benchmark.extra_info["cut_size"] = cut1.size
+    benchmark.extra_info["cut_merit"] = cut1.merit
+    benchmark.extra_info["instances"] = cut1.instances
+    assert cut1.instances >= 1
+    assert result.num_ises >= 1

@@ -1,0 +1,105 @@
+"""Runtime-scaling study and micro-benchmarks of the algorithmic core.
+
+* ``test_scaling_*`` measures how each generator's runtime grows with basic-
+  block size on the regular synthetic kernel (the data behind the orders-of-
+  magnitude gaps of Figure 4's runtime panel).
+* ``test_micro_*`` benchmarks the hot primitives of the partitioning engine:
+  incremental I/O toggles, convexity checks, gain evaluation sweeps and the
+  exhaustive enumeration — the pieces the paper's O(n^2) complexity claim
+  rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import best_single_cut, run_greedy, run_isegen, run_iterative
+from repro.core import GainEvaluator, IOState, PartitionState, bipartition
+from repro.dfg import is_convex_mask, mask_of, random_dfg
+from repro.hwmodel import ISEConstraints
+from repro.workloads import regular_program
+
+from .conftest import run_once
+
+_SCALING_RUNNERS = {
+    "ISEGEN": run_isegen,
+    "Iterative": run_iterative,
+    "Greedy": run_greedy,
+}
+_SCALING_SIZES = (4, 8, 16)  # clusters of five operations each
+_SCALING_PROGRAMS = {
+    clusters: regular_program(clusters, cross_link=True, name=f"regular{clusters}")
+    for clusters in _SCALING_SIZES
+}
+
+
+@pytest.mark.parametrize("clusters", _SCALING_SIZES)
+@pytest.mark.parametrize("algorithm", list(_SCALING_RUNNERS))
+def test_scaling_generation_runtime(benchmark, algorithm, clusters):
+    program = _SCALING_PROGRAMS[clusters]
+    constraints = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=2)
+    benchmark.group = f"scaling {program.critical_block_size()} nodes"
+    result = run_once(benchmark, _SCALING_RUNNERS[algorithm], program, constraints)
+    benchmark.extra_info["block_size"] = program.critical_block_size()
+    benchmark.extra_info["speedup"] = round(result.speedup, 4)
+
+
+# ----------------------------------------------------------------------
+# Micro benchmarks of the partitioning primitives
+# ----------------------------------------------------------------------
+_MICRO_DFG = random_dfg(120, seed=13, live_out_fraction=0.2)
+_MICRO_CONSTRAINTS = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+
+
+def test_micro_iostate_toggle_sweep(benchmark):
+    benchmark.group = "micro primitives"
+
+    def toggle_every_node():
+        state = IOState(_MICRO_DFG)
+        for index in range(_MICRO_DFG.num_nodes):
+            state.toggle(index)
+        return state.io()
+
+    benchmark(toggle_every_node)
+
+
+def test_micro_convexity_checks(benchmark):
+    benchmark.group = "micro primitives"
+    masks = [
+        mask_of(range(start, start + 12)) for start in range(0, 100, 10)
+    ]
+
+    def check_all():
+        return [is_convex_mask(_MICRO_DFG, mask) for mask in masks]
+
+    benchmark(check_all)
+
+
+def test_micro_gain_evaluation_sweep(benchmark):
+    benchmark.group = "micro primitives"
+
+    def evaluate_all_gains():
+        state = PartitionState(_MICRO_DFG, _MICRO_CONSTRAINTS)
+        evaluator = GainEvaluator(state)
+        candidates = [
+            index
+            for index in range(_MICRO_DFG.num_nodes)
+            if state.is_allowed(index)
+        ]
+        return evaluator.best_candidate(candidates)
+
+    benchmark(evaluate_all_gains)
+
+
+def test_micro_single_bipartition(benchmark):
+    benchmark.group = "micro primitives"
+    dfg = random_dfg(60, seed=5, live_out_fraction=0.2)
+    result = run_once(benchmark, bipartition, dfg, _MICRO_CONSTRAINTS)
+    benchmark.extra_info["merit"] = result.merit
+
+
+def test_micro_exhaustive_best_cut(benchmark):
+    benchmark.group = "micro primitives"
+    dfg = random_dfg(22, seed=21, live_out_fraction=0.3)
+    cut = run_once(benchmark, best_single_cut, dfg, _MICRO_CONSTRAINTS)
+    benchmark.extra_info["merit"] = 0 if cut is None else cut.merit

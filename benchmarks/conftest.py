@@ -1,0 +1,29 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark file regenerates one figure (or ablation) of the paper's
+evaluation; the measured quantity of ``pytest-benchmark`` is always the
+ISE-generation (or analysis) runtime, and the scientific outputs — speedups,
+instance counts — are attached to each benchmark's ``extra_info`` so they end
+up in the saved benchmark JSON alongside the timings.
+
+Long-running single-shot benchmarks use ``benchmark.pedantic(rounds=1)``:
+the algorithms are deterministic, so repeated rounds would only repeat the
+same work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwmodel import ISEConstraints
+
+
+@pytest.fixture(scope="session")
+def paper_constraints() -> ISEConstraints:
+    """Figure-4 configuration: I/O (4,2), up to four AFUs."""
+    return ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

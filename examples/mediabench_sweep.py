@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Figure-4 style sweep: every algorithm on every benchmark kernel.
+
+Runs the Exact, Iterative, Genetic and ISEGEN generators on the seven
+EEMBC / MediaBench kernels with I/O constraints (4,2) and four AFUs, printing
+the speedup and runtime comparison the paper's Figure 4 reports.  Exhaustive
+algorithms that cannot handle a block (too many nodes) are reported as
+``n/a`` — exactly the missing bars of the original figure.
+
+Run with::
+
+    python examples/mediabench_sweep.py            # all benchmarks (a few minutes)
+    python examples/mediabench_sweep.py conven00 fbital00 autcor00   # a subset
+"""
+
+import sys
+
+from repro.codegen import format_table
+from repro.experiments import isegen_vs_genetic_speed_ratio, run_figure4
+from repro.workloads import PAPER_BENCHMARKS
+
+
+def main(benchmarks) -> None:
+    speedup_table, runtime_table = run_figure4(benchmarks=benchmarks)
+
+    # Pivot into one row per benchmark for compact reading.
+    algorithms = ("Exact", "Iterative", "Genetic", "ISEGEN")
+    speedups = {}
+    runtimes = {}
+    for row in speedup_table.rows:
+        speedups.setdefault(row["benchmark"], {})[row["algorithm"]] = row["speedup"]
+    for row in runtime_table.rows:
+        runtimes.setdefault(row["benchmark"], {})[row["algorithm"]] = row["runtime_us"]
+
+    def fmt(value, digits=3):
+        return "n/a" if value is None else f"{value:.{digits}f}"
+
+    print("Speedup for I/O constraints (4,2) and N_ISE = 4  [Figure 4, left]")
+    rows = [
+        [name] + [fmt(speedups[name].get(algorithm)) for algorithm in algorithms]
+        for name in speedups
+    ]
+    print(format_table(["benchmark"] + list(algorithms), rows))
+
+    print("\nRuntime in microseconds  [Figure 4, right]")
+    rows = [
+        [name]
+        + [
+            "n/a"
+            if speedups[name].get(algorithm) is None
+            else f"{runtimes[name][algorithm]:.0f}"
+            for algorithm in algorithms
+        ]
+        for name in runtimes
+    ]
+    print(format_table(["benchmark"] + list(algorithms), rows))
+
+    ratios = isegen_vs_genetic_speed_ratio(runtime_table)
+    if ratios:
+        print(
+            f"\nISEGEN is {min(ratios.values()):.0f}x - {max(ratios.values()):.0f}x "
+            "faster than the Genetic baseline on these kernels."
+        )
+
+
+if __name__ == "__main__":
+    selected = tuple(sys.argv[1:]) or PAPER_BENCHMARKS
+    main(selected)

@@ -1,0 +1,101 @@
+"""ISEGEN reproduction: instruction-set-extension generation by iterative
+improvement (Biswas, Banerjee, Dutt, Pozzi, Ienne — DATE 2005).
+
+The package is organized bottom-up:
+
+* :mod:`repro.isa` — opcodes, semantics, latency tables;
+* :mod:`repro.ir` — a small three-address IR with parser, interpreter and
+  profiler (the MachSUIF substitute);
+* :mod:`repro.dfg` — basic-block data-flow graphs, cuts, convexity and I/O
+  machinery;
+* :mod:`repro.hwmodel` — ISE constraints, latency/area models, AFU
+  descriptors;
+* :mod:`repro.merit` — the merit function and whole-application speedup;
+* :mod:`repro.core` — **the paper's contribution**: the modified
+  Kernighan-Lin ISE generator (ISEGEN);
+* :mod:`repro.baselines` — Exact, Iterative, Genetic and Greedy comparators;
+* :mod:`repro.reuse` — structural matching and reusability analysis;
+* :mod:`repro.workloads` — EEMBC / MediaBench / AES benchmark
+  reconstructions;
+* :mod:`repro.codegen`, :mod:`repro.analysis` — AFU RTL, block rewriting,
+  statistics;
+* :mod:`repro.experiments` — harnesses regenerating every evaluation figure.
+
+Quick start::
+
+    from repro import ISEGen, ISEConstraints, load_workload
+
+    program = load_workload("autcor00")
+    result = ISEGen(ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)).generate(program)
+    print(result.summary())
+"""
+
+from .errors import (
+    BaselineInfeasibleError,
+    ConstraintError,
+    CutError,
+    DFGError,
+    IRError,
+    ISEGenError,
+    InterpreterError,
+    ReproError,
+    WorkloadError,
+)
+from .program import BlockProfile, Program, single_block_program
+from .dfg import Cut, DataFlowGraph, DFGBuilder
+from .hwmodel import AFUDescriptor, AreaModel, ISEConstraints, LatencyModel, describe_afu
+from .merit import MeritFunction, SpeedupReport, application_speedup
+from .core import (
+    GainWeights,
+    GeneratedISE,
+    ISEGen,
+    ISEGenConfig,
+    ISEGenerationResult,
+    bipartition,
+    generate_block_cuts,
+)
+from .workloads import available_workloads, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "IRError",
+    "InterpreterError",
+    "DFGError",
+    "CutError",
+    "ConstraintError",
+    "ISEGenError",
+    "BaselineInfeasibleError",
+    "WorkloadError",
+    # program / graphs
+    "Program",
+    "BlockProfile",
+    "single_block_program",
+    "DataFlowGraph",
+    "DFGBuilder",
+    "Cut",
+    # hardware model
+    "ISEConstraints",
+    "LatencyModel",
+    "AreaModel",
+    "AFUDescriptor",
+    "describe_afu",
+    # merit
+    "MeritFunction",
+    "SpeedupReport",
+    "application_speedup",
+    # core
+    "ISEGen",
+    "ISEGenConfig",
+    "GainWeights",
+    "GeneratedISE",
+    "ISEGenerationResult",
+    "bipartition",
+    "generate_block_cuts",
+    # workloads
+    "load_workload",
+    "available_workloads",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities: DFG statistics and cut coverage metrics."""
+
+from .stats import DFGStats, ProgramStats, dfg_stats, operator_mix, program_stats
+from .coverage import CoverageReport, cut_coverage, result_coverage
+
+__all__ = [
+    "DFGStats",
+    "ProgramStats",
+    "dfg_stats",
+    "program_stats",
+    "operator_mix",
+    "CoverageReport",
+    "cut_coverage",
+    "result_coverage",
+]

@@ -1,0 +1,143 @@
+"""Descriptive statistics of DFGs and programs.
+
+Used by the CLI's ``inspect`` command, by DESIGN/EXPERIMENTS documentation
+tables and by tests that validate the synthetic workloads' structure (node
+counts, operator mix, barrier density, depth).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph, graph_depth, sinks, sources
+from ..isa import OpCategory, category_of
+from ..program import Program
+
+
+@dataclass
+class DFGStats:
+    """Structural summary of one basic block's DFG."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_external_inputs: int
+    num_live_out: int
+    num_forbidden: int
+    depth: int
+    num_sources: int
+    num_sinks: int
+    opcode_histogram: dict[str, int] = field(default_factory=dict)
+    category_histogram: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def forbidden_fraction(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_forbidden / self.num_nodes
+
+    @property
+    def average_fanin(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def summary(self) -> str:
+        categories = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.category_histogram.items())
+        )
+        return (
+            f"{self.name}: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"{self.num_external_inputs} inputs, {self.num_live_out} live-out, "
+            f"{self.num_forbidden} forbidden, depth {self.depth} [{categories}]"
+        )
+
+
+def dfg_stats(dfg: DataFlowGraph) -> DFGStats:
+    """Compute structural statistics of *dfg*."""
+    dfg.prepare()
+    opcode_histogram: Counter[str] = Counter()
+    category_histogram: Counter[str] = Counter()
+    num_edges = 0
+    num_live_out = 0
+    num_forbidden = 0
+    for node in dfg.nodes:
+        opcode_histogram[node.opcode.value] += 1
+        category_histogram[category_of(node.opcode).value] += 1
+        num_edges += len(dfg.preds(node.index))
+        if dfg.is_effectively_live_out(node.index):
+            num_live_out += 1
+        if node.forbidden:
+            num_forbidden += 1
+    return DFGStats(
+        name=dfg.name,
+        num_nodes=dfg.num_nodes,
+        num_edges=num_edges,
+        num_external_inputs=len(dfg.external_inputs),
+        num_live_out=num_live_out,
+        num_forbidden=num_forbidden,
+        depth=graph_depth(dfg),
+        num_sources=len(sources(dfg)),
+        num_sinks=len(sinks(dfg)),
+        opcode_histogram=dict(opcode_histogram),
+        category_histogram=dict(category_histogram),
+    )
+
+
+@dataclass
+class ProgramStats:
+    """Summary of a whole profiled program."""
+
+    name: str
+    num_blocks: int
+    total_nodes: int
+    critical_block: str
+    critical_block_size: int
+    total_weighted_cycles: float
+    blocks: list[DFGStats] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"Program {self.name}: {self.num_blocks} blocks, "
+            f"{self.total_nodes} nodes, critical block "
+            f"{self.critical_block!r} ({self.critical_block_size} nodes), "
+            f"{self.total_weighted_cycles:.0f} weighted software cycles",
+        ]
+        lines.extend("  " + stats.summary() for stats in self.blocks)
+        return "\n".join(lines)
+
+
+def program_stats(program: Program) -> ProgramStats:
+    """Compute statistics for every block of *program*."""
+    from ..hwmodel import LatencyModel
+
+    model = LatencyModel()
+    blocks = [dfg_stats(block.dfg) for block in program]
+    weighted = sum(
+        block.frequency * model.whole_graph_software_latency(block.dfg)
+        for block in program
+    )
+    critical = program.largest_block
+    return ProgramStats(
+        name=program.name,
+        num_blocks=len(program),
+        total_nodes=program.total_nodes,
+        critical_block=critical.name,
+        critical_block_size=critical.num_nodes,
+        total_weighted_cycles=weighted,
+        blocks=blocks,
+    )
+
+
+def operator_mix(dfg: DataFlowGraph) -> dict[OpCategory, float]:
+    """Fraction of nodes per operator category (useful in tests asserting a
+    workload's realism, e.g. 'the FFT block is multiply-heavy')."""
+    dfg.prepare()
+    counts: Counter[OpCategory] = Counter(
+        category_of(node.opcode) for node in dfg.nodes
+    )
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {category: count / total for category, count in counts.items()}

@@ -1,0 +1,122 @@
+"""Baseline ISE-generation algorithms the paper compares ISEGEN against.
+
+* :mod:`~repro.baselines.exact` — Exact multiple-cut identification
+  (optimal, exhaustive; only feasible for small basic blocks).
+* :mod:`~repro.baselines.iterative_exact` — Iterative exact single-cut
+  identification (optimal per step; medium-sized blocks).
+* :mod:`~repro.baselines.genetic` — the DAC'04-style genetic formulation
+  (stochastic; handles any block size but is slow).
+* :mod:`~repro.baselines.greedy` — a connected-cluster growth baseline used
+  by the ablation experiments.
+
+All baselines produce the same :class:`~repro.core.ISEGenerationResult`
+structure as ISEGEN, so the experiment harnesses treat every algorithm
+uniformly through :data:`ALGORITHMS` / :func:`run_algorithm`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..core import ISEGen, ISEGenerationResult
+from ..errors import ISEGenError
+from ..hwmodel import ISEConstraints
+from ..program import Program
+from .enumeration import (
+    DEFAULT_NODE_LIMIT_EXACT,
+    DEFAULT_NODE_LIMIT_ITERATIVE,
+    EnumeratedCut,
+    SearchStats,
+    best_single_cut,
+    enumerate_feasible_cuts,
+)
+from .exact import (
+    ExactMultiCutGenerator,
+    exact_block_cuts,
+    run_exact,
+    select_disjoint_cuts,
+)
+from .iterative_exact import (
+    IterativeExactCutFinder,
+    IterativeExactGenerator,
+    run_iterative,
+)
+from .genetic import (
+    GeneticConfig,
+    GeneticCutFinder,
+    GeneticGenerator,
+    GeneticSearch,
+    GeneticTrace,
+    run_genetic,
+)
+from .greedy import (
+    GreedyCutFinder,
+    GreedyGenerator,
+    best_connected_cluster,
+    grow_cluster,
+    run_greedy,
+)
+
+
+def run_isegen(
+    program: Program, constraints: ISEConstraints | None = None, **kwargs
+) -> ISEGenerationResult:
+    """ISEGEN entry point with the same signature as the baselines."""
+    return ISEGen(constraints=constraints, **kwargs).generate(program)
+
+
+#: Registry of every ISE-generation algorithm by its display name.
+ALGORITHMS: Mapping[str, Callable[..., ISEGenerationResult]] = {
+    "Exact": run_exact,
+    "Iterative": run_iterative,
+    "Genetic": run_genetic,
+    "ISEGEN": run_isegen,
+    "Greedy": run_greedy,
+}
+
+
+def run_algorithm(
+    name: str,
+    program: Program,
+    constraints: ISEConstraints | None = None,
+    **kwargs,
+) -> ISEGenerationResult:
+    """Run the algorithm registered as *name* on *program*."""
+    try:
+        runner = ALGORITHMS[name]
+    except KeyError as exc:
+        raise ISEGenError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from exc
+    return runner(program, constraints, **kwargs)
+
+
+__all__ = [
+    "DEFAULT_NODE_LIMIT_EXACT",
+    "DEFAULT_NODE_LIMIT_ITERATIVE",
+    "EnumeratedCut",
+    "SearchStats",
+    "best_single_cut",
+    "enumerate_feasible_cuts",
+    "ExactMultiCutGenerator",
+    "exact_block_cuts",
+    "select_disjoint_cuts",
+    "run_exact",
+    "IterativeExactCutFinder",
+    "IterativeExactGenerator",
+    "run_iterative",
+    "GeneticConfig",
+    "GeneticCutFinder",
+    "GeneticGenerator",
+    "GeneticSearch",
+    "GeneticTrace",
+    "run_genetic",
+    "GreedyCutFinder",
+    "GreedyGenerator",
+    "best_connected_cluster",
+    "grow_cluster",
+    "run_greedy",
+    "run_isegen",
+    "ALGORITHMS",
+    "run_algorithm",
+]

@@ -1,0 +1,325 @@
+"""Exhaustive enumeration of feasible cuts (the DAC'03 search core).
+
+The paper compares ISEGEN against two optimal algorithms from Atasu, Pozzi
+and Ienne (DAC 2003): *Exact multiple-cut identification* and *Iterative
+exact single-cut identification*.  Both rely on the same engine — an
+exhaustive binary search over the nodes of the DFG with aggressive pruning —
+which this module implements.
+
+The search processes nodes in **reverse topological order** and decides, for
+each node, whether it joins the cut.  Because a node is decided only after
+all of its consumers, three strong pruning rules become available:
+
+* **Fixed outputs** — when a node is included, all of its consumers have
+  already been decided, so whether the node is a cut output is known
+  immediately; once the number of fixed outputs exceeds ``max_outputs`` the
+  whole subtree is infeasible.
+* **Fixed inputs** — a value becomes a known cut input as soon as (a) an
+  excluded producer has at least one included consumer, or (b) an external
+  input gains its first included consumer; once the fixed inputs exceed
+  ``max_inputs`` the subtree is infeasible.
+* **Permanent convexity violation** — a violating node that has already been
+  decided (excluded) can never be repaired by later decisions, so the subtree
+  is infeasible.
+
+These rules are exact (they never prune a feasible completion), which is what
+makes the baseline *optimal* on the block sizes it can handle.  An additional
+admissible merit bound (every undecided node joins the cut at zero hardware
+cost) is used by the single-best-cut search.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Collection, Iterator
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph
+from ..errors import BaselineInfeasibleError
+from ..hwmodel import ISEConstraints, LatencyModel
+
+#: Above this many candidate nodes the exhaustive searches refuse to run
+#: (mirroring the feasibility limits the paper reports: Exact copes with
+#: blocks of up to ~25 nodes, Iterative with up to ~96 — so the 104-node
+#: fft00 block is out of reach for both, exactly as in Figure 4).
+DEFAULT_NODE_LIMIT_EXACT = 32
+DEFAULT_NODE_LIMIT_ITERATIVE = 100
+
+
+@dataclass(frozen=True)
+class EnumeratedCut:
+    """One feasible cut produced by the exhaustive search."""
+
+    members: frozenset[int]
+    merit: int
+    num_inputs: int
+    num_outputs: int
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one exhaustive search (reported by the benches)."""
+
+    nodes_considered: int = 0
+    states_visited: int = 0
+    states_pruned_io: int = 0
+    states_pruned_convexity: int = 0
+    states_pruned_bound: int = 0
+    feasible_cuts: int = 0
+    runtime_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+class _SearchContext:
+    """Shared immutable data of one enumeration run."""
+
+    def __init__(
+        self,
+        dfg: DataFlowGraph,
+        constraints: ISEConstraints,
+        latency_model: LatencyModel,
+        allowed: Collection[int] | None,
+    ):
+        dfg.prepare()
+        self.dfg = dfg
+        self.constraints = constraints
+        self.model = latency_model
+        if allowed is None:
+            allowed_set = {
+                i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
+            }
+        else:
+            allowed_set = {
+                i for i in allowed if not dfg.node_by_index(i).forbidden
+            }
+        #: Candidate nodes in reverse topological order (consumers first).
+        self.order: list[int] = sorted(allowed_set, reverse=True)
+        self.allowed_mask = 0
+        for index in allowed_set:
+            self.allowed_mask |= 1 << index
+        self.sw = [self.model.node_software_cycles(dfg, i) for i in range(dfg.num_nodes)]
+        self.hw = [self.model.node_hardware_delay(dfg, i) for i in range(dfg.num_nodes)]
+        #: Suffix sums of software latency over the search order — the
+        #: admissible "everything else joins for free" merit bound.
+        self.suffix_sw = [0] * (len(self.order) + 1)
+        for position in range(len(self.order) - 1, -1, -1):
+            self.suffix_sw[position] = (
+                self.suffix_sw[position + 1] + self.sw[self.order[position]]
+            )
+
+    def merit_of(self, members: Collection[int]) -> int:
+        if not members:
+            return 0
+        software = self.model.software_latency(self.dfg, members)
+        hardware = self.model.hardware_latency(self.dfg, members)
+        return software - hardware
+
+
+def _check_node_limit(context: _SearchContext, node_limit: int, algorithm: str) -> None:
+    if len(context.order) > node_limit:
+        raise BaselineInfeasibleError(
+            f"{algorithm}: block {context.dfg.name!r} has {len(context.order)} "
+            f"candidate nodes, above the enumeration limit of {node_limit} "
+            "(the paper reports the same practical limitation of the exact "
+            "algorithms on large basic blocks)"
+        )
+
+
+def enumerate_feasible_cuts(
+    dfg: DataFlowGraph,
+    constraints: ISEConstraints,
+    *,
+    latency_model: LatencyModel | None = None,
+    allowed: Collection[int] | None = None,
+    min_size: int = 1,
+    node_limit: int = DEFAULT_NODE_LIMIT_EXACT,
+    stats: SearchStats | None = None,
+) -> Iterator[EnumeratedCut]:
+    """Yield every non-empty feasible (convex, I/O-legal) cut of *dfg*.
+
+    The iteration order is the depth-first order of the pruned binary search
+    tree; callers that need the best cut(s) should collect and rank them.
+    """
+    model = latency_model or LatencyModel()
+    context = _SearchContext(dfg, constraints, model, allowed)
+    _check_node_limit(context, node_limit, "exact enumeration")
+    if stats is not None:
+        stats.nodes_considered = len(context.order)
+    started = time.perf_counter()
+    yield from _enumerate(context, min_size, stats, best_only=False, best_box=None)
+    if stats is not None:
+        stats.runtime_seconds = time.perf_counter() - started
+
+
+def best_single_cut(
+    dfg: DataFlowGraph,
+    constraints: ISEConstraints,
+    *,
+    latency_model: LatencyModel | None = None,
+    allowed: Collection[int] | None = None,
+    min_size: int = 1,
+    node_limit: int = DEFAULT_NODE_LIMIT_ITERATIVE,
+    stats: SearchStats | None = None,
+) -> EnumeratedCut | None:
+    """Return the feasible cut with the highest merit (ties: fewer nodes,
+    then lexicographically smallest member set, for determinism)."""
+    model = latency_model or LatencyModel()
+    context = _SearchContext(dfg, constraints, model, allowed)
+    _check_node_limit(context, node_limit, "iterative exact search")
+    if stats is not None:
+        stats.nodes_considered = len(context.order)
+    started = time.perf_counter()
+    best_box: list[EnumeratedCut | None] = [None]
+    for _cut in _enumerate(context, min_size, stats, best_only=True, best_box=best_box):
+        pass  # _enumerate updates best_box in place when best_only is set.
+    if stats is not None:
+        stats.runtime_seconds = time.perf_counter() - started
+    return best_box[0]
+
+
+def _better(candidate: EnumeratedCut, incumbent: EnumeratedCut | None) -> bool:
+    if incumbent is None:
+        return True
+    if candidate.merit != incumbent.merit:
+        return candidate.merit > incumbent.merit
+    if candidate.size != incumbent.size:
+        return candidate.size < incumbent.size
+    return sorted(candidate.members) < sorted(incumbent.members)
+
+
+def _enumerate(
+    context: _SearchContext,
+    min_size: int,
+    stats: SearchStats | None,
+    *,
+    best_only: bool,
+    best_box: list[EnumeratedCut | None] | None,
+) -> Iterator[EnumeratedCut]:
+    dfg = context.dfg
+    constraints = context.constraints
+    order = context.order
+    num_positions = len(order)
+    counted_externals: set[str] = set()
+    #: Producers outside the candidate set (forbidden nodes, nodes claimed by
+    #: earlier ISEs) behave like external inputs: they can never join the cut,
+    #: so their value is a fixed input as soon as one consumer is included.
+    counted_outside_producers: set[int] = set()
+    #: Nodes that can never be included — permanently excluded from the start,
+    #: so convexity violations through them are pruned (and caught) correctly.
+    never_included_mask = dfg.full_mask() & ~context.allowed_mask
+
+    def recurse(
+        position: int,
+        included_mask: int,
+        included_count: int,
+        fixed_inputs: int,
+        fixed_outputs: int,
+        desc_union: int,
+        anc_union: int,
+        sw_sum: int,
+        decided_excluded_mask: int,
+    ) -> Iterator[EnumeratedCut]:
+        if stats is not None:
+            stats.states_visited += 1
+        # Permanent convexity violation: a decided-excluded node on a path
+        # between two included nodes can never be repaired.
+        if desc_union & anc_union & decided_excluded_mask:
+            if stats is not None:
+                stats.states_pruned_convexity += 1
+            return
+        if fixed_inputs > constraints.max_inputs or fixed_outputs > constraints.max_outputs:
+            if stats is not None:
+                stats.states_pruned_io += 1
+            return
+        if position == num_positions:
+            if included_count >= min_size and included_count > 0:
+                members = frozenset(
+                    i for i in order if included_mask >> i & 1
+                )
+                merit = context.merit_of(members)
+                cut = EnumeratedCut(
+                    members=members,
+                    merit=merit,
+                    num_inputs=fixed_inputs,
+                    num_outputs=fixed_outputs,
+                )
+                if stats is not None:
+                    stats.feasible_cuts += 1
+                if best_only:
+                    assert best_box is not None
+                    if _better(cut, best_box[0]):
+                        best_box[0] = cut
+                else:
+                    yield cut
+            return
+        # Admissible merit bound for the best-cut search: every undecided node
+        # joins the cut and hardware costs the minimum single cycle.
+        if best_only and best_box is not None and best_box[0] is not None:
+            optimistic = sw_sum + context.suffix_sw[position] - 1
+            if optimistic <= best_box[0].merit:
+                if stats is not None:
+                    stats.states_pruned_bound += 1
+                return
+
+        node_index = order[position]
+        bit = 1 << node_index
+
+        # ---- branch 1: include the node --------------------------------
+        new_outputs = fixed_outputs
+        if dfg.is_effectively_live_out(node_index) or any(
+            not (included_mask >> succ & 1) for succ in dfg.succs(node_index)
+        ):
+            new_outputs += 1
+        new_inputs = fixed_inputs
+        newly: list[str] = []
+        newly_outside: list[int] = []
+        for external in dfg.external_operands(node_index):
+            if external not in counted_externals:
+                counted_externals.add(external)
+                newly.append(external)
+                new_inputs += 1
+        for pred in set(dfg.preds(node_index)):
+            if not (context.allowed_mask >> pred & 1):
+                if pred not in counted_outside_producers:
+                    counted_outside_producers.add(pred)
+                    newly_outside.append(pred)
+                    new_inputs += 1
+        yield from recurse(
+            position + 1,
+            included_mask | bit,
+            included_count + 1,
+            new_inputs,
+            new_outputs,
+            desc_union | dfg.descendants_mask(node_index),
+            anc_union | dfg.ancestors_mask(node_index),
+            sw_sum + context.sw[node_index],
+            decided_excluded_mask,
+        )
+        for external in newly:
+            counted_externals.discard(external)
+        for pred in newly_outside:
+            counted_outside_producers.discard(pred)
+
+        # ---- branch 2: exclude the node ---------------------------------
+        new_inputs = fixed_inputs
+        # The excluded node's value becomes a cut input if any of its (already
+        # decided) consumers is included.
+        if any(included_mask >> succ & 1 for succ in dfg.succs(node_index)):
+            new_inputs += 1
+        yield from recurse(
+            position + 1,
+            included_mask,
+            included_count,
+            new_inputs,
+            fixed_outputs,
+            desc_union,
+            anc_union,
+            sw_sum,
+            decided_excluded_mask | bit,
+        )
+
+    yield from recurse(0, 0, 0, 0, 0, 0, 0, 0, never_included_mask)

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+``isegen`` (installed as a console script, also reachable via
+``python -m repro.cli``) exposes the library's main entry points:
+
+* ``isegen workloads`` — list the available benchmark workloads;
+* ``isegen inspect <workload>`` — structural statistics of a workload;
+* ``isegen run <workload>`` — run one ISE-generation algorithm and print the
+  generated cuts;
+* ``isegen figure1|figure4|figure6|figure7|ablation|scaling`` — regenerate
+  the corresponding experiment and optionally save the row tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import program_stats
+from .baselines import ALGORITHMS, run_algorithm
+from .codegen import result_report
+from .errors import ReproError
+from .experiments import (
+    run_ablation,
+    run_codesize_energy,
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+    run_scaling,
+    save_tables,
+)
+from .hwmodel import ISEConstraints
+from .reuse import reuse_aware_speedup
+from .workloads import available_workloads, load_workload, workload_spec
+
+
+def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-inputs", type=int, default=4, help="register-file read ports (default 4)"
+    )
+    parser.add_argument(
+        "--max-outputs", type=int, default=2, help="register-file write ports (default 2)"
+    )
+    parser.add_argument(
+        "--max-ises", type=int, default=4, help="maximum number of AFUs (default 4)"
+    )
+
+
+def _constraints_from(args: argparse.Namespace) -> ISEConstraints:
+    return ISEConstraints(
+        max_inputs=args.max_inputs,
+        max_outputs=args.max_outputs,
+        max_ises=args.max_ises,
+    )
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for name in available_workloads():
+        spec = workload_spec(name)
+        print(
+            f"{name:15s} {spec.suite:15s} critical block {spec.critical_block_size:4d} "
+            f"nodes  - {spec.description}"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    program = load_workload(args.workload)
+    print(program_stats(program).summary())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = load_workload(args.workload)
+    constraints = _constraints_from(args)
+    result = run_algorithm(args.algorithm, program, constraints)
+    print(result_report(result))
+    if args.reuse:
+        reuse = reuse_aware_speedup(program, result)
+        print(f"\nReuse-aware speedup: {reuse.reuse_speedup:.3f}x "
+              f"(single-use {reuse.single_use_speedup:.3f}x)")
+        print(f"Instances per cut  : {reuse.instance_counts}")
+    return 0
+
+
+def _save_and_print(tables, args: argparse.Namespace) -> int:
+    for table in tables:
+        print(table.to_text())
+        print()
+    if args.output:
+        written = save_tables(tables, args.output)
+        print("Saved:", ", ".join(str(path) for path in written))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    return _save_and_print([run_figure1()], args)
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    speedup, runtime = run_figure4()
+    return _save_and_print([speedup, runtime], args)
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    table = run_figure6(quick_genetic=not args.full_genetic)
+    return _save_and_print([table], args)
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    return _save_and_print([run_figure7()], args)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    return _save_and_print([run_ablation()], args)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    return _save_and_print([run_scaling()], args)
+
+
+def _cmd_codesize_energy(args: argparse.Namespace) -> int:
+    return _save_and_print([run_codesize_energy()], args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="isegen",
+        description="ISEGEN (DATE 2005) reproduction: instruction-set extension "
+        "generation by Kernighan-Lin iterative improvement.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("workloads", help="list available workloads")
+    sub.set_defaults(handler=_cmd_workloads)
+
+    sub = subparsers.add_parser("inspect", help="show workload statistics")
+    sub.add_argument("workload")
+    sub.set_defaults(handler=_cmd_inspect)
+
+    sub = subparsers.add_parser("run", help="run one ISE-generation algorithm")
+    sub.add_argument("workload")
+    sub.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="ISEGEN",
+        help="algorithm to run (default ISEGEN)",
+    )
+    sub.add_argument(
+        "--reuse", action="store_true", help="also report reuse-aware speedup"
+    )
+    _add_constraint_arguments(sub)
+    sub.set_defaults(handler=_cmd_run)
+
+    experiment_commands = {
+        "figure1": (_cmd_figure1, "motivational reuse example (Figure 1)"),
+        "figure4": (_cmd_figure4, "benchmark speedup and runtime comparison (Figure 4)"),
+        "figure6": (_cmd_figure6, "AES speedup sweep (Figure 6)"),
+        "figure7": (_cmd_figure7, "AES cut reusability (Figure 7)"),
+        "ablation": (_cmd_ablation, "gain-component ablation study"),
+        "scaling": (_cmd_scaling, "runtime scaling with block size"),
+        "codesize-energy": (
+            _cmd_codesize_energy,
+            "code-size and energy impact of the generated ISEs (future work study)",
+        ),
+    }
+    for name, (handler, help_text) in experiment_commands.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--output", help="directory to save the result tables (JSON + CSV)"
+        )
+        if name == "figure6":
+            sub.add_argument(
+                "--full-genetic",
+                action="store_true",
+                help="use the full genetic configuration instead of the quick one",
+            )
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Code generation: AFU RTL emission, block rewriting and text reports."""
+
+from .afu_rtl import emit_afu_verilog, emit_cut_verilog
+from .rewrite import (
+    code_size_reduction,
+    instruction_count,
+    rewrite_with_cut,
+    rewrite_with_cuts,
+)
+from .report import comparison_report, format_table, result_report
+
+__all__ = [
+    "emit_afu_verilog",
+    "emit_cut_verilog",
+    "rewrite_with_cut",
+    "rewrite_with_cuts",
+    "instruction_count",
+    "code_size_reduction",
+    "format_table",
+    "result_report",
+    "comparison_report",
+]

@@ -1,0 +1,146 @@
+"""Behavioural RTL emission for generated AFUs.
+
+The paper's future work is "deployment of ISEs in a real system"; this module
+provides the first step of that path: given a cut, emit a synthesizable-style
+behavioural Verilog module describing the AFU datapath (one combinational
+assignment per cut node, register-file-port inputs/outputs).  The emitted
+text is intended for inspection and for downstream synthesis flows — this
+library does not simulate it.
+"""
+
+from __future__ import annotations
+
+from ..dfg import Cut
+from ..errors import ReproError
+from ..hwmodel import AFUDescriptor, LatencyModel, describe_afu
+from ..isa import Opcode
+
+#: Verilog expression templates per opcode (operands substituted by position).
+_EXPRESSIONS: dict[Opcode, str] = {
+    Opcode.ADD: "{0} + {1}",
+    Opcode.SUB: "{0} - {1}",
+    Opcode.NEG: "-{0}",
+    Opcode.ABS: "({0}[31] ? -{0} : {0})",
+    Opcode.MUL: "{0} * {1}",
+    Opcode.MAC: "{0} * {1} + {2}",
+    Opcode.MULH: "({0} * {1}) >>> 32",
+    Opcode.DIV: "{0} / {1}",
+    Opcode.REM: "{0} % {1}",
+    Opcode.AND: "{0} & {1}",
+    Opcode.OR: "{0} | {1}",
+    Opcode.XOR: "{0} ^ {1}",
+    Opcode.NOT: "~{0}",
+    Opcode.SHL: "{0} << {1}[4:0]",
+    Opcode.SHR: "{0} >> {1}[4:0]",
+    Opcode.SAR: "$signed({0}) >>> {1}[4:0]",
+    Opcode.ROL: "({0} << {1}[4:0]) | ({0} >> (32 - {1}[4:0]))",
+    Opcode.ROR: "({0} >> {1}[4:0]) | ({0} << (32 - {1}[4:0]))",
+    Opcode.EQ: "{{31'b0, {0} == {1}}}",
+    Opcode.NE: "{{31'b0, {0} != {1}}}",
+    Opcode.LT: "{{31'b0, $signed({0}) < $signed({1})}}",
+    Opcode.LE: "{{31'b0, $signed({0}) <= $signed({1})}}",
+    Opcode.GT: "{{31'b0, $signed({0}) > $signed({1})}}",
+    Opcode.GE: "{{31'b0, $signed({0}) >= $signed({1})}}",
+    Opcode.MIN: "($signed({0}) < $signed({1}) ? {0} : {1})",
+    Opcode.MAX: "($signed({0}) > $signed({1}) ? {0} : {1})",
+    Opcode.SELECT: "({0} != 0 ? {1} : {2})",
+    Opcode.MOV: "{0}",
+    Opcode.SEXT: "{0}",
+    Opcode.ZEXT: "{0}",
+    Opcode.TRUNC: "{{16'b0, {0}[15:0]}}",
+}
+
+
+def _sanitize(name: str) -> str:
+    """Turn a DFG value name into a legal Verilog identifier."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned or "v"
+
+
+def emit_afu_verilog(
+    afu: AFUDescriptor,
+    *,
+    width: int = 32,
+) -> str:
+    """Emit behavioural Verilog for *afu*.
+
+    Every cut node becomes a ``wire`` with one continuous assignment; cut
+    inputs become module inputs named after their register-file port; cut
+    outputs become module outputs.  Constants are emitted as localparams.
+    """
+    cut = afu.cut
+    dfg = cut.dfg
+    members = set(cut.members)
+    input_ports = [port for port in afu.ports if port.direction == "in"]
+    output_ports = [port for port in afu.ports if port.direction == "out"]
+    value_to_port = {port.value: port.name for port in input_ports}
+    lines: list[str] = []
+    lines.append(f"// AFU {afu.name}: {len(cut)} operations, "
+                 f"{len(input_ports)} inputs, {len(output_ports)} outputs")
+    lines.append(f"// software latency {afu.software_latency} cycles, "
+                 f"hardware latency {afu.hardware_latency} cycle(s)")
+    port_names = [port.name for port in input_ports] + [
+        port.name for port in output_ports
+    ]
+    lines.append(f"module {_sanitize(afu.name)} (")
+    declarations = [
+        f"    input  wire [{width - 1}:0] {port.name}" for port in input_ports
+    ] + [
+        f"    output wire [{width - 1}:0] {port.name}" for port in output_ports
+    ]
+    lines.append(",\n".join(declarations))
+    lines.append(");")
+    del port_names
+
+    # Operand resolution: cut-internal values by node name, external values by
+    # their input port, constants by localparam.
+    def operand_expression(name: str) -> str:
+        if name in value_to_port:
+            return value_to_port[name]
+        if name in dfg and dfg.node(name).index in members:
+            return _sanitize(name)
+        # An operand that is neither a port nor an in-cut node can only occur
+        # for malformed descriptors.
+        raise ReproError(
+            f"AFU {afu.name}: operand {name!r} is neither an input port nor a "
+            "cut member"
+        )
+
+    body: list[str] = []
+    for index in sorted(members):
+        node = dfg.node_by_index(index)
+        target = _sanitize(node.name)
+        if node.opcode is Opcode.CONST:
+            value = int(node.attrs.get("value", 0)) & 0xFFFFFFFF
+            body.append(
+                f"  localparam [{width - 1}:0] {target} = {width}'h{value:x};"
+            )
+            continue
+        template = _EXPRESSIONS.get(node.opcode)
+        if template is None:
+            raise ReproError(
+                f"AFU {afu.name}: opcode {node.opcode.value} cannot be emitted "
+                "as combinational hardware"
+            )
+        operands = [operand_expression(op) for op in node.operands]
+        expression = template.format(*operands)
+        body.append(f"  wire [{width - 1}:0] {target} = {expression};")
+    lines.extend(body)
+    for port in output_ports:
+        lines.append(f"  assign {port.name} = {_sanitize(port.value)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def emit_cut_verilog(
+    name: str,
+    cut: Cut,
+    *,
+    latency_model: LatencyModel | None = None,
+    width: int = 32,
+) -> str:
+    """Convenience wrapper: describe the cut as an AFU and emit its Verilog."""
+    afu = describe_afu(name, cut, latency_model)
+    return emit_afu_verilog(afu, width=width)

@@ -1,0 +1,111 @@
+"""Human-readable text reports of ISE-generation results.
+
+The experiment harnesses print tabular summaries (the textual analogue of the
+paper's figures); this module holds the shared formatting helpers so the CLI,
+the examples and the benchmark harnesses produce consistent output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..core import ISEGenerationResult
+from ..hwmodel import AreaModel
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered))
+        if rendered
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def result_report(result: ISEGenerationResult, *, area_model: AreaModel | None = None) -> str:
+    """Detailed report of one generation run (cuts, I/O, merit, area)."""
+    area = area_model or AreaModel()
+    lines = [
+        f"Algorithm     : {result.algorithm}",
+        f"Application   : {result.program_name}",
+        f"Constraints   : I/O {result.constraints.io}, "
+        f"N_ISE {result.constraints.max_ises}",
+        f"Speedup       : {result.speedup:.3f}x",
+        f"Runtime       : {result.runtime_seconds * 1e3:.2f} ms",
+        f"Generated ISEs: {result.num_ises}",
+    ]
+    rows = []
+    for ise in result.ises:
+        rows.append(
+            [
+                ise.name,
+                ise.block_name,
+                len(ise.cut),
+                f"({ise.num_inputs},{ise.num_outputs})",
+                ise.software_latency,
+                ise.hardware_latency,
+                ise.merit,
+                ise.instances,
+                area.cut_area(ise.cut.dfg, ise.cut.members),
+            ]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                [
+                    "cut",
+                    "block",
+                    "ops",
+                    "I/O",
+                    "sw cyc",
+                    "hw cyc",
+                    "merit",
+                    "inst",
+                    "area",
+                ],
+                rows,
+            )
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(
+    results: Mapping[str, ISEGenerationResult],
+    *,
+    title: str = "Algorithm comparison",
+) -> str:
+    """Side-by-side comparison of several algorithms on the same program."""
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.speedup,
+                result.num_ises,
+                sum(len(ise.cut) for ise in result.ises),
+                result.runtime_seconds * 1e6,
+            ]
+        )
+    table = format_table(
+        ["algorithm", "speedup", "ISEs", "covered ops", "runtime (us)"], rows
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,208 @@
+"""Rewriting basic blocks to use generated custom instructions.
+
+Once an ISE has been selected, the instructions it covers are replaced in the
+basic block by a single custom-instruction node.  This module performs that
+rewriting at the DFG level:
+
+* the cut's nodes are removed,
+* a single ``custom`` node is inserted, consuming the cut's input values,
+* every cut output value is produced by a zero-latency ``mov`` node reading
+  the custom node, which models the AFU's extra register-file write ports,
+* the surviving nodes are re-emitted in a valid topological order (collapsing
+  a convex cut can never create a cycle, but it can invalidate the original
+  program order).
+
+The rewriting is used by the code-size analysis (how many instructions remain
+after ISE insertion — the quantity the paper's future work mentions) and by
+tests that check savings estimates against the rewritten block's latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection, Iterable
+
+from ..dfg import Cut, DataFlowGraph
+from ..errors import ReproError
+from ..hwmodel import LatencyModel
+from ..isa import Opcode
+
+
+def rewrite_with_cut(
+    dfg: DataFlowGraph,
+    members: Collection[int],
+    *,
+    name: str | None = None,
+    latency_model: LatencyModel | None = None,
+) -> DataFlowGraph:
+    """Return a copy of *dfg* with the cut *members* collapsed into one node.
+
+    The custom node's software latency is the cut's hardware latency (in
+    cycles): after rewriting, the block issues the custom instruction to the
+    AFU as part of its normal schedule.  The cut must be convex (collapsing a
+    non-convex cut would create a dependence cycle).
+    """
+    model = latency_model or LatencyModel()
+    member_set = set(members)
+    if not member_set:
+        return dfg.copy()
+    dfg.prepare()
+    cut = Cut(dfg, member_set)
+    if not cut.is_convex():
+        raise ReproError(
+            f"cut of {len(member_set)} nodes in {dfg.name!r} is not convex; "
+            "it cannot be collapsed into a single instruction"
+        )
+    inputs = sorted(cut.input_values())
+    output_nodes = sorted(cut.output_nodes())
+    if not output_nodes:
+        raise ReproError(
+            f"cut of {len(member_set)} nodes in {dfg.name!r} has no outputs; "
+            "it cannot be replaced by a custom instruction"
+        )
+    hardware_cycles = model.hardware_latency(dfg, member_set)
+    primary_output = output_nodes[0]
+    custom_name = f"__ise_{dfg.node_by_index(primary_output).name}"
+
+    # ------------------------------------------------------------------
+    # Build the unit dependence graph: every surviving node is a unit, the
+    # whole cut is one unit; then emit units in topological order.
+    # ------------------------------------------------------------------
+    cut_unit = -1
+    unit_of = {
+        index: (cut_unit if index in member_set else index)
+        for index in range(dfg.num_nodes)
+    }
+    successors: dict[int, set[int]] = {cut_unit: set()}
+    indegree: dict[int, int] = {cut_unit: 0}
+    for index in range(dfg.num_nodes):
+        if index not in member_set:
+            successors.setdefault(index, set())
+            indegree.setdefault(index, 0)
+    for index in range(dfg.num_nodes):
+        consumer_unit = unit_of[index]
+        for pred in dfg.preds(index):
+            producer_unit = unit_of[pred]
+            if producer_unit == consumer_unit:
+                continue
+            if consumer_unit not in successors[producer_unit]:
+                successors[producer_unit].add(consumer_unit)
+                indegree[consumer_unit] += 1
+    queue = deque(sorted(unit for unit, degree in indegree.items() if degree == 0))
+    order: list[int] = []
+    while queue:
+        unit = queue.popleft()
+        order.append(unit)
+        for succ in sorted(successors[unit]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(successors):  # pragma: no cover - guarded by convexity
+        raise ReproError("collapsing the cut produced a dependence cycle")
+
+    # ------------------------------------------------------------------
+    # Emit.
+    # ------------------------------------------------------------------
+    rewritten = DataFlowGraph(name or f"{dfg.name}+ise")
+    for external in dfg.external_inputs:
+        rewritten.add_external_input(external)
+    for unit in order:
+        if unit == cut_unit:
+            rewritten.add_node(
+                custom_name,
+                Opcode.CUSTOM,
+                inputs,
+                sw_latency=hardware_cycles,
+                hw_delay=0.0,
+                forbidden=True,
+                attrs={"custom": True, "covers": len(member_set)},
+            )
+            for output_index in output_nodes:
+                original = dfg.node_by_index(output_index)
+                rewritten.add_node(
+                    original.name,
+                    Opcode.MOV,
+                    [custom_name],
+                    live_out=original.live_out,
+                    sw_latency=0,
+                    hw_delay=0.0,
+                    attrs={"custom_output": True},
+                )
+            continue
+        node = dfg.node_by_index(unit)
+        rewritten.add_node(
+            node.name,
+            node.opcode,
+            list(node.operands),
+            live_out=node.live_out,
+            sw_latency=node.sw_latency,
+            hw_delay=node.hw_delay,
+            forbidden=node.forbidden,
+            attrs=dict(node.attrs),
+        )
+    rewritten.prepare()
+    return rewritten
+
+
+def rewrite_with_cuts(
+    dfg: DataFlowGraph,
+    cuts: Iterable[Collection[int]],
+    *,
+    latency_model: LatencyModel | None = None,
+) -> DataFlowGraph:
+    """Collapse several non-overlapping cuts one after the other.
+
+    Cuts are given as node indices (or names) of the *original* graph; node
+    names are stable across rewriting, so each cut is re-resolved by name in
+    the intermediate graphs.
+    """
+    cut_names: list[list[str]] = []
+    for members in cuts:
+        names = [
+            dfg.node_by_index(member).name if isinstance(member, int) else member
+            for member in members
+        ]
+        cut_names.append(names)
+    claimed: set[str] = set()
+    for position, names in enumerate(cut_names):
+        overlap = claimed & set(names)
+        if overlap:
+            raise ReproError(
+                f"cut #{position + 1} overlaps an earlier cut on nodes "
+                f"{sorted(overlap)}; overlapping cuts cannot both become "
+                "custom instructions"
+            )
+        claimed.update(names)
+    current = dfg
+    for position, names in enumerate(cut_names):
+        indices = [current.node(name).index for name in names]
+        current = rewrite_with_cut(
+            current,
+            indices,
+            name=f"{dfg.name}+ise{position + 1}",
+            latency_model=latency_model,
+        )
+    return current
+
+
+def instruction_count(dfg: DataFlowGraph) -> int:
+    """Number of instructions the core issues for this block (constants and
+    the zero-latency output moves excluded) — the code-size metric reported
+    alongside speedup."""
+    count = 0
+    for node in dfg.nodes:
+        if node.opcode is Opcode.CONST:
+            continue
+        if node.attrs.get("custom_output"):
+            continue
+        count += 1
+    return count
+
+
+def code_size_reduction(original: DataFlowGraph, rewritten: DataFlowGraph) -> float:
+    """Fractional reduction in issued instructions after ISE insertion."""
+    before = instruction_count(original)
+    after = instruction_count(rewritten)
+    if before == 0:
+        return 0.0
+    return (before - after) / before

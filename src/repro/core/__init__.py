@@ -1,0 +1,30 @@
+"""ISEGEN core: the Kernighan-Lin based ISE identification engine."""
+
+from .config import GainWeights, ISEGenConfig
+from .iostate import IOState
+from .state import PartitionState
+from .gain import GainBreakdown, GainEvaluator
+from .kernighan_lin import BipartitionResult, PassTrace, bipartition
+from .isegen import ISEGen, KernighanLinCutFinder, generate_block_cuts
+from .application import ApplicationISEDriver, BlockCutFinder
+from .result import GeneratedISE, ISEGenerationResult, name_ises
+
+__all__ = [
+    "GainWeights",
+    "ISEGenConfig",
+    "IOState",
+    "PartitionState",
+    "GainBreakdown",
+    "GainEvaluator",
+    "BipartitionResult",
+    "PassTrace",
+    "bipartition",
+    "ISEGen",
+    "KernighanLinCutFinder",
+    "generate_block_cuts",
+    "ApplicationISEDriver",
+    "BlockCutFinder",
+    "GeneratedISE",
+    "ISEGenerationResult",
+    "name_ises",
+]

@@ -1,0 +1,186 @@
+"""Application-level ISE generation (Problem 2 of the paper).
+
+The paper distributes up to ``N_ISE`` custom instructions over the basic
+blocks of an application:
+
+* each block has a *speedup potential* — "a function of its execution
+  frequency and estimated gain from mapping all its nodes to hardware";
+* blocks are considered in order of potential, one bi-partition at a time;
+* after an ISE is found in a block, the block's potential is updated
+  considering only its remaining (unclaimed) nodes.
+
+The loop is identical for ISEGEN and for the baselines — only the way the
+best single cut inside a block is found differs — so this module provides the
+shared driver (:class:`ApplicationISEDriver`) parameterized by a
+:class:`BlockCutFinder` strategy.  ISEGEN's strategy lives in
+:mod:`repro.core.isegen`; the baselines provide their own.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from collections.abc import Collection
+from dataclasses import dataclass
+
+from ..dfg import Cut, DataFlowGraph, critical_path_delay
+from ..errors import ISEGenError
+from ..hwmodel import ISEConstraints, LatencyModel
+from ..merit import MeritFunction, application_speedup
+from ..program import Program, single_block_program
+from .result import GeneratedISE, ISEGenerationResult, name_ises
+
+
+class BlockCutFinder(abc.ABC):
+    """Strategy interface: find the best legal cut inside one basic block."""
+
+    #: Human-readable algorithm name used in results and plots.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def best_cut(
+        self,
+        dfg: DataFlowGraph,
+        allowed: Collection[int],
+        constraints: ISEConstraints,
+        latency_model: LatencyModel,
+    ) -> frozenset[int] | None:
+        """Return the members of the best legal cut restricted to *allowed*
+        nodes, or ``None`` when no worthwhile cut exists."""
+
+
+@dataclass
+class _BlockState:
+    """Per-block bookkeeping of the application driver."""
+
+    block_name: str
+    dfg: DataFlowGraph
+    frequency: float
+    remaining: set[int]
+    exhausted: bool = False
+
+
+class ApplicationISEDriver:
+    """Runs Problem 2 with any :class:`BlockCutFinder` strategy."""
+
+    def __init__(
+        self,
+        finder: BlockCutFinder,
+        constraints: ISEConstraints | None = None,
+        latency_model: LatencyModel | None = None,
+    ):
+        self.finder = finder
+        self.constraints = constraints or ISEConstraints.paper_default()
+        self.latency_model = latency_model or LatencyModel()
+        self._merit = MeritFunction(self.latency_model)
+
+    # ------------------------------------------------------------------
+    # Speedup potential
+    # ------------------------------------------------------------------
+    def block_potential(self, state: _BlockState) -> float:
+        """Frequency-weighted optimistic gain of mapping every remaining
+        legal node of the block to hardware (ignoring I/O and convexity —
+        it is only a priority, not a feasibility claim)."""
+        if state.exhausted or not state.remaining:
+            return 0.0
+        dfg = state.dfg
+        members = state.remaining
+        software = self.latency_model.software_latency(dfg, members)
+        hardware_delay = critical_path_delay(
+            dfg,
+            members,
+            delay=lambda i: self.latency_model.node_hardware_delay(dfg, i),
+        )
+        hardware = max(
+            self.latency_model.min_hardware_cycles,
+            int(hardware_delay * self.latency_model.cycles_per_mac + 0.999),
+        )
+        return state.frequency * max(0.0, float(software - hardware))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def generate(self, program: Program) -> ISEGenerationResult:
+        """Generate up to ``N_ISE`` ISEs for *program* and estimate speedup."""
+        if len(program) == 0:
+            raise ISEGenError(f"program {program.name!r} has no basic blocks")
+        started = time.perf_counter()
+        states: list[_BlockState] = []
+        for block in program:
+            dfg = block.dfg
+            dfg.prepare()
+            allowed = {
+                index
+                for index in range(dfg.num_nodes)
+                if self.constraints.allow_memory
+                or not dfg.node_by_index(index).forbidden
+            }
+            states.append(
+                _BlockState(
+                    block_name=block.name,
+                    dfg=dfg,
+                    frequency=block.frequency,
+                    remaining=allowed,
+                )
+            )
+
+        ises: list[GeneratedISE] = []
+        while len(ises) < self.constraints.max_ises:
+            candidates = [
+                (self.block_potential(state), position, state)
+                for position, state in enumerate(states)
+            ]
+            candidates = [entry for entry in candidates if entry[0] > 0]
+            if not candidates:
+                break
+            candidates.sort(key=lambda entry: (-entry[0], entry[1]))
+            _potential, _position, state = candidates[0]
+            members = self.finder.best_cut(
+                state.dfg,
+                frozenset(state.remaining),
+                self.constraints,
+                self.latency_model,
+            )
+            if not members or len(members) < self.constraints.min_cut_size:
+                state.exhausted = True
+                continue
+            breakdown = self._merit.breakdown(state.dfg, members)
+            if breakdown.merit < 1:
+                state.exhausted = True
+                continue
+            cut = Cut(state.dfg, members)
+            ises.append(
+                GeneratedISE(
+                    name=f"CUT{len(ises) + 1}",
+                    block_name=state.block_name,
+                    cut=cut,
+                    merit=breakdown.merit,
+                    software_latency=breakdown.software_latency,
+                    hardware_latency=breakdown.hardware_latency,
+                    frequency=state.frequency,
+                )
+            )
+            state.remaining -= set(members)
+
+        name_ises(ises)
+        result = ISEGenerationResult(
+            algorithm=self.finder.name,
+            program_name=program.name,
+            constraints=self.constraints,
+            ises=ises,
+            runtime_seconds=time.perf_counter() - started,
+        )
+        cuts_by_block: dict[str, list[frozenset[int]]] = {}
+        for ise in ises:
+            cuts_by_block.setdefault(ise.block_name, []).append(ise.cut.members)
+        result.speedup_report = application_speedup(
+            program, cuts_by_block, self.latency_model
+        )
+        # Keep the runtime attribution to the search itself, not the report.
+        return result
+
+    def generate_for_dfg(
+        self, dfg: DataFlowGraph, frequency: float = 1.0
+    ) -> ISEGenerationResult:
+        """Convenience wrapper for a single basic block."""
+        return self.generate(single_block_program(dfg, frequency))

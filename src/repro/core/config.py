@@ -1,0 +1,104 @@
+"""Configuration of the ISEGEN engine.
+
+The gain function of Section 4.2 is a linear weighted sum of five components
+whose weights "have been determined experimentally" in the paper.  The
+weights (and every other knob of the algorithm) live here so that
+
+* the defaults reproduce the paper's behaviour on the benchmark suite, and
+* the ablation benchmarks can switch individual components off and measure
+  their contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ISEGenError
+
+
+@dataclass(frozen=True)
+class GainWeights:
+    """Weights of the five gain-function components.
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the merit (speedup-estimate) component.
+    beta:
+        Weight of the input/output *violation penalty*.  The paper applies a
+        "heavy penalty with the help of a large factor"; the component itself
+        is the (negative) number of excess ports, so ``beta`` must be large
+        relative to typical node merits.
+    gamma:
+        Weight of the convexity-affinity component (neighbours already in the
+        cut attract a node into the cut; nodes inside the cut resist leaving).
+    delta:
+        Weight of the "large cut" directional-growth component (nodes close
+        to a barrier — external inputs/outputs or memory operations — are
+        favoured so the cut grows towards the barriers and covers reusable
+        regions).
+    epsilon:
+        Weight of the independent-cuts component (nodes of the current cut
+        may move back to software to let other, potentially large, connected
+        subgraphs grow — this is what lets one ISE contain several
+        disconnected subgraphs).
+    """
+
+    alpha: float = 4.0
+    beta: float = 30.0
+    gamma: float = 1.0
+    delta: float = 1.0
+    epsilon: float = 0.25
+
+    def disabled(self, *components: str) -> "GainWeights":
+        """Return a copy with the given components zeroed (for ablations).
+
+        Component names are the attribute names (``"delta"``, ...).
+        """
+        valid = {"alpha", "beta", "gamma", "delta", "epsilon"}
+        unknown = set(components) - valid
+        if unknown:
+            raise ISEGenError(f"unknown gain components: {sorted(unknown)}")
+        return replace(self, **{name: 0.0 for name in components})
+
+
+@dataclass(frozen=True)
+class ISEGenConfig:
+    """Knobs of the modified Kernighan-Lin loop (Figure 2 of the paper)."""
+
+    #: Maximum number of improvement passes of the outer loop.  The paper
+    #: found experimentally that 5 passes are enough.
+    max_passes: int = 5
+    #: Gain-function weights.
+    weights: GainWeights = field(default_factory=GainWeights)
+    #: A legal cut must save at least this many cycles per execution to be
+    #: accepted as an ISE.
+    min_merit: int = 1
+    #: Stop a pass early once this many consecutive toggles fail to produce a
+    #: new best cut (0 disables the shortcut and mirrors the paper exactly by
+    #: always marking every node).
+    stall_limit: int = 0
+    #: When True, candidate merit estimates use the exact critical-path
+    #: recomputation instead of the incremental estimate (slower, used by the
+    #: tests that validate the estimate).
+    exact_candidate_merit: bool = False
+    #: How the working cut ``C`` evolves across improvement passes.  The
+    #: paper's pseudocode never resets ``C`` inside the outer loop (it keeps
+    #: toggling the same configuration, so consecutive passes sweep the
+    #: partition back and forth), which is ``False`` — the default.  With
+    #: ``True`` every pass restarts ``C`` from the best legal cut found so
+    #: far, a more greedy variant kept for the ablation study.
+    reset_working_cut: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_passes < 1:
+            raise ISEGenError("max_passes must be at least 1")
+        if self.stall_limit < 0:
+            raise ISEGenError("stall_limit must be >= 0")
+
+    def with_weights(self, weights: GainWeights) -> "ISEGenConfig":
+        return replace(self, weights=weights)
+
+    def without_components(self, *components: str) -> "ISEGenConfig":
+        """Ablation helper: disable individual gain components by name."""
+        return replace(self, weights=self.weights.disabled(*components))

@@ -1,0 +1,148 @@
+"""Incremental input/output bookkeeping for the partitioning loop.
+
+Section 4.3 of the paper ("Impact of Toggling a Node") introduces per-node
+*addendums* ``dI`` and ``dO`` such that toggling a node updates the cut's
+``I_ISE`` / ``O_ISE`` in constant time per affected neighbour, with a set of
+rules (Figure 3) describing how the addendums of parents, children and
+siblings change.  The net effect of that machinery is exactly this: after any
+toggle, the number of inputs and outputs of the cut is known without a full
+recount, and toggling the same node back undoes the change.
+
+This module implements the same effect with per-value consumer counters,
+which is easier to reason about and testable against the from-scratch
+counters in :mod:`repro.dfg.io_count`:
+
+* ``I_ISE`` is the number of distinct values that are produced outside the
+  cut (by a software node or an external block input) and consumed by at
+  least one cut node;
+* ``O_ISE`` is the number of cut nodes whose value is live-out of the block
+  or consumed by at least one node outside the cut.
+
+Both quantities are maintained in O(degree) per toggle, and
+:meth:`IOState.addendum` exposes the paper's ``(dI, dO)`` view of a
+hypothetical toggle (used by the gain function and by the Figure 5 unit
+test).
+"""
+
+from __future__ import annotations
+
+from ..dfg import DataFlowGraph
+
+
+class IOState:
+    """Incremental I/O counters of a hardware/software partition."""
+
+    def __init__(self, dfg: DataFlowGraph):
+        dfg.prepare()
+        self.dfg = dfg
+        n = dfg.num_nodes
+        self._in_cut = [False] * n
+        #: Distinct consumer nodes of each node-produced value.
+        self._total_consumers = [len(set(dfg.succs(i))) for i in range(n)]
+        #: How many of those consumers are currently in the cut.
+        self._consumers_in_cut = [0] * n
+        #: Same counter for external input values.
+        self._ext_consumers_in_cut = {name: 0 for name in dfg.external_inputs}
+        self._live_out = [dfg.is_effectively_live_out(i) for i in range(n)]
+        #: Distinct operand values per node: (external names, producer indices).
+        self._ext_operands = [tuple(sorted(set(dfg.external_operands(i)))) for i in range(n)]
+        self._pred_operands = [tuple(sorted(set(dfg.preds(i)))) for i in range(n)]
+        self.num_inputs = 0
+        self.num_outputs = 0
+        self.cut_size = 0
+
+    # ------------------------------------------------------------------
+    # Status predicates (derived from the counters)
+    # ------------------------------------------------------------------
+    def in_cut(self, index: int) -> bool:
+        return self._in_cut[index]
+
+    def _value_is_input(self, producer: int) -> bool:
+        """Is the value produced by node *producer* currently a cut input?"""
+        return (not self._in_cut[producer]) and self._consumers_in_cut[producer] > 0
+
+    def _external_is_input(self, name: str) -> bool:
+        return self._ext_consumers_in_cut[name] > 0
+
+    def _node_is_output(self, index: int) -> bool:
+        """Is cut node *index* currently a cut output?"""
+        if not self._in_cut[index]:
+            return False
+        if self._live_out[index]:
+            return True
+        return self._consumers_in_cut[index] < self._total_consumers[index]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def toggle(self, index: int) -> None:
+        """Move node *index* to the other partition, updating I/O counters."""
+        entering = not self._in_cut[index]
+        # --- effect on the value produced by the toggled node -------------
+        was_input = self._value_is_input(index)
+        was_output = self._node_is_output(index)
+        self._in_cut[index] = entering
+        self.cut_size += 1 if entering else -1
+        is_input = self._value_is_input(index)
+        is_output = self._node_is_output(index)
+        self.num_inputs += int(is_input) - int(was_input)
+        self.num_outputs += int(is_output) - int(was_output)
+        # --- effect on the values the toggled node consumes ---------------
+        delta = 1 if entering else -1
+        for name in self._ext_operands[index]:
+            was = self._external_is_input(name)
+            self._ext_consumers_in_cut[name] += delta
+            now = self._external_is_input(name)
+            self.num_inputs += int(now) - int(was)
+        for producer in self._pred_operands[index]:
+            was_in = self._value_is_input(producer)
+            was_out = self._node_is_output(producer)
+            self._consumers_in_cut[producer] += delta
+            now_in = self._value_is_input(producer)
+            now_out = self._node_is_output(producer)
+            self.num_inputs += int(now_in) - int(was_in)
+            self.num_outputs += int(now_out) - int(was_out)
+
+    # ------------------------------------------------------------------
+    # Hypothetical queries
+    # ------------------------------------------------------------------
+    def io_if_toggled(self, index: int) -> tuple[int, int]:
+        """``(I_ISE, O_ISE)`` of the cut after a hypothetical toggle of
+        *index*.
+
+        Implemented as toggle / read / toggle-back, exploiting the paper's
+        observation that a second toggle of the same node exactly undoes the
+        first one.  The cost is O(degree of the node).
+        """
+        self.toggle(index)
+        result = (self.num_inputs, self.num_outputs)
+        self.toggle(index)
+        return result
+
+    def addendum(self, index: int) -> tuple[int, int]:
+        """The paper's ``(dI, dO)`` addendum of node *index*: the change of
+        ``(I_ISE, O_ISE)`` its toggle would cause right now."""
+        new_in, new_out = self.io_if_toggled(index)
+        return new_in - self.num_inputs, new_out - self.num_outputs
+
+    def violation_if_toggled(
+        self, index: int, max_inputs: int, max_outputs: int
+    ) -> int:
+        """Number of excess register-file ports after a hypothetical toggle."""
+        new_in, new_out = self.io_if_toggled(index)
+        return max(0, new_in - max_inputs) + max(0, new_out - max_outputs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def members(self) -> frozenset[int]:
+        return frozenset(i for i, flag in enumerate(self._in_cut) if flag)
+
+    def io(self) -> tuple[int, int]:
+        return self.num_inputs, self.num_outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IOState(cut_size={self.cut_size}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs})"
+        )

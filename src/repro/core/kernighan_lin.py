@@ -1,0 +1,215 @@
+"""The modified Kernighan-Lin bi-partitioning loop (Figure 2 of the paper).
+
+``bipartition`` performs one hardware/software bi-partition of a basic
+block's DFG.  The loop structure follows the paper's pseudocode:
+
+* the outer loop runs up to ``max_passes`` improvement passes (the paper
+  found 5 to be enough) and exits early when a pass brings no improvement;
+* each pass unmarks every node and repeatedly toggles the unmarked node with
+  the best gain in the **working cut** ``C``, marking it afterwards — so
+  every node changes side exactly once per pass, which is what lets the
+  heuristic climb out of local maxima.  ``C`` is allowed to become *illegal*
+  (I/O or convexity violations), "giving it an opportunity to eventually
+  grow into a valid cut";
+* alongside ``C`` the pass maintains ``BC``, the paper's intermediate best
+  cut: the impact of every committed toggle is evaluated with respect to
+  ``BC`` (Figure 2, line 10) and the toggle is *applied to ``BC`` only when
+  the resulting cut still satisfies the convexity and I/O constraints*
+  (lines 11-12).  ``BC`` therefore tracks a legal shadow of the toggle
+  trajectory, which is what allows the algorithm to assemble large legal
+  cuts even though ``C`` spends most of the pass outside the feasible
+  region;
+* ``BESTCUT`` retains the best legal cut seen so far: whenever ``BC``
+  reaches a new best merit it becomes the candidate result of the pass
+  (lines 13, 16-17), and the best cut of the pass seeds the next pass.
+
+This double-cut reading of the pseudocode is reconstructed from the paper's
+text (the printed algorithm is partially garbled in the archived PDF); it is
+the interpretation under which the reported AES behaviour — large, highly
+reusable cuts found in a 696-node block — is reproducible.  DESIGN.md §4
+documents the reconstruction.
+
+The function operates on a restricted node set (``allowed``) so the
+multi-cut drivers can exclude nodes already claimed by previously generated
+ISEs, and it never toggles forbidden (memory / control) nodes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Collection, Iterable
+from dataclasses import dataclass, field
+
+from ..dfg import Cut, DataFlowGraph
+from ..hwmodel import ISEConstraints, LatencyModel
+from .config import ISEGenConfig
+from .gain import GainEvaluator
+from .state import PartitionState
+
+
+@dataclass
+class PassTrace:
+    """Diagnostics of one improvement pass (used by tests and reports)."""
+
+    pass_index: int
+    toggles: int = 0
+    shadow_updates: int = 0
+    best_merit: int = 0
+    improved: bool = False
+
+
+@dataclass
+class BipartitionResult:
+    """Outcome of one K-L bi-partition of a DFG."""
+
+    dfg: DataFlowGraph
+    members: frozenset[int]
+    merit: int
+    passes: list[PassTrace] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def cut(self) -> Cut:
+        return Cut(self.dfg, self.members)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.members
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+
+def _shadow_can_toggle(shadow: PartitionState, index: int) -> bool:
+    """Would toggling *index* keep the shadow cut legal (convex, I/O-ok)?"""
+    if not shadow.convex_if_toggled(index):
+        return False
+    return shadow.io_violation_if_toggled(index) == 0
+
+
+def bipartition(
+    dfg: DataFlowGraph,
+    constraints: ISEConstraints,
+    config: ISEGenConfig | None = None,
+    *,
+    latency_model: LatencyModel | None = None,
+    allowed: Collection[int] | None = None,
+    initial_members: Iterable[int] = (),
+) -> BipartitionResult:
+    """Run the ISEGEN K-L loop once and return the best legal cut found.
+
+    Parameters
+    ----------
+    dfg:
+        The basic block's data-flow graph.
+    constraints:
+        I/O and legality constraints for the cut.
+    config:
+        Algorithm configuration (weights, number of passes, ...).
+    latency_model:
+        Latency model used for merits (defaults to the standard model).
+    allowed:
+        Node indices that may participate in this cut (defaults to all
+        non-forbidden nodes); used by the multi-cut driver to exclude nodes
+        already assigned to previous ISEs.
+    initial_members:
+        Starting cut (defaults to the empty cut — "all nodes in software").
+        Must be legal if non-empty; an illegal seed is treated as empty.
+    """
+    config = config or ISEGenConfig()
+    model = latency_model or LatencyModel()
+    dfg.prepare()
+    started = time.perf_counter()
+
+    def new_state(members: Iterable[int]) -> PartitionState:
+        return PartitionState(
+            dfg,
+            constraints,
+            model,
+            allowed=allowed,
+            initial_members=members,
+        )
+
+    current_members = frozenset(initial_members)
+    if current_members:
+        probe = new_state(current_members)
+        if probe.is_legal():
+            current_merit = probe.merit
+        else:
+            current_members = frozenset()
+            current_merit = 0
+    else:
+        current_merit = 0
+
+    passes: list[PassTrace] = []
+    # C — the free-running working cut every chosen node toggles in.  In the
+    # paper's pseudocode it persists across passes (consecutive passes sweep
+    # the partition back and forth); the reset variant restarts it from the
+    # best legal cut at every pass.
+    persistent_state = new_state(current_members)
+    for pass_index in range(config.max_passes):
+        if config.reset_working_cut:
+            state = new_state(current_members)
+        else:
+            state = persistent_state
+        # BC — the legal shadow cut; starts each pass at the current best.
+        shadow = new_state(current_members)
+        evaluator = GainEvaluator(
+            state, config.weights, exact_merit=config.exact_candidate_merit
+        )
+        trace = PassTrace(pass_index=pass_index, best_merit=current_merit)
+        unmarked = [
+            index for index in range(dfg.num_nodes) if state.is_allowed(index)
+        ]
+        best_members = current_members
+        best_merit = current_merit
+        stalled = 0
+        while unmarked:
+            picked = evaluator.best_candidate(unmarked)
+            if picked is None:  # pragma: no cover - unmarked is non-empty
+                break
+            best_node, _gain = picked
+            state.toggle(best_node)
+            unmarked.remove(best_node)
+            trace.toggles += 1
+            improved_here = False
+            # The free cut C itself occasionally passes through legal states
+            # (classic K-L prefix selection); record the best of them.
+            if state.cut_size > 0 and state.is_legal() and state.merit > best_merit:
+                best_merit = state.merit
+                best_members = state.snapshot()
+                improved_here = True
+            # Project the committed toggle onto the legal shadow cut BC.
+            desired_in_cut = state.in_cut(best_node)
+            if shadow.in_cut(best_node) != desired_in_cut and _shadow_can_toggle(
+                shadow, best_node
+            ):
+                shadow.toggle(best_node)
+                trace.shadow_updates += 1
+                if shadow.cut_size > 0 and shadow.merit > best_merit:
+                    best_merit = shadow.merit
+                    best_members = shadow.snapshot()
+                    improved_here = True
+            if improved_here:
+                stalled = 0
+            else:
+                stalled += 1
+                if config.stall_limit and stalled >= config.stall_limit:
+                    break
+        trace.best_merit = best_merit
+        trace.improved = best_merit > current_merit
+        passes.append(trace)
+        if trace.improved:
+            current_members = best_members
+            current_merit = best_merit
+        else:
+            break
+
+    return BipartitionResult(
+        dfg=dfg,
+        members=current_members,
+        merit=current_merit,
+        passes=passes,
+        runtime_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,105 @@
+"""Result types shared by every ISE-generation algorithm.
+
+ISEGEN and all three baselines return the same :class:`ISEGenerationResult`
+structure so the experiment harnesses (Figures 4, 6 and 7) can treat them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..dfg import Cut
+from ..hwmodel import ISEConstraints
+from ..merit import SpeedupReport
+
+
+@dataclass
+class GeneratedISE:
+    """One generated instruction-set extension."""
+
+    name: str
+    block_name: str
+    cut: Cut
+    merit: int
+    software_latency: int
+    hardware_latency: int
+    frequency: float = 1.0
+    #: Number of structurally identical instances of this cut found in the
+    #: block (filled in by the reuse analysis when requested).
+    instances: int = 1
+
+    @property
+    def size(self) -> int:
+        return len(self.cut)
+
+    @property
+    def num_inputs(self) -> int:
+        return self.cut.num_inputs
+
+    @property
+    def num_outputs(self) -> int:
+        return self.cut.num_outputs
+
+    @property
+    def weighted_saving(self) -> float:
+        """Cycles saved over the whole execution by this single cut."""
+        return self.frequency * max(0, self.merit)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} @ {self.block_name}: {self.size} ops, "
+            f"I/O ({self.num_inputs},{self.num_outputs}), merit {self.merit} "
+            f"cycles, freq {self.frequency:g}, instances {self.instances}"
+        )
+
+
+@dataclass
+class ISEGenerationResult:
+    """Everything an ISE-generation run produced."""
+
+    algorithm: str
+    program_name: str
+    constraints: ISEConstraints
+    ises: list[GeneratedISE] = field(default_factory=list)
+    speedup_report: SpeedupReport | None = None
+    runtime_seconds: float = 0.0
+    #: Free-form per-algorithm metadata (generations, passes, nodes pruned...)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.speedup_report.speedup if self.speedup_report else 1.0
+
+    @property
+    def num_ises(self) -> int:
+        return len(self.ises)
+
+    def cuts_by_block(self) -> Mapping[str, list[frozenset[int]]]:
+        """Selected cut node-sets grouped by basic block (the structure the
+        speedup estimator consumes)."""
+        grouped: dict[str, list[frozenset[int]]] = {}
+        for ise in self.ises:
+            grouped.setdefault(ise.block_name, []).append(ise.cut.members)
+        return grouped
+
+    def total_saved_cycles(self) -> float:
+        return sum(ise.weighted_saving for ise in self.ises)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.algorithm} on {self.program_name} "
+            f"[I/O {self.constraints.io}, N_ISE {self.constraints.max_ises}]: "
+            f"speedup {self.speedup:.3f}x in {self.runtime_seconds * 1e3:.2f} ms",
+        ]
+        lines.extend("  " + ise.summary() for ise in self.ises)
+        return "\n".join(lines)
+
+
+def name_ises(ises: Iterable[GeneratedISE]) -> list[GeneratedISE]:
+    """Assign canonical names ``CUT1..CUTn`` in generation order."""
+    named = list(ises)
+    for position, ise in enumerate(named, start=1):
+        ise.name = f"CUT{position}"
+    return named

@@ -1,0 +1,81 @@
+"""Convenience builder for DFGs used in tests, examples and workloads.
+
+Most DFGs in this library come from one of three places:
+
+* the IR conversion (:func:`repro.ir.block_to_dfg`),
+* the synthetic workload generators (:mod:`repro.workloads`), and
+* hand-written construction in tests.
+
+:class:`DFGBuilder` makes the third case pleasant: it auto-names nodes,
+keeps the last produced value around as an implicit operand and exposes tiny
+helpers for the common shapes (chains, trees, butterflies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..isa import Opcode, arity_of, parse_opcode
+from .graph import DataFlowGraph
+
+__all__ = ["DFGBuilder"]
+
+
+class DFGBuilder:
+    """Incrementally constructs a :class:`DataFlowGraph`."""
+
+    def __init__(self, name: str = "bb", inputs: Sequence[str] = ()):
+        self.dfg = DataFlowGraph(name)
+        for value in inputs:
+            self.dfg.add_external_input(value)
+        self._counter = 0
+        self._last: str | None = None
+
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}{self._counter}"
+
+    def input(self, name: str) -> str:
+        """Declare an additional external input."""
+        return self.dfg.add_external_input(name)
+
+    def op(
+        self,
+        opcode: Opcode | str,
+        *operands: str,
+        name: str | None = None,
+        live_out: bool = False,
+    ) -> str:
+        """Add one operation node and return its value name.
+
+        When fewer operands than the opcode's arity are given, the most
+        recently produced value fills the first missing slot — convenient for
+        writing chains.
+        """
+        if isinstance(opcode, str):
+            opcode = parse_opcode(opcode)
+        ops = list(operands)
+        needed = arity_of(opcode)
+        if len(ops) < needed and self._last is not None:
+            ops.insert(0, self._last)
+        node_name = name or self._fresh(opcode.value[0])
+        self.dfg.add_node(node_name, opcode, ops, live_out=live_out)
+        self._last = node_name
+        return node_name
+
+    def chain(self, opcode: Opcode | str, length: int, *start: str) -> str:
+        """Append a dependence chain of *length* identical operations."""
+        value = None
+        for _ in range(length):
+            value = self.op(opcode, *start)
+            start = ()
+        return value if value is not None else self._last
+
+    def mark_live_out(self, *names: str) -> None:
+        for name in names:
+            self.dfg.node(name).live_out = True
+
+    def build(self) -> DataFlowGraph:
+        """Finalize and return the graph."""
+        self.dfg.prepare()
+        return self.dfg

@@ -1,0 +1,98 @@
+"""Convexity checking for cuts.
+
+A cut ``C`` is *convex* when no path between two nodes of ``C`` passes
+through a node outside ``C`` (Section 2 of the paper, following the DAC'03
+definition).  Only convex cuts are architecturally feasible because all cut
+inputs must be available when the custom instruction issues.
+
+Equivalently, ``C`` is **non**-convex iff there exists a node ``w`` outside
+``C`` that is simultaneously a strict descendant of some cut node and a
+strict ancestor of some (possibly different) cut node.  With the per-node
+ancestor/descendant bitsets that :class:`repro.dfg.graph.DataFlowGraph`
+precomputes, this check is a few big-integer AND/OR operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from .graph import DataFlowGraph, indices_of_mask, mask_of
+
+
+def closure_masks(dfg: DataFlowGraph, members: Collection[int]) -> tuple[int, int]:
+    """Return ``(descendants_union, ancestors_union)`` bitsets of the cut."""
+    dfg.prepare()
+    desc = 0
+    anc = 0
+    for index in members:
+        desc |= dfg.descendants_mask(index)
+        anc |= dfg.ancestors_mask(index)
+    return desc, anc
+
+
+def violating_mask(dfg: DataFlowGraph, members: Collection[int]) -> int:
+    """Bitset of nodes outside the cut that lie on a cut-to-cut path."""
+    cut_mask = mask_of(members)
+    desc, anc = closure_masks(dfg, members)
+    return desc & anc & ~cut_mask
+
+
+def is_convex(dfg: DataFlowGraph, members: Collection[int]) -> bool:
+    """True when the cut *members* is convex."""
+    return violating_mask(dfg, members) == 0
+
+
+def violating_nodes(dfg: DataFlowGraph, members: Collection[int]) -> list[int]:
+    """Indices of the nodes that break convexity (empty for convex cuts)."""
+    return indices_of_mask(violating_mask(dfg, members))
+
+
+def is_convex_mask(dfg: DataFlowGraph, cut_mask: int) -> bool:
+    """Bitset-only variant of :func:`is_convex` used by the hot loops."""
+    dfg.prepare()
+    desc = 0
+    anc = 0
+    remaining = cut_mask
+    index = 0
+    while remaining:
+        if remaining & 1:
+            desc |= dfg.descendants_mask(index)
+            anc |= dfg.ancestors_mask(index)
+        remaining >>= 1
+        index += 1
+    return (desc & anc & ~cut_mask) == 0
+
+
+def convex_closure(dfg: DataFlowGraph, members: Collection[int]) -> frozenset[int]:
+    """Smallest convex superset of *members*.
+
+    Repeatedly absorbs every node that lies on a path between two members.
+    Useful for repairing slightly non-convex candidate cuts (used by the
+    genetic baseline's repair operator).
+    """
+    dfg.prepare()
+    current = set(members)
+    while True:
+        extra = violating_nodes(dfg, current)
+        if not extra:
+            return frozenset(current)
+        current.update(extra)
+
+
+def removal_preserves_convexity(
+    dfg: DataFlowGraph, members: Collection[int], index: int
+) -> bool:
+    """Check whether removing *index* from the **convex** cut *members*
+    leaves a convex cut.
+
+    For a convex cut the only way removal of ``u`` can break convexity is a
+    path through ``u`` itself, i.e. when ``u`` still has both an ancestor and
+    a descendant inside the remaining cut.  This O(words) check is what the
+    partitioning engine uses in its inner loop; the generic
+    :func:`is_convex` remains the reference implementation.
+    """
+    dfg.prepare()
+    rest_mask = mask_of(members) & ~(1 << index)
+    has_ancestor = (dfg.ancestors_mask(index) & rest_mask) != 0
+    has_descendant = (dfg.descendants_mask(index) & rest_mask) != 0
+    return not (has_ancestor and has_descendant)

@@ -1,0 +1,233 @@
+"""The :class:`Cut` abstraction — a candidate instruction-set extension.
+
+A cut is a subset of a basic block's DFG nodes (Section 2 of the paper).  It
+may consist of several disconnected components (ISEGEN deliberately allows
+"independent cuts" inside one ISE).  A cut is *legal* for given I/O
+constraints when it
+
+* contains no forbidden (memory / control) node,
+* is convex, and
+* has at most ``max_inputs`` inputs and ``max_outputs`` outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterator
+from dataclasses import dataclass
+
+from ..errors import CutError
+from .convexity import is_convex, violating_nodes
+from .graph import DataFlowGraph, mask_of
+from .io_count import cut_input_values, cut_output_nodes
+from .topology import connected_components, critical_path_delay
+
+
+@dataclass(frozen=True)
+class CutFeasibility:
+    """Detailed legality report for a cut under given constraints."""
+
+    convex: bool
+    num_inputs: int
+    num_outputs: int
+    max_inputs: int
+    max_outputs: int
+    has_forbidden: bool
+
+    @property
+    def io_ok(self) -> bool:
+        return (
+            self.num_inputs <= self.max_inputs
+            and self.num_outputs <= self.max_outputs
+        )
+
+    @property
+    def feasible(self) -> bool:
+        return self.convex and self.io_ok and not self.has_forbidden
+
+    @property
+    def io_violation(self) -> int:
+        return max(0, self.num_inputs - self.max_inputs) + max(
+            0, self.num_outputs - self.max_outputs
+        )
+
+
+class Cut:
+    """An immutable set of DFG nodes considered for hardware execution."""
+
+    __slots__ = ("_dfg", "_members", "_mask")
+
+    def __init__(self, dfg: DataFlowGraph, members: Collection[int] | Collection[str]):
+        dfg.prepare()
+        indices: set[int] = set()
+        for member in members:
+            if isinstance(member, str):
+                indices.add(dfg.node(member).index)
+            else:
+                index = int(member)
+                if not 0 <= index < dfg.num_nodes:
+                    raise CutError(
+                        f"node index {index} out of range for DFG {dfg.name!r}"
+                    )
+                indices.add(index)
+        self._dfg = dfg
+        self._members = frozenset(indices)
+        self._mask = mask_of(indices)
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    @property
+    def dfg(self) -> DataFlowGraph:
+        return self._dfg
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Node indices forming the cut."""
+        return self._members
+
+    @property
+    def mask(self) -> int:
+        """The cut as a bitset over node indices."""
+        return self._mask
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return self._dfg.names_of(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._members))
+
+    def __contains__(self, item: int | str) -> bool:
+        if isinstance(item, str):
+            return item in self._dfg and self._dfg.node(item).index in self._members
+        return item in self._members
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cut):
+            return NotImplemented
+        return self._dfg is other._dfg and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((id(self._dfg), self._members))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cut({self._dfg.name!r}, {sorted(self._members)})"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._members
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    def input_values(self) -> set[str]:
+        """Distinct values entering the cut (register-file reads)."""
+        return cut_input_values(self._dfg, self._members)
+
+    def output_nodes(self) -> set[int]:
+        """Cut nodes whose value leaves the cut (register-file writes)."""
+        return cut_output_nodes(self._dfg, self._members)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_values())
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_nodes())
+
+    def is_convex(self) -> bool:
+        return is_convex(self._dfg, self._members)
+
+    def convexity_violators(self) -> list[int]:
+        return violating_nodes(self._dfg, self._members)
+
+    def contains_forbidden(self) -> bool:
+        return bool(self._mask & self._dfg.forbidden_mask)
+
+    def connected_components(self) -> list[frozenset[int]]:
+        return connected_components(self._dfg, self._members)
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def software_latency(self) -> int:
+        """Cycles needed to execute the cut's instructions on the core."""
+        return self._dfg.software_latency(self._members)
+
+    def hardware_delay(self) -> float:
+        """Critical-path delay of the cut, normalized to a MAC."""
+        return critical_path_delay(self._dfg, self._members)
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+    def feasibility(self, max_inputs: int, max_outputs: int) -> CutFeasibility:
+        return CutFeasibility(
+            convex=self.is_convex(),
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            max_inputs=max_inputs,
+            max_outputs=max_outputs,
+            has_forbidden=self.contains_forbidden(),
+        )
+
+    def is_feasible(self, max_inputs: int, max_outputs: int) -> bool:
+        return self.feasibility(max_inputs, max_outputs).feasible
+
+    # ------------------------------------------------------------------
+    # Set algebra (returning new cuts)
+    # ------------------------------------------------------------------
+    def with_node(self, index: int) -> "Cut":
+        return Cut(self._dfg, self._members | {index})
+
+    def without_node(self, index: int) -> "Cut":
+        return Cut(self._dfg, self._members - {index})
+
+    def union(self, other: "Cut") -> "Cut":
+        self._check_same_dfg(other)
+        return Cut(self._dfg, self._members | other._members)
+
+    def intersection(self, other: "Cut") -> "Cut":
+        self._check_same_dfg(other)
+        return Cut(self._dfg, self._members & other._members)
+
+    def difference(self, other: "Cut") -> "Cut":
+        self._check_same_dfg(other)
+        return Cut(self._dfg, self._members - other._members)
+
+    def overlaps(self, other: "Cut") -> bool:
+        self._check_same_dfg(other)
+        return bool(self._mask & other._mask)
+
+    def _check_same_dfg(self, other: "Cut") -> None:
+        if self._dfg is not other._dfg:
+            raise CutError("cuts belong to different DFGs")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, dfg: DataFlowGraph) -> "Cut":
+        return cls(dfg, ())
+
+    @classmethod
+    def full(cls, dfg: DataFlowGraph, include_forbidden: bool = False) -> "Cut":
+        """The cut containing every (legal) node of the DFG."""
+        dfg.prepare()
+        members = range(dfg.num_nodes) if include_forbidden else (
+            i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
+        )
+        return cls(dfg, tuple(members))
+
+    @classmethod
+    def from_mask(cls, dfg: DataFlowGraph, mask: int) -> "Cut":
+        from .graph import indices_of_mask
+
+        return cls(dfg, indices_of_mask(mask))

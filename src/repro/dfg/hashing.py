@@ -1,0 +1,97 @@
+"""Structural hashing of cuts.
+
+Two cuts with the same *shape* (same operators wired the same way, up to the
+ordering of commutative operands and up to node renaming) represent the same
+custom instruction.  The reusability analysis of the paper (Figure 7) counts
+how many *instances* of a cut template appear in a DFG, and the
+recurrence-aware selection groups structurally identical cuts so a single AFU
+can serve all of them.
+
+The canonical form implemented here is a Weisfeiler–Lehman style iterative
+refinement of node labels restricted to the induced subgraph:
+
+* the initial label of a node is its opcode (plus a marker for cut inputs it
+  consumes — external operands are anonymized),
+* each round appends the sorted multiset of (edge-position, label) pairs of
+  its in-cut predecessors, with the position dropped for commutative
+  operators,
+* after ``depth`` rounds (default: the size of the cut) the multiset of final
+  labels, hashed, is the cut's signature.
+
+This is not a full graph-canonicalization, but for the operator-labelled DAGs
+that occur here collisions are practically nonexistent, and the exact VF2
+matcher in :mod:`repro.reuse.isomorphism` double-checks candidate matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Collection
+
+from ..isa import is_commutative
+from .graph import DataFlowGraph
+
+
+def _initial_label(dfg: DataFlowGraph, index: int, members: set[int]) -> str:
+    node = dfg.node_by_index(index)
+    external_operands = 0
+    for operand in node.operands:
+        if dfg.is_external(operand) or dfg.node(operand).index not in members:
+            external_operands += 1
+    return f"{node.opcode.value}/{external_operands}"
+
+
+def node_signatures(
+    dfg: DataFlowGraph, members: Collection[int], depth: int | None = None
+) -> dict[int, str]:
+    """Stable per-node labels describing each node's role inside the cut."""
+    dfg.prepare()
+    member_set = set(members)
+    if not member_set:
+        return {}
+    if depth is None:
+        depth = min(len(member_set), 8)
+    labels = {i: _initial_label(dfg, i, member_set) for i in member_set}
+    for _ in range(depth):
+        new_labels: dict[int, str] = {}
+        for index in member_set:
+            node = dfg.node_by_index(index)
+            parts: list[str] = []
+            for position, operand in enumerate(node.operands):
+                if dfg.is_external(operand):
+                    continue
+                producer = dfg.node(operand).index
+                if producer not in member_set:
+                    continue
+                key = "*" if is_commutative(node.opcode) else str(position)
+                parts.append(f"{key}:{labels[producer]}")
+            parts.sort()
+            combined = labels[index] + "(" + ",".join(parts) + ")"
+            new_labels[index] = hashlib.sha1(combined.encode()).hexdigest()[:16]
+        labels = new_labels
+    return labels
+
+
+def cut_signature(dfg: DataFlowGraph, members: Collection[int]) -> str:
+    """Canonical signature of the cut's structure.
+
+    Structurally identical cuts (including across different DFGs) produce the
+    same signature; the empty cut hashes to a fixed sentinel.
+    """
+    member_set = set(members)
+    if not member_set:
+        return "empty"
+    labels = node_signatures(dfg, member_set)
+    bag = sorted(labels.values())
+    payload = "|".join(bag) + f"#n={len(member_set)}"
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def opcode_histogram(dfg: DataFlowGraph, members: Collection[int]) -> dict[str, int]:
+    """Multiset of opcodes in the cut — a cheap pre-filter before signature
+    comparison or isomorphism checking."""
+    histogram: dict[str, int] = {}
+    for index in members:
+        opcode = dfg.node_by_index(index).opcode.value
+        histogram[opcode] = histogram.get(opcode, 0) + 1
+    return histogram

@@ -1,0 +1,116 @@
+"""Input / output counting for cuts.
+
+The number of input and output operands of a cut is limited by the register
+file ports of the core (Problem 1 of the paper).  The conventions follow the
+DAC'03 formulation the paper builds on:
+
+* an **input** of a cut ``C`` is a distinct value consumed by some node of
+  ``C`` but produced outside ``C`` (by a non-cut node of the block or by an
+  external input of the block);
+* an **output** of ``C`` is a value produced by a node of ``C`` that is
+  consumed by a node outside ``C`` or that is live-out of the block.
+
+Values are identified by the producing node's name (or by the external-input
+name), so a value consumed by several cut nodes counts once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+from .graph import DataFlowGraph
+
+
+def cut_input_values(dfg: DataFlowGraph, members: Collection[int]) -> set[str]:
+    """Return the set of value names entering the cut *members*.
+
+    Parameters
+    ----------
+    dfg:
+        The data-flow graph.
+    members:
+        Node indices forming the cut.
+    """
+    dfg.prepare()
+    member_set = set(members)
+    inputs: set[str] = set()
+    for index in member_set:
+        node = dfg.node_by_index(index)
+        for operand in node.operands:
+            if dfg.is_external(operand):
+                inputs.add(operand)
+            else:
+                producer = dfg.node(operand)
+                if producer.index not in member_set:
+                    inputs.add(operand)
+    return inputs
+
+
+def cut_output_nodes(dfg: DataFlowGraph, members: Collection[int]) -> set[int]:
+    """Return the indices of cut nodes whose value must leave the AFU."""
+    dfg.prepare()
+    member_set = set(members)
+    outputs: set[int] = set()
+    for index in member_set:
+        if dfg.is_effectively_live_out(index):
+            outputs.add(index)
+            continue
+        for succ in dfg.succs(index):
+            if succ not in member_set:
+                outputs.add(index)
+                break
+    return outputs
+
+
+def count_io(dfg: DataFlowGraph, members: Collection[int]) -> tuple[int, int]:
+    """Return ``(num_inputs, num_outputs)`` of the cut *members*."""
+    return (
+        len(cut_input_values(dfg, members)),
+        len(cut_output_nodes(dfg, members)),
+    )
+
+
+def io_feasible(
+    dfg: DataFlowGraph,
+    members: Collection[int],
+    max_inputs: int,
+    max_outputs: int,
+) -> bool:
+    """True when the cut respects the register-file port constraints."""
+    num_in, num_out = count_io(dfg, members)
+    return num_in <= max_inputs and num_out <= max_outputs
+
+
+def io_violation(
+    dfg: DataFlowGraph,
+    members: Collection[int],
+    max_inputs: int,
+    max_outputs: int,
+) -> int:
+    """Total number of excess ports (0 when the cut is I/O-feasible).
+
+    This is the quantity the gain function penalizes heavily ("Input Output
+    violation penalty" in Section 4.2).
+    """
+    num_in, num_out = count_io(dfg, members)
+    return max(0, num_in - max_inputs) + max(0, num_out - max_outputs)
+
+
+def node_io_footprint(dfg: DataFlowGraph, index: int) -> tuple[int, int]:
+    """Inputs/outputs of the singleton cut ``{index}``.
+
+    This equals the initial addendum values of the paper's toggle-impact
+    bookkeeping (Section 4.3): with every node in software, toggling a single
+    node into hardware contributes exactly its own operand count and one
+    output (or zero for result-less operations).
+    """
+    return count_io(dfg, (index,))
+
+
+def union_io(dfg: DataFlowGraph, cuts: Iterable[Collection[int]]) -> tuple[int, int]:
+    """I/O of the union of several node sets (used by the application-level
+    selection when merging templates)."""
+    union: set[int] = set()
+    for members in cuts:
+        union.update(members)
+    return count_io(dfg, union)

@@ -1,0 +1,138 @@
+"""Random DFG generators.
+
+Used by the property-based tests (hypothesis strategies live in the test
+suite, built on top of these helpers), by stress benchmarks and by the
+motivational example.  The generators always produce valid, topologically
+ordered DFGs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..isa import Opcode, arity_of
+from .graph import DataFlowGraph
+
+#: Operators used by default when sprinkling random nodes.
+DEFAULT_OP_MIX: tuple[Opcode, ...] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.MAX,
+    Opcode.MIN,
+)
+
+
+def random_dfg(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    num_external_inputs: int = 4,
+    op_mix: Sequence[Opcode] = DEFAULT_OP_MIX,
+    edge_locality: int = 8,
+    memory_fraction: float = 0.0,
+    live_out_fraction: float = 0.2,
+    name: str | None = None,
+) -> DataFlowGraph:
+    """Generate a random DAG of *num_nodes* operations.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of instruction nodes.
+    seed:
+        PRNG seed — generation is fully deterministic for a given seed.
+    num_external_inputs:
+        How many external input values feed the block.
+    op_mix:
+        Opcodes to draw from (uniformly).
+    edge_locality:
+        Operands are drawn among the previous ``edge_locality`` nodes, which
+        controls how deep/narrow the DAG is.
+    memory_fraction:
+        Fraction of nodes converted to (forbidden) LOAD operations, acting as
+        barriers the way memory operations do in the paper.
+    live_out_fraction:
+        Probability that a node's value is marked live-out.
+    """
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    rng = random.Random(seed)
+    dfg = DataFlowGraph(name or f"random{num_nodes}_s{seed}")
+    externals = [dfg.add_external_input(f"in{i}") for i in range(max(1, num_external_inputs))]
+    produced: list[str] = []
+    for index in range(num_nodes):
+        make_memory = memory_fraction > 0 and rng.random() < memory_fraction
+        opcode = Opcode.LOAD if make_memory else rng.choice(tuple(op_mix))
+        operands = []
+        for _ in range(arity_of(opcode)):
+            window = produced[-edge_locality:]
+            pool = window + externals
+            operands.append(rng.choice(pool) if pool else externals[0])
+        node_name = f"n{index}"
+        dfg.add_node(
+            node_name,
+            opcode,
+            operands,
+            live_out=rng.random() < live_out_fraction,
+        )
+        produced.append(node_name)
+    dfg.prepare()
+    return dfg
+
+
+def layered_dfg(
+    layers: int,
+    width: int,
+    *,
+    seed: int = 0,
+    op_mix: Sequence[Opcode] = DEFAULT_OP_MIX,
+    name: str | None = None,
+) -> DataFlowGraph:
+    """Generate a layered DAG (every node reads from the previous layer).
+
+    Layered graphs have long critical paths and are good stress inputs for
+    the convexity bookkeeping.
+    """
+    rng = random.Random(seed)
+    dfg = DataFlowGraph(name or f"layered_{layers}x{width}_s{seed}")
+    previous = [dfg.add_external_input(f"in{i}") for i in range(width)]
+    counter = 0
+    for layer in range(layers):
+        current: list[str] = []
+        for slot in range(width):
+            opcode = rng.choice(tuple(op_mix))
+            operands = [rng.choice(previous) for _ in range(arity_of(opcode))]
+            node_name = f"l{layer}_{slot}"
+            dfg.add_node(
+                node_name,
+                opcode,
+                operands,
+                live_out=(layer == layers - 1),
+            )
+            current.append(node_name)
+            counter += 1
+        previous = current
+    dfg.prepare()
+    return dfg
+
+
+def chain_dfg(length: int, opcode: Opcode = Opcode.ADD, name: str | None = None) -> DataFlowGraph:
+    """A simple dependence chain ``n0 -> n1 -> ... -> n(length-1)``."""
+    dfg = DataFlowGraph(name or f"chain{length}")
+    dfg.add_external_input("x")
+    dfg.add_external_input("y")
+    previous = "x"
+    for index in range(length):
+        node_name = f"n{index}"
+        operands = [previous, "y"][: arity_of(opcode)]
+        dfg.add_node(node_name, opcode, operands, live_out=(index == length - 1))
+        previous = node_name
+    dfg.prepare()
+    return dfg

@@ -1,0 +1,98 @@
+"""Serialization of DFGs and cuts (JSON-compatible dicts and Graphviz DOT)."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Collection
+from pathlib import Path
+
+from ..errors import DFGError
+from ..isa import Opcode
+from .graph import DataFlowGraph
+
+
+def dfg_to_dict(dfg: DataFlowGraph) -> dict:
+    """Serialize a DFG to a plain dictionary (stable across versions)."""
+    return {
+        "name": dfg.name,
+        "external_inputs": list(dfg.external_inputs),
+        "nodes": [
+            {
+                "name": node.name,
+                "opcode": node.opcode.value,
+                "operands": list(node.operands),
+                "live_out": node.live_out,
+                "sw_latency": node.sw_latency,
+                "hw_delay": node.hw_delay,
+                "forbidden": node.forbidden,
+                "attrs": dict(node.attrs),
+            }
+            for node in dfg.nodes
+        ],
+    }
+
+
+def dfg_from_dict(payload: dict) -> DataFlowGraph:
+    """Rebuild a DFG from :func:`dfg_to_dict` output."""
+    try:
+        dfg = DataFlowGraph(payload["name"])
+        for external in payload.get("external_inputs", []):
+            dfg.add_external_input(external)
+        for entry in payload["nodes"]:
+            dfg.add_node(
+                entry["name"],
+                Opcode(entry["opcode"]),
+                entry.get("operands", []),
+                live_out=entry.get("live_out", False),
+                sw_latency=entry.get("sw_latency"),
+                hw_delay=entry.get("hw_delay"),
+                forbidden=entry.get("forbidden"),
+                attrs=entry.get("attrs"),
+            )
+    except KeyError as exc:
+        raise DFGError(f"malformed DFG payload: missing key {exc}") from exc
+    dfg.prepare()
+    return dfg
+
+
+def save_dfg(dfg: DataFlowGraph, path: str | Path) -> None:
+    """Write the DFG to *path* as JSON."""
+    Path(path).write_text(json.dumps(dfg_to_dict(dfg), indent=2))
+
+
+def load_dfg(path: str | Path) -> DataFlowGraph:
+    """Load a DFG previously written by :func:`save_dfg`."""
+    return dfg_from_dict(json.loads(Path(path).read_text()))
+
+
+def dfg_to_dot(
+    dfg: DataFlowGraph,
+    highlight: Collection[int] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render the DFG as Graphviz DOT text.
+
+    ``highlight`` (node indices) is drawn with a filled style — handy for
+    visualizing the cuts an algorithm selected.
+    """
+    dfg.prepare()
+    highlighted = set(highlight or ())
+    lines = [f'digraph "{title or dfg.name}" {{', "  rankdir=TB;"]
+    for external in dfg.external_inputs:
+        lines.append(f'  "{external}" [shape=plaintext, label="{external}"];')
+    for node in dfg.nodes:
+        style = []
+        if node.index in highlighted:
+            style.append('style=filled, fillcolor="#9fd3a0"')
+        if node.forbidden:
+            style.append('shape=box, color="#cc3333"')
+        else:
+            style.append("shape=ellipse")
+        attrs = ", ".join(style)
+        lines.append(f'  "{node.name}" [label="{node.name}\\n{node.opcode.value}", {attrs}];')
+    for node in dfg.nodes:
+        for operand in node.operands:
+            lines.append(f'  "{operand}" -> "{node.name}";')
+    lines.append("}")
+    return "\n".join(lines)

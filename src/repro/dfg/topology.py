@@ -1,0 +1,217 @@
+"""Topological utilities on DFGs and cuts.
+
+These helpers back the merit function (critical-path hardware latency of a
+cut), the "large cut" gain component (distances to barriers) and the
+independent-cuts component (connected components of a cut and their critical
+paths).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Collection, Sequence
+
+from .graph import DataFlowGraph
+
+_INF = float("inf")
+
+
+def critical_path_delay(
+    dfg: DataFlowGraph,
+    members: Collection[int],
+    delay: Callable[[int], float] | None = None,
+) -> float:
+    """Length of the longest path through the induced subgraph *members*.
+
+    The default node delay is the node's normalized hardware delay; this is
+    the paper's hardware-latency estimate for a cut.  Returns 0.0 for the
+    empty cut.
+    """
+    dfg.prepare()
+    if delay is None:
+        delay = lambda index: dfg.node_by_index(index).hw_delay  # noqa: E731
+    member_set = set(members)
+    longest: dict[int, float] = {}
+    best = 0.0
+    # Node insertion order is a topological order, so a single sweep suffices.
+    for index in sorted(member_set):
+        incoming = 0.0
+        for pred in dfg.preds(index):
+            if pred in member_set:
+                incoming = max(incoming, longest[pred])
+        longest[index] = incoming + delay(index)
+        best = max(best, longest[index])
+    return best
+
+
+def critical_path_nodes(
+    dfg: DataFlowGraph,
+    members: Collection[int],
+    delay: Callable[[int], float] | None = None,
+) -> list[int]:
+    """One longest path (as a list of node indices) through the cut."""
+    dfg.prepare()
+    if delay is None:
+        delay = lambda index: dfg.node_by_index(index).hw_delay  # noqa: E731
+    member_set = set(members)
+    longest: dict[int, float] = {}
+    parent: dict[int, int | None] = {}
+    best_node: int | None = None
+    best = -1.0
+    for index in sorted(member_set):
+        incoming = 0.0
+        chosen: int | None = None
+        for pred in dfg.preds(index):
+            if pred in member_set and longest[pred] > incoming:
+                incoming = longest[pred]
+                chosen = pred
+        longest[index] = incoming + delay(index)
+        parent[index] = chosen
+        if longest[index] > best:
+            best = longest[index]
+            best_node = index
+    path: list[int] = []
+    while best_node is not None:
+        path.append(best_node)
+        best_node = parent[best_node]
+    path.reverse()
+    return path
+
+
+def connected_components(
+    dfg: DataFlowGraph, members: Collection[int]
+) -> list[frozenset[int]]:
+    """Weakly-connected components of the subgraph induced by *members*.
+
+    The paper allows an ISE to consist of several *independent* (disconnected)
+    subgraphs; the gain function's fifth component reasons about the
+    components other than the one containing the toggled node.
+    """
+    dfg.prepare()
+    member_set = set(members)
+    seen: set[int] = set()
+    components: list[frozenset[int]] = []
+    for start in sorted(member_set):
+        if start in seen:
+            continue
+        queue = deque([start])
+        component = {start}
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in dfg.neighbors(current):
+                if neighbor in member_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(frozenset(component))
+    return components
+
+
+def upward_barrier_distances(dfg: DataFlowGraph) -> list[int]:
+    """Distance (in edges) from each node to the nearest *upward* barrier.
+
+    Barriers are: the graph's input boundary (a node consuming an external
+    input or having no producer inside the block) and forbidden nodes
+    (memory/control operations) — "the external input and external output
+    nodes act as barriers beyond which a cut cannot grow; memory operations
+    are also barriers" (Section 4.2).  A node that itself touches a barrier
+    has distance 0.
+    """
+    dfg.prepare()
+    distances: list[int] = [0] * dfg.num_nodes
+    for index in dfg.topo_order:
+        node = dfg.node_by_index(index)
+        preds = dfg.preds(index)
+        touches_barrier = (
+            not preds
+            or bool(dfg.external_operands(index))
+            or any(dfg.node_by_index(p).forbidden for p in preds)
+        )
+        if node.forbidden or touches_barrier:
+            distances[index] = 0
+        else:
+            distances[index] = 1 + min(distances[p] for p in preds)
+    return distances
+
+
+def downward_barrier_distances(dfg: DataFlowGraph) -> list[int]:
+    """Distance from each node to the nearest *downward* barrier (live-out
+    boundary, sink, or forbidden successor)."""
+    dfg.prepare()
+    distances: list[int] = [0] * dfg.num_nodes
+    for index in reversed(dfg.topo_order):
+        node = dfg.node_by_index(index)
+        succs = dfg.succs(index)
+        touches_barrier = (
+            not succs
+            or dfg.is_effectively_live_out(index)
+            or any(dfg.node_by_index(s).forbidden for s in succs)
+        )
+        if node.forbidden or touches_barrier:
+            distances[index] = 0
+        else:
+            distances[index] = 1 + min(distances[s] for s in succs)
+    return distances
+
+
+def node_levels(dfg: DataFlowGraph) -> list[int]:
+    """ASAP level of every node (longest distance from a source, in edges)."""
+    dfg.prepare()
+    levels = [0] * dfg.num_nodes
+    for index in dfg.topo_order:
+        preds = dfg.preds(index)
+        levels[index] = 1 + max((levels[p] for p in preds), default=-1)
+    return levels
+
+
+def graph_depth(dfg: DataFlowGraph) -> int:
+    """Number of levels in the DFG (0 for an empty graph)."""
+    if dfg.num_nodes == 0:
+        return 0
+    return max(node_levels(dfg)) + 1
+
+
+def sources(dfg: DataFlowGraph) -> list[int]:
+    """Indices of nodes with no predecessor inside the block."""
+    dfg.prepare()
+    return [i for i in range(dfg.num_nodes) if not dfg.preds(i)]
+
+
+def sinks(dfg: DataFlowGraph) -> list[int]:
+    """Indices of nodes with no consumer inside the block."""
+    dfg.prepare()
+    return [i for i in range(dfg.num_nodes) if not dfg.succs(i)]
+
+
+def reachable_within(
+    dfg: DataFlowGraph, start: int, members: Collection[int]
+) -> set[int]:
+    """Nodes of *members* reachable from *start* staying inside *members*."""
+    dfg.prepare()
+    member_set = set(members)
+    if start not in member_set:
+        return set()
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for succ in dfg.succs(current):
+            if succ in member_set and succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def induced_edges(
+    dfg: DataFlowGraph, members: Collection[int]
+) -> list[tuple[int, int]]:
+    """Edges of the subgraph induced by *members* as (producer, consumer)."""
+    dfg.prepare()
+    member_set = set(members)
+    edges = []
+    for index in sorted(member_set):
+        for pred in dfg.preds(index):
+            if pred in member_set:
+                edges.append((pred, index))
+    return edges

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ISEGEN reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class IRError(ReproError):
+    """Problems while building, parsing or verifying the intermediate
+    representation (malformed instructions, undefined values, broken control
+    flow, ...)."""
+
+
+class IRParseError(IRError):
+    """Raised by :mod:`repro.ir.parser` on malformed textual IR.
+
+    Carries the offending line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class IRVerificationError(IRError):
+    """Raised by :mod:`repro.ir.verifier` when an IR module violates a
+    structural invariant (use before def, duplicate definitions, dangling
+    branch targets, ...)."""
+
+
+class InterpreterError(IRError):
+    """Raised by the IR interpreter on runtime failures (missing inputs,
+    division by zero, exceeding the step budget, ...)."""
+
+
+class DFGError(ReproError):
+    """Problems while constructing or manipulating data-flow graphs."""
+
+
+class CutError(DFGError):
+    """Raised when a cut refers to nodes that are not part of its DFG or is
+    otherwise malformed."""
+
+
+class ConstraintError(ReproError):
+    """Raised when ISE constraints are inconsistent (e.g. non-positive port
+    counts)."""
+
+
+class ISEGenError(ReproError):
+    """Raised by the ISE generation engines on invalid configuration or
+    unusable inputs."""
+
+
+class BaselineInfeasibleError(ISEGenError):
+    """Raised by the exact baselines when the input DFG is larger than the
+    configured enumeration limit (mirrors the feasibility limits reported in
+    the paper for the Exact and Iterative algorithms)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a benchmark workload is requested with invalid parameters
+    or an unknown name."""

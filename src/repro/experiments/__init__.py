@@ -1,0 +1,35 @@
+"""Experiment harnesses regenerating every figure of the paper's evaluation."""
+
+from .runner import ExperimentTable, print_tables, save_tables, timed_run
+from .figure1 import run_figure1
+from .figure4 import (
+    FIGURE4_ALGORITHMS,
+    isegen_vs_genetic_speed_ratio,
+    run_figure4,
+)
+from .figure6 import FIGURE6_NISE, average_isegen_advantage, run_figure6
+from .figure7 import instances_by_io, run_figure7
+from .ablation import DEFAULT_ABLATION_BENCHMARKS, ablation_configs, run_ablation
+from .scaling import run_scaling
+from .codesize_energy import run_codesize_energy
+
+__all__ = [
+    "ExperimentTable",
+    "print_tables",
+    "save_tables",
+    "timed_run",
+    "run_figure1",
+    "run_figure4",
+    "FIGURE4_ALGORITHMS",
+    "isegen_vs_genetic_speed_ratio",
+    "run_figure6",
+    "FIGURE6_NISE",
+    "average_isegen_advantage",
+    "run_figure7",
+    "instances_by_io",
+    "run_ablation",
+    "ablation_configs",
+    "DEFAULT_ABLATION_BENCHMARKS",
+    "run_scaling",
+    "run_codesize_energy",
+]

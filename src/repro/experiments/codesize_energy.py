@@ -1,0 +1,92 @@
+"""Code-size and energy impact of the generated ISEs (the paper's future work).
+
+The conclusions of the paper announce a follow-up study of "the impact of
+ISEs on code size and energy reduction".  This harness provides that study
+for the reproduction:
+
+* **code size** — instructions issued by the core for the critical block
+  before and after collapsing the selected cuts into custom instructions
+  (`repro.codegen.rewrite`);
+* **energy** — relative block energy before/after, using the fetch/decode +
+  register-file + datapath model of :class:`repro.hwmodel.EnergyModel`;
+* both are reported next to the speedup so the three-way trade-off the
+  ASIP literature discusses (performance / code size / energy) is visible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..codegen import instruction_count, rewrite_with_cuts
+from ..core import ISEGen, ISEGenConfig
+from ..hwmodel import EnergyModel, ISEConstraints
+from ..workloads import PAPER_BENCHMARKS, load_workload
+from .runner import ExperimentTable
+
+#: Benchmarks used by default (the full Figure-4 suite).
+DEFAULT_BENCHMARKS: tuple[str, ...] = PAPER_BENCHMARKS
+
+
+def run_codesize_energy(
+    *,
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    constraints: ISEConstraints | None = None,
+    isegen_config: ISEGenConfig | None = None,
+    energy_model: EnergyModel | None = None,
+) -> ExperimentTable:
+    """Measure code-size and energy reduction of ISEGEN's cuts per benchmark."""
+    constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+    energy = energy_model or EnergyModel()
+    table = ExperimentTable(
+        name="codesize_energy",
+        description=(
+            "Critical-block code size and relative energy before/after ISE "
+            "insertion (the paper's announced future work), I/O "
+            f"{constraints.io}, N_ISE {constraints.max_ises}"
+        ),
+    )
+    for benchmark in benchmarks:
+        program = load_workload(benchmark)
+        result = ISEGen(constraints=constraints, config=isegen_config).generate(program)
+        critical = program.largest_block
+        cuts = [
+            ise.cut.members
+            for ise in result.ises
+            if ise.block_name == critical.name
+        ]
+        before_instructions = instruction_count(critical.dfg)
+        before_energy = energy.software_energy(critical.dfg).total
+        if cuts:
+            rewritten = rewrite_with_cuts(critical.dfg, cuts)
+            after_instructions = instruction_count(rewritten)
+            after_energy = energy.block_energy_with_cuts(critical.dfg, cuts).total
+        else:
+            after_instructions = before_instructions
+            after_energy = before_energy
+        table.add_row(
+            benchmark=benchmark,
+            speedup=round(result.speedup, 4),
+            instructions_before=before_instructions,
+            instructions_after=after_instructions,
+            code_size_reduction=round(
+                (before_instructions - after_instructions) / before_instructions, 4
+            )
+            if before_instructions
+            else 0.0,
+            energy_before=round(before_energy, 2),
+            energy_after=round(after_energy, 2),
+            energy_reduction=round(
+                (before_energy - after_energy) / before_energy, 4
+            )
+            if before_energy
+            else 0.0,
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    print(run_codesize_energy().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,128 @@
+"""Figure 4: speedup and runtime of Exact / Iterative / Genetic / ISEGEN.
+
+The paper's Figure 4 has two panels, both over the seven EEMBC / MediaBench
+benchmarks (ordered by critical-block size) with I/O constraints (4,2) and
+``N_ISE`` = 4:
+
+* **left** — overall application speedup of the four algorithms; ISEGEN
+  matches the quality of the optimal (Exact / Iterative) algorithms, and the
+  exhaustive algorithms simply cannot run on the larger blocks;
+* **right** — ISE-generation runtime on a log scale (microseconds in the
+  paper); ISEGEN is orders of magnitude faster than the genetic formulation
+  and the exhaustive searches.
+
+:func:`run_figure4` regenerates both panels as row tables; missing bars
+(infeasible configurations) are reported as ``None``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..baselines import run_exact, run_genetic, run_isegen, run_iterative
+from ..hwmodel import ISEConstraints
+from ..reuse import reuse_aware_speedup
+from ..workloads import PAPER_BENCHMARKS, load_workload, workload_spec
+from .runner import ExperimentTable, timed_run
+
+#: The four algorithms of Figure 4, in the paper's legend order.
+FIGURE4_ALGORITHMS = ("Exact", "Iterative", "Genetic", "ISEGEN")
+
+_RUNNERS = {
+    "Exact": run_exact,
+    "Iterative": run_iterative,
+    "Genetic": run_genetic,
+    "ISEGEN": run_isegen,
+}
+
+
+def run_figure4(
+    *,
+    benchmarks: Sequence[str] = PAPER_BENCHMARKS,
+    algorithms: Sequence[str] = FIGURE4_ALGORITHMS,
+    constraints: ISEConstraints | None = None,
+    with_reuse: bool = False,
+) -> tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 4.
+
+    Returns ``(speedup_table, runtime_table)``.  Each row carries the
+    benchmark (with its critical-block size, as the paper annotates it), the
+    algorithm, the achieved speedup / runtime and the number of generated
+    ISEs.  ``with_reuse`` additionally evaluates the reuse-aware speedup
+    (not part of Figure 4, but useful context for Figure 6).
+    """
+    constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+    speedup_table = ExperimentTable(
+        name="figure4_speedup",
+        description=(
+            "Application speedup per algorithm, I/O "
+            f"{constraints.io}, N_ISE {constraints.max_ises} (Figure 4, left)"
+        ),
+    )
+    runtime_table = ExperimentTable(
+        name="figure4_runtime",
+        description=(
+            "ISE-generation runtime in microseconds per algorithm (Figure 4, right)"
+        ),
+    )
+    for benchmark in benchmarks:
+        spec = workload_spec(benchmark)
+        program = load_workload(benchmark)
+        label = f"{benchmark}({spec.critical_block_size})"
+        for algorithm in algorithms:
+            result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
+            speedup = None if result is None else round(result.speedup, 4)
+            reuse_speedup = None
+            if result is not None and with_reuse:
+                reuse_speedup = round(
+                    reuse_aware_speedup(program, result).reuse_speedup, 4
+                )
+            row = {
+                "benchmark": label,
+                "algorithm": algorithm,
+                "speedup": speedup,
+                "num_ises": None if result is None else result.num_ises,
+                "feasible": result is not None,
+            }
+            if with_reuse:
+                row["reuse_speedup"] = reuse_speedup
+            speedup_table.add_row(**row)
+            runtime_table.add_row(
+                benchmark=label,
+                algorithm=algorithm,
+                runtime_us=round(elapsed * 1e6, 1),
+                feasible=result is not None,
+            )
+    speedup_table.meta = {"constraints": constraints.label()}
+    runtime_table.meta = {"constraints": constraints.label()}
+    return speedup_table, runtime_table
+
+
+def isegen_vs_genetic_speed_ratio(runtime_table: ExperimentTable) -> dict[str, float]:
+    """The paper's headline 'ISEGEN runs up to NNNx faster than Genetic':
+    per-benchmark runtime ratio Genetic / ISEGEN."""
+    by_benchmark: dict[str, dict[str, float]] = {}
+    for row in runtime_table.rows:
+        by_benchmark.setdefault(row["benchmark"], {})[row["algorithm"]] = row[
+            "runtime_us"
+        ]
+    ratios = {}
+    for benchmark, runtimes in by_benchmark.items():
+        if "Genetic" in runtimes and "ISEGEN" in runtimes and runtimes["ISEGEN"] > 0:
+            ratios[benchmark] = runtimes["Genetic"] / runtimes["ISEGEN"]
+    return ratios
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    speedup_table, runtime_table = run_figure4()
+    print(speedup_table.to_text())
+    print()
+    print(runtime_table.to_text())
+    ratios = isegen_vs_genetic_speed_ratio(runtime_table)
+    if ratios:
+        fastest = max(ratios.values())
+        print(f"\nISEGEN is up to {fastest:.0f}x faster than the Genetic baseline.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

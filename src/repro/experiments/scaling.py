@@ -1,0 +1,68 @@
+"""Runtime scaling study (supporting analysis for Figure 4, right panel).
+
+The paper's runtime panel spans five orders of magnitude because the
+exhaustive baselines blow up exponentially while ISEGEN stays polynomial.
+This harness measures how the per-block ISE-generation time of each
+algorithm grows with basic-block size on the parametric regular workload,
+which is the data backing the complexity claims in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..baselines import run_genetic, run_greedy, run_isegen, run_iterative
+from ..hwmodel import ISEConstraints
+from ..workloads import regular_program
+from .runner import ExperimentTable, timed_run
+
+#: Cluster counts used by default (block sizes are 5x the cluster count).
+DEFAULT_CLUSTER_COUNTS = (2, 4, 8, 16, 32)
+
+_RUNNERS = {
+    "Iterative": run_iterative,
+    "Genetic": run_genetic,
+    "ISEGEN": run_isegen,
+    "Greedy": run_greedy,
+}
+
+
+def run_scaling(
+    *,
+    cluster_counts: Sequence[int] = DEFAULT_CLUSTER_COUNTS,
+    algorithms: Sequence[str] = ("Iterative", "Genetic", "ISEGEN", "Greedy"),
+    constraints: ISEConstraints | None = None,
+    cross_link: bool = True,
+) -> ExperimentTable:
+    """Measure generation runtime versus block size for each algorithm."""
+    constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=2)
+    table = ExperimentTable(
+        name="runtime_scaling",
+        description=(
+            "ISE-generation runtime versus basic-block size on the regular "
+            "synthetic kernel (supports the Figure 4 runtime panel)"
+        ),
+    )
+    for clusters in cluster_counts:
+        program = regular_program(
+            clusters, cross_link=cross_link, name=f"regular{clusters}"
+        )
+        block_size = program.critical_block_size()
+        for algorithm in algorithms:
+            result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
+            table.add_row(
+                block_size=block_size,
+                algorithm=algorithm,
+                runtime_us=round(elapsed * 1e6, 1),
+                speedup=None if result is None else round(result.speedup, 4),
+                feasible=result is not None,
+            )
+    return table
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    print(run_scaling().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

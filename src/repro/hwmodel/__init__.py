@@ -1,0 +1,26 @@
+"""Hardware model: constraints, latency/area models and AFU descriptors."""
+
+from .constraints import (
+    DEFAULT_IO,
+    DEFAULT_NUM_ISES,
+    PAPER_IO_SWEEP,
+    ISEConstraints,
+)
+from .latency_model import LatencyModel
+from .afu import AFUDescriptor, AFUPort, describe_afu
+from .area import AreaModel
+from .energy import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "ISEConstraints",
+    "PAPER_IO_SWEEP",
+    "DEFAULT_IO",
+    "DEFAULT_NUM_ISES",
+    "LatencyModel",
+    "AFUDescriptor",
+    "AFUPort",
+    "describe_afu",
+    "AreaModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,91 @@
+"""Ad-hoc Functional Unit (AFU) descriptors.
+
+The paper calls the unit that executes an ISE an *Ad-hoc Functional Unit*.
+An :class:`AFUDescriptor` captures everything a downstream consumer (RTL
+emitter, report generator, cost model) needs to know about one generated
+custom instruction: its datapath (the cut), its register-file ports and its
+latency characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dfg import Cut
+from .latency_model import LatencyModel
+
+
+@dataclass
+class AFUPort:
+    """A single register-file port of an AFU."""
+
+    name: str
+    direction: str  # "in" or "out"
+    value: str      # the DFG value carried by this port
+
+
+@dataclass
+class AFUDescriptor:
+    """A generated custom instruction and its hardware datapath."""
+
+    name: str
+    cut: Cut
+    ports: list[AFUPort] = field(default_factory=list)
+    software_latency: int = 0
+    hardware_latency: int = 0
+    instances: int = 1
+
+    @property
+    def merit(self) -> int:
+        """Cycles saved per execution of the custom instruction."""
+        return self.software_latency - self.hardware_latency
+
+    @property
+    def num_inputs(self) -> int:
+        return sum(1 for port in self.ports if port.direction == "in")
+
+    @property
+    def num_outputs(self) -> int:
+        return sum(1 for port in self.ports if port.direction == "out")
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {len(self.cut)} ops, "
+            f"{self.num_inputs} in / {self.num_outputs} out, "
+            f"sw {self.software_latency} cyc -> hw {self.hardware_latency} cyc "
+            f"(merit {self.merit}), {self.instances} instance(s)"
+        )
+
+
+def describe_afu(
+    name: str,
+    cut: Cut,
+    latency_model: LatencyModel | None = None,
+    instances: int = 1,
+) -> AFUDescriptor:
+    """Build an :class:`AFUDescriptor` for *cut*.
+
+    Port names follow the convention ``rs0..rsN`` for reads and ``rd0..rdM``
+    for writes, mirroring a RISC register file.
+    """
+    model = latency_model or LatencyModel()
+    dfg = cut.dfg
+    ports: list[AFUPort] = []
+    for position, value in enumerate(sorted(cut.input_values())):
+        ports.append(AFUPort(name=f"rs{position}", direction="in", value=value))
+    for position, node_index in enumerate(sorted(cut.output_nodes())):
+        ports.append(
+            AFUPort(
+                name=f"rd{position}",
+                direction="out",
+                value=dfg.node_by_index(node_index).name,
+            )
+        )
+    return AFUDescriptor(
+        name=name,
+        cut=cut,
+        ports=ports,
+        software_latency=model.software_latency(dfg, cut.members),
+        hardware_latency=model.hardware_latency(dfg, cut.members),
+        instances=instances,
+    )

@@ -1,0 +1,75 @@
+"""A simple area model for AFUs.
+
+The paper's future work mentions evaluating the impact of ISEs on code size
+and energy; it does not evaluate area.  This module provides a lightweight
+relative-area estimate (normalized to a 32-bit adder = 1.0) so the library
+can report datapath cost alongside speedup — it is used by the reports and
+by one ablation benchmark, never by the selection algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph
+from ..isa import OpCategory, Opcode, category_of
+
+#: Relative area per operator category (32-bit adder = 1.0).
+DEFAULT_AREA: dict[OpCategory, float] = {
+    OpCategory.ARITH: 1.0,
+    OpCategory.MULTIPLY: 8.0,
+    OpCategory.DIVIDE: 20.0,
+    OpCategory.LOGIC: 0.2,
+    OpCategory.SHIFT: 0.8,
+    OpCategory.COMPARE: 0.7,
+    OpCategory.MEMORY: 0.0,
+    OpCategory.CONTROL: 0.0,
+    OpCategory.MOVE: 0.05,
+    OpCategory.TABLE: 4.0,
+}
+
+#: Per-opcode overrides.
+AREA_OVERRIDES: dict[Opcode, float] = {
+    Opcode.MAC: 9.0,
+    Opcode.SELECT: 0.5,
+    Opcode.CONST: 0.0,
+    Opcode.MOV: 0.0,
+    Opcode.SEXT: 0.0,
+    Opcode.ZEXT: 0.0,
+    Opcode.TRUNC: 0.0,
+}
+
+
+@dataclass
+class AreaModel:
+    """Sums per-operator relative areas over a cut."""
+
+    category_area: Mapping[OpCategory, float] = field(
+        default_factory=lambda: dict(DEFAULT_AREA)
+    )
+    opcode_overrides: Mapping[Opcode, float] = field(
+        default_factory=lambda: dict(AREA_OVERRIDES)
+    )
+    #: Fixed per-AFU overhead (decode, operand latches, result mux).
+    per_afu_overhead: float = 2.0
+
+    def node_area(self, dfg: DataFlowGraph, index: int) -> float:
+        opcode = dfg.node_by_index(index).opcode
+        if opcode in self.opcode_overrides:
+            return float(self.opcode_overrides[opcode])
+        return float(self.category_area[category_of(opcode)])
+
+    def cut_area(self, dfg: DataFlowGraph, members: Collection[int]) -> float:
+        """Datapath area of one AFU implementing *members*."""
+        if not members:
+            return 0.0
+        return self.per_afu_overhead + sum(
+            self.node_area(dfg, index) for index in members
+        )
+
+    def total_area(
+        self, dfg: DataFlowGraph, cuts: Collection[Collection[int]]
+    ) -> float:
+        """Total area of a set of AFUs (one datapath per *template*)."""
+        return sum(self.cut_area(dfg, members) for members in cuts)

@@ -1,0 +1,87 @@
+"""Architectural constraints on instruction-set extensions.
+
+The paper keeps its I/O constraints as a pair ``(max_inputs, max_outputs)``
+— e.g. ``(4, 2)`` in Figure 4 and the sweep ``(2,1) … (8,4)`` in Figures 6
+and 7 — plus a global limit ``N_ISE`` on the number of AFUs added to the
+core.  :class:`ISEConstraints` bundles them together with the "no memory
+access from AFUs" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConstraintError
+
+#: The I/O sweep used in the paper's AES experiments (Figures 6 and 7).
+PAPER_IO_SWEEP: tuple[tuple[int, int], ...] = (
+    (2, 1),
+    (3, 1),
+    (4, 1),
+    (4, 2),
+    (6, 3),
+    (8, 4),
+)
+
+#: The default configuration of Figure 4.
+DEFAULT_IO: tuple[int, int] = (4, 2)
+DEFAULT_NUM_ISES: int = 4
+
+
+@dataclass(frozen=True)
+class ISEConstraints:
+    """Constraints that a legal cut / set of ISEs must satisfy.
+
+    Attributes
+    ----------
+    max_inputs:
+        Maximum number of register-file read ports available to an ISE.
+    max_outputs:
+        Maximum number of register-file write ports available to an ISE.
+    max_ises:
+        Maximum number of ISEs (AFUs) that may be added (``N_ISE``).
+    allow_memory:
+        Whether memory operations may be included (the paper never allows
+        this; it is exposed for ablation experiments only).
+    min_cut_size:
+        Smallest cut that is worth turning into an ISE (cuts below this size
+        are discarded by the drivers; 2 by default because a single-node ISE
+        cannot beat the native instruction).
+    """
+
+    max_inputs: int = DEFAULT_IO[0]
+    max_outputs: int = DEFAULT_IO[1]
+    max_ises: int = DEFAULT_NUM_ISES
+    allow_memory: bool = False
+    min_cut_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_inputs < 1:
+            raise ConstraintError("max_inputs must be at least 1")
+        if self.max_outputs < 1:
+            raise ConstraintError("max_outputs must be at least 1")
+        if self.max_ises < 1:
+            raise ConstraintError("max_ises must be at least 1")
+        if self.min_cut_size < 1:
+            raise ConstraintError("min_cut_size must be at least 1")
+
+    @property
+    def io(self) -> tuple[int, int]:
+        """The ``(max_inputs, max_outputs)`` pair, as written in the paper."""
+        return (self.max_inputs, self.max_outputs)
+
+    def with_io(self, max_inputs: int, max_outputs: int) -> "ISEConstraints":
+        """Return a copy with different I/O limits (used by the sweeps)."""
+        return replace(self, max_inputs=max_inputs, max_outputs=max_outputs)
+
+    def with_max_ises(self, max_ises: int) -> "ISEConstraints":
+        return replace(self, max_ises=max_ises)
+
+    def label(self) -> str:
+        """Human-readable label such as ``"(4,2) x4"``."""
+        return f"({self.max_inputs},{self.max_outputs}) x{self.max_ises}"
+
+    @classmethod
+    def paper_default(cls) -> "ISEConstraints":
+        """The Figure-4 configuration: I/O (4,2), four AFUs."""
+        return cls(max_inputs=4, max_outputs=2, max_ises=4)

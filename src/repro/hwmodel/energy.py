@@ -1,0 +1,180 @@
+"""A relative energy model for ISE-accelerated execution.
+
+The paper's future work announces an evaluation of "the impact of ISEs on
+code size and energy reduction".  This module provides the energy half of
+that follow-up in the same spirit as the latency model: per-operator relative
+energies (normalized so that one base-ISA ALU instruction executed on the
+core costs 1.0) plus simple per-instruction overheads for fetch/decode and
+register-file access.
+
+The central effect the model captures is the classic ASIP argument: when a
+cluster of operations executes as a single custom instruction, the per-
+instruction fetch/decode/register-file overhead is paid **once** instead of
+once per operation, and the datapath operations themselves run marginally
+cheaper in dedicated logic.  Energy numbers are relative and intended for
+comparing configurations of *this* library (baseline vs ISE-accelerated),
+not for absolute silicon estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph
+from ..isa import OpCategory, Opcode, category_of
+
+#: Relative datapath energy per operator category (base-ISA ALU op = 1.0,
+#: overheads excluded).
+DEFAULT_OPERATION_ENERGY: dict[OpCategory, float] = {
+    OpCategory.ARITH: 1.0,
+    OpCategory.MULTIPLY: 3.0,
+    OpCategory.DIVIDE: 12.0,
+    OpCategory.LOGIC: 0.6,
+    OpCategory.SHIFT: 0.8,
+    OpCategory.COMPARE: 0.8,
+    OpCategory.MEMORY: 4.0,
+    OpCategory.CONTROL: 1.0,
+    OpCategory.MOVE: 0.4,
+    OpCategory.TABLE: 3.0,
+}
+
+#: Per-opcode overrides.
+OPERATION_ENERGY_OVERRIDES: dict[Opcode, float] = {
+    Opcode.MAC: 3.5,
+    Opcode.CONST: 0.0,
+    Opcode.MOV: 0.2,
+    Opcode.SEXT: 0.2,
+    Opcode.ZEXT: 0.2,
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of executing one basic block once (relative units)."""
+
+    datapath: float
+    fetch_decode: float
+    register_file: float
+
+    @property
+    def total(self) -> float:
+        return self.datapath + self.fetch_decode + self.register_file
+
+
+@dataclass
+class EnergyModel:
+    """Relative energy estimates for software and ISE execution.
+
+    Attributes
+    ----------
+    operation_energy / opcode_overrides:
+        Datapath energy per executed operation.
+    fetch_decode_energy:
+        Overhead per *instruction issued by the core* (fetch, decode, issue).
+    register_file_access_energy:
+        Energy per register-file port access (reads and writes alike).
+    afu_datapath_factor:
+        Datapath operations inside an AFU cost this fraction of their
+        software energy (dedicated logic avoids the ALU's generality
+        overhead); 0.8 by default — a deliberately conservative figure.
+    """
+
+    operation_energy: Mapping[OpCategory, float] = field(
+        default_factory=lambda: dict(DEFAULT_OPERATION_ENERGY)
+    )
+    opcode_overrides: Mapping[Opcode, float] = field(
+        default_factory=lambda: dict(OPERATION_ENERGY_OVERRIDES)
+    )
+    fetch_decode_energy: float = 1.0
+    register_file_access_energy: float = 0.25
+    afu_datapath_factor: float = 0.8
+
+    # ------------------------------------------------------------------
+    # Per-node energies
+    # ------------------------------------------------------------------
+    def node_operation_energy(self, dfg: DataFlowGraph, index: int) -> float:
+        """Datapath energy of one node executed on the core."""
+        opcode = dfg.node_by_index(index).opcode
+        if opcode in self.opcode_overrides:
+            return float(self.opcode_overrides[opcode])
+        return float(self.operation_energy[category_of(opcode)])
+
+    def _node_register_accesses(self, dfg: DataFlowGraph, index: int) -> int:
+        node = dfg.node_by_index(index)
+        reads = len(node.operands)
+        writes = 0 if node.opcode is Opcode.CONST else 1
+        return reads + writes
+
+    # ------------------------------------------------------------------
+    # Block-level energies
+    # ------------------------------------------------------------------
+    def software_energy(
+        self, dfg: DataFlowGraph, members: Iterable[int] | None = None
+    ) -> EnergyBreakdown:
+        """Energy of executing *members* (default: the whole block) on the
+        core, one instruction per node."""
+        if members is None:
+            members = range(dfg.num_nodes)
+        members = list(members)
+        datapath = sum(self.node_operation_energy(dfg, i) for i in members)
+        issued = [
+            i for i in members if dfg.node_by_index(i).opcode is not Opcode.CONST
+        ]
+        fetch = self.fetch_decode_energy * len(issued)
+        register = self.register_file_access_energy * sum(
+            self._node_register_accesses(dfg, i) for i in issued
+        )
+        return EnergyBreakdown(datapath, fetch, register)
+
+    def ise_energy(self, dfg: DataFlowGraph, members: Collection[int]) -> EnergyBreakdown:
+        """Energy of executing the cut *members* as one custom instruction."""
+        members = list(members)
+        datapath = self.afu_datapath_factor * sum(
+            self.node_operation_energy(dfg, i) for i in members
+        )
+        # One fetch/decode for the single custom instruction.
+        fetch = self.fetch_decode_energy if members else 0.0
+        from ..dfg import count_io
+
+        num_in, num_out = count_io(dfg, members)
+        register = self.register_file_access_energy * (num_in + num_out)
+        return EnergyBreakdown(datapath, fetch, register)
+
+    def block_energy_with_cuts(
+        self,
+        dfg: DataFlowGraph,
+        cuts: Collection[Collection[int]],
+    ) -> EnergyBreakdown:
+        """Energy of one block execution with the given non-overlapping cuts
+        implemented as ISEs and everything else running on the core."""
+        covered: set[int] = set()
+        datapath = fetch = register = 0.0
+        for members in cuts:
+            member_set = set(members)
+            if member_set & covered:
+                raise ValueError("cuts passed to block_energy_with_cuts overlap")
+            covered.update(member_set)
+            part = self.ise_energy(dfg, member_set)
+            datapath += part.datapath
+            fetch += part.fetch_decode
+            register += part.register_file
+        rest = [i for i in range(dfg.num_nodes) if i not in covered]
+        software = self.software_energy(dfg, rest)
+        return EnergyBreakdown(
+            datapath + software.datapath,
+            fetch + software.fetch_decode,
+            register + software.register_file,
+        )
+
+    def energy_reduction(
+        self,
+        dfg: DataFlowGraph,
+        cuts: Collection[Collection[int]],
+    ) -> float:
+        """Fractional block-energy reduction obtained by the given cuts."""
+        baseline = self.software_energy(dfg).total
+        if baseline <= 0:
+            return 0.0
+        accelerated = self.block_energy_with_cuts(dfg, cuts).total
+        return (baseline - accelerated) / baseline

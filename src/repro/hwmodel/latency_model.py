@@ -1,0 +1,88 @@
+"""Latency models used by the merit function.
+
+The paper defines the merit of a cut as software latency minus hardware
+latency, where
+
+* software latency is the sum of the nodes' core-cycle latencies, and
+* hardware latency is the critical-path delay through the cut, with operator
+  delays normalized to a 32-bit MAC and then converted back to core cycles.
+
+:class:`LatencyModel` makes these two estimates pluggable so experiments can
+swap in different operator libraries.  By default the per-node values already
+stored on the DFG (taken from :mod:`repro.isa.latency`) are used.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph, critical_path_delay
+from ..isa import Opcode
+
+
+@dataclass
+class LatencyModel:
+    """Converts cuts to software-cycle and hardware-cycle latencies.
+
+    Attributes
+    ----------
+    cycles_per_mac:
+        How many core clock cycles one MAC-delay unit of combinational
+        hardware corresponds to.  1.0 means the AFU is clocked such that a
+        MAC fits in a cycle (the paper's normalization).
+    software_overrides / hardware_overrides:
+        Optional per-opcode overrides applied on top of the per-node values
+        stored in the DFG.
+    min_hardware_cycles:
+        Every non-empty ISE needs at least this many cycles to execute
+        (issue + writeback); 1 by default.
+    """
+
+    cycles_per_mac: float = 1.0
+    software_overrides: Mapping[Opcode, int] = field(default_factory=dict)
+    hardware_overrides: Mapping[Opcode, float] = field(default_factory=dict)
+    min_hardware_cycles: int = 1
+
+    # ------------------------------------------------------------------
+    # Per-node latencies
+    # ------------------------------------------------------------------
+    def node_software_cycles(self, dfg: DataFlowGraph, index: int) -> int:
+        node = dfg.node_by_index(index)
+        if node.opcode in self.software_overrides:
+            return int(self.software_overrides[node.opcode])
+        return node.sw_latency
+
+    def node_hardware_delay(self, dfg: DataFlowGraph, index: int) -> float:
+        node = dfg.node_by_index(index)
+        if node.opcode in self.hardware_overrides:
+            return float(self.hardware_overrides[node.opcode])
+        return node.hw_delay
+
+    # ------------------------------------------------------------------
+    # Cut latencies
+    # ------------------------------------------------------------------
+    def software_latency(self, dfg: DataFlowGraph, members: Collection[int]) -> int:
+        """Cycles the cut's instructions take when executed on the core."""
+        return sum(self.node_software_cycles(dfg, i) for i in members)
+
+    def hardware_delay(self, dfg: DataFlowGraph, members: Collection[int]) -> float:
+        """Critical-path delay of the cut in MAC-normalized units."""
+        if not members:
+            return 0.0
+        return critical_path_delay(
+            dfg, members, delay=lambda i: self.node_hardware_delay(dfg, i)
+        )
+
+    def hardware_latency(self, dfg: DataFlowGraph, members: Collection[int]) -> int:
+        """Cycles the cut takes when executed as a single ISE on the AFU."""
+        if not members:
+            return 0
+        delay = self.hardware_delay(dfg, members)
+        cycles = math.ceil(delay * self.cycles_per_mac - 1e-9)
+        return max(self.min_hardware_cycles, cycles)
+
+    def whole_graph_software_latency(self, dfg: DataFlowGraph) -> int:
+        """Software latency of the complete basic block."""
+        return self.software_latency(dfg, range(dfg.num_nodes))

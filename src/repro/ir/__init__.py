@@ -1,0 +1,70 @@
+"""A small three-address intermediate representation.
+
+This package is the library's substitute for the MachSUIF compiler
+infrastructure the paper integrates with: it provides an SSA-flavoured IR
+with a textual format, a verifier, a CFG, an interpreter, a profiler that
+yields basic-block execution frequencies, and the conversion of basic blocks
+into the data-flow graphs the ISE-generation algorithms consume.
+"""
+
+from .values import Immediate, Operand, ValueRef, as_operand
+from .instruction import Instruction, TERMINATORS, make
+from .basic_block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder, build_module
+from .parser import load_module, parse_function, parse_module
+from .printer import format_block, format_function, format_instruction, format_module
+from .verifier import verify_function, verify_module
+from .cfg import ControlFlowGraph
+from .interpreter import ExecutionTrace, Interpreter, Memory, run_function
+from .to_dfg import block_to_dfg, function_to_dfgs
+from .profile import profile_function, profile_module, static_program
+from .transforms import (
+    TransformStats,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    optimize_module,
+    propagate_copies,
+)
+
+__all__ = [
+    "Immediate",
+    "Operand",
+    "ValueRef",
+    "as_operand",
+    "Instruction",
+    "TERMINATORS",
+    "make",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "build_module",
+    "parse_module",
+    "parse_function",
+    "load_module",
+    "format_module",
+    "format_function",
+    "format_block",
+    "format_instruction",
+    "verify_function",
+    "verify_module",
+    "ControlFlowGraph",
+    "Interpreter",
+    "Memory",
+    "ExecutionTrace",
+    "run_function",
+    "block_to_dfg",
+    "function_to_dfgs",
+    "profile_function",
+    "profile_module",
+    "static_program",
+    "TransformStats",
+    "fold_constants",
+    "propagate_copies",
+    "eliminate_dead_code",
+    "optimize_function",
+    "optimize_module",
+]

@@ -1,0 +1,107 @@
+"""Basic blocks of the IR.
+
+A basic block is a labelled, straight-line sequence of instructions that ends
+in exactly one terminator (``br``, ``cbr`` or ``ret``).  ``phi`` instructions
+must appear before any non-phi instruction, mirroring the usual SSA layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import IRError
+from ..isa import Opcode
+from .instruction import Instruction
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with a single terminator."""
+
+    def __init__(self, label: str, instructions: Iterable[Instruction] = ()):
+        if not label:
+            raise IRError("basic block labels must be non-empty")
+        self.label = label
+        self._instructions: list[Instruction] = []
+        for instruction in instructions:
+            self.append(instruction)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append *instruction*, enforcing terminator / phi placement rules."""
+        if self._instructions and self._instructions[-1].is_terminator:
+            raise IRError(
+                f"block {self.label!r} already ends in "
+                f"{self._instructions[-1].opcode.value}; cannot append more "
+                "instructions"
+            )
+        if instruction.is_phi and any(
+            not existing.is_phi for existing in self._instructions
+        ):
+            raise IRError(
+                f"block {self.label!r}: phi instructions must precede all "
+                "non-phi instructions"
+            )
+        self._instructions.append(instruction)
+        return instruction
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The block's terminator, or ``None`` while under construction."""
+        if self._instructions and self._instructions[-1].is_terminator:
+            return self._instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def phis(self) -> tuple[Instruction, ...]:
+        return tuple(inst for inst in self._instructions if inst.is_phi)
+
+    @property
+    def body(self) -> tuple[Instruction, ...]:
+        """Instructions that are neither phis nor the terminator."""
+        return tuple(
+            inst
+            for inst in self._instructions
+            if not inst.is_phi and not inst.is_terminator
+        )
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of the blocks control may flow to from this block."""
+        terminator = self.terminator
+        if terminator is None or terminator.opcode is Opcode.RET:
+            return ()
+        return terminator.targets
+
+    def defined_names(self) -> tuple[str, ...]:
+        """Names of the values defined in this block, in program order."""
+        return tuple(
+            inst.result for inst in self._instructions if inst.result is not None
+        )
+
+    def used_names(self) -> set[str]:
+        """Names of all values consumed by instructions of this block."""
+        used: set[str] = set()
+        for inst in self._instructions:
+            used.update(inst.used_names())
+        return used
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BasicBlock(label={self.label!r}, instructions={len(self)})"

@@ -1,0 +1,155 @@
+"""A fluent builder for constructing IR functions programmatically.
+
+The textual parser is convenient for examples shipped as ``.ir`` files, but
+generated kernels (the workload suite) and tests are easier to write with a
+builder that tracks the current insertion point and invents fresh value names
+on demand.
+
+Example
+-------
+>>> from repro.ir import IRBuilder
+>>> b = IRBuilder("mac_kernel", params=["a", "b", "acc_in"])
+>>> prod = b.emit("mul", "a", "b")
+>>> acc = b.emit("add", prod, "acc_in", result="acc_out")
+>>> b.ret(acc)
+>>> func = b.function
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import IRError
+from ..isa import Opcode, opcode_info, parse_opcode
+from .basic_block import BasicBlock
+from .function import Function
+from .instruction import Instruction, make
+from .module import Module
+from .values import Immediate, Operand, ValueRef, as_operand
+
+
+class IRBuilder:
+    """Builds one :class:`~repro.ir.Function` block by block."""
+
+    def __init__(self, name: str, params: Sequence[str] = (), entry_label: str = "entry"):
+        self.function = Function(name, params)
+        self._current = self.function.new_block(entry_label)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    @property
+    def current_block(self) -> BasicBlock:
+        return self._current
+
+    def block(self, label: str) -> BasicBlock:
+        """Create a new block and make it the insertion point."""
+        new_block = self.function.new_block(label)
+        self._current = new_block
+        return new_block
+
+    def switch_to(self, label: str) -> BasicBlock:
+        """Move the insertion point to an existing block."""
+        self._current = self.function.block(label)
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def fresh_name(self, stem: str = "t") -> str:
+        """Invent a value name that is unique within this builder."""
+        self._counter += 1
+        return f"{stem}{self._counter}"
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        opcode: Opcode | str,
+        *operands: "Operand | str | int",
+        result: str | None = None,
+        attrs: Mapping | None = None,
+    ) -> str:
+        """Emit a value-producing instruction and return its result name."""
+        if isinstance(opcode, str):
+            opcode = parse_opcode(opcode)
+        info = opcode_info(opcode)
+        if info.results == 0:
+            raise IRError(
+                f"emit() is for value-producing instructions; use "
+                f"store()/branch()/ret() for {opcode.value}"
+            )
+        if result is None:
+            result = self.fresh_name(opcode.value[0])
+        instruction = make(opcode, *operands, result=result, attrs=attrs)
+        self._current.append(instruction)
+        return result
+
+    def const(self, value: int, result: str | None = None) -> str:
+        """Emit a ``const`` instruction materializing *value*."""
+        if result is None:
+            result = self.fresh_name("c")
+        self._current.append(make(Opcode.CONST, Immediate(value), result=result))
+        return result
+
+    def load(self, address: "Operand | str", result: str | None = None) -> str:
+        return self.emit(Opcode.LOAD, address, result=result)
+
+    def store(self, value: "Operand | str | int", address: "Operand | str") -> None:
+        self._current.append(make(Opcode.STORE, value, address))
+
+    def phi(
+        self,
+        incoming: Mapping[str, "Operand | str | int"],
+        result: str | None = None,
+    ) -> str:
+        """Emit a phi joining the values of *incoming* (block label -> value)."""
+        if result is None:
+            result = self.fresh_name("phi")
+        labels = tuple(incoming.keys())
+        operands = tuple(as_operand(value) for value in incoming.values())
+        self._current.append(
+            Instruction(
+                opcode=Opcode.PHI,
+                operands=operands,
+                result=result,
+                incoming=labels,
+            )
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Terminators
+    # ------------------------------------------------------------------
+    def branch(self, target: str) -> None:
+        self._current.append(make(Opcode.BR, targets=[target]))
+
+    def cond_branch(
+        self, condition: "Operand | str", if_true: str, if_false: str
+    ) -> None:
+        self._current.append(make(Opcode.CBR, condition, targets=[if_true, if_false]))
+
+    def ret(self, value: "Operand | str | int | None" = None) -> None:
+        if value is None:
+            value = Immediate(0)
+        self._current.append(make(Opcode.RET, value))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Function:
+        """Return the finished function (verifying every block terminates)."""
+        for block in self.function:
+            if not block.is_terminated:
+                raise IRError(
+                    f"block {block.label!r} of function {self.function.name!r} "
+                    "has no terminator"
+                )
+        return self.function
+
+
+def build_module(name: str, *builders: IRBuilder) -> Module:
+    """Collect the functions of several builders into one module."""
+    return Module(name, [builder.build() for builder in builders])

@@ -1,0 +1,111 @@
+"""IR functions: parameters plus an ordered list of basic blocks."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import IRError
+from .basic_block import BasicBlock
+from .instruction import Instruction
+
+
+class Function:
+    """A named function with parameters and basic blocks.
+
+    The first block added is the entry block.  Value names (parameters and
+    instruction results) share one per-function namespace.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        blocks: Iterable[BasicBlock] = (),
+    ):
+        if not name:
+            raise IRError("function names must be non-empty")
+        self.name = name
+        self.params: tuple[str, ...] = tuple(
+            p[1:] if p.startswith("%") else p for p in params
+        )
+        if len(set(self.params)) != len(self.params):
+            raise IRError(f"function {name!r} has duplicate parameter names")
+        self._blocks: list[BasicBlock] = []
+        self._by_label: dict[str, BasicBlock] = {}
+        for block in blocks:
+            self.add_block(block)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self._by_label:
+            raise IRError(
+                f"function {self.name!r} already has a block labelled "
+                f"{block.label!r}"
+            )
+        self._blocks.append(block)
+        self._by_label[block.label] = block
+        return block
+
+    def new_block(self, label: str) -> BasicBlock:
+        """Create, register and return an empty block labelled *label*."""
+        return self.add_block(BasicBlock(label))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> tuple[BasicBlock, ...]:
+        return tuple(self._blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self._blocks:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self._blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self._by_label[label]
+        except KeyError as exc:
+            raise IRError(
+                f"function {self.name!r} has no block labelled {label!r}"
+            ) from exc
+
+    def has_block(self, label: str) -> bool:
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def instructions(self) -> Iterator[tuple[BasicBlock, Instruction]]:
+        """Iterate over every instruction together with its enclosing block."""
+        for block in self._blocks:
+            for instruction in block:
+                yield block, instruction
+
+    def defined_names(self) -> set[str]:
+        """All value names defined in the function (parameters included)."""
+        names = set(self.params)
+        for _block, instruction in self.instructions():
+            if instruction.result is not None:
+                names.add(instruction.result)
+        return names
+
+    def defining_block(self, name: str) -> str | None:
+        """Label of the block defining value *name* (``None`` for parameters
+        and undefined names)."""
+        for block, instruction in self.instructions():
+            if instruction.result == name:
+                return block.label
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Function(name={self.name!r}, params={list(self.params)}, "
+            f"blocks={len(self._blocks)})"
+        )

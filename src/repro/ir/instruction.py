@@ -1,0 +1,175 @@
+"""IR instructions.
+
+An :class:`Instruction` is a single three-address operation: an opcode from
+:mod:`repro.isa`, a tuple of operands and, when the opcode produces a value,
+the name of the result register.  Control-flow instructions additionally carry
+their branch targets, and ``phi`` instructions carry the predecessor labels of
+their incoming values.
+
+The IR reuses the opcode set of the ISA model so that turning a basic block
+into a :class:`~repro.dfg.DataFlowGraph` never needs an opcode translation
+table — the DFG node inherits the instruction's opcode directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import IRError
+from ..isa import Opcode, arity_of, opcode_info
+from .values import Immediate, Operand, ValueRef, as_operand
+
+#: Opcodes that terminate a basic block.
+TERMINATORS: frozenset[Opcode] = frozenset({Opcode.BR, Opcode.CBR, Opcode.RET})
+
+
+@dataclass
+class Instruction:
+    """One three-address instruction.
+
+    Attributes
+    ----------
+    opcode:
+        The operation performed.
+    operands:
+        Consumed operands (value references or immediates).
+    result:
+        Name of the produced virtual register, or ``None`` for result-less
+        operations (stores, branches, returns).
+    targets:
+        Branch-target block labels (``br`` has one, ``cbr`` has two —
+        taken first, fall-through second).
+    incoming:
+        For ``phi`` instructions, the predecessor block label of each operand
+        (parallel to ``operands``).
+    attrs:
+        Free-form metadata (source line, unrolled-iteration index, ...).
+    """
+
+    opcode: Opcode
+    operands: tuple[Operand, ...] = ()
+    result: str | None = None
+    targets: tuple[str, ...] = ()
+    incoming: tuple[str, ...] = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.operands = tuple(as_operand(op) for op in self.operands)
+        info = opcode_info(self.opcode)
+        if info.results == 0 and self.result is not None:
+            raise IRError(
+                f"{self.opcode.value} does not produce a value but a result "
+                f"name {self.result!r} was given"
+            )
+        if info.results > 0 and self.result is None and self.opcode is not Opcode.CALL:
+            raise IRError(f"{self.opcode.value} requires a result name")
+        if self.opcode is Opcode.BR and len(self.targets) != 1:
+            raise IRError("br requires exactly one target label")
+        if self.opcode is Opcode.CBR and len(self.targets) != 2:
+            raise IRError("cbr requires exactly two target labels (taken, fallthrough)")
+        if self.opcode not in (Opcode.BR, Opcode.CBR) and self.targets:
+            raise IRError(f"{self.opcode.value} cannot carry branch targets")
+        if self.opcode is Opcode.PHI:
+            if len(self.incoming) != len(self.operands):
+                raise IRError(
+                    "phi needs one incoming block label per operand "
+                    f"(got {len(self.incoming)} labels for {len(self.operands)} operands)"
+                )
+        elif self.incoming:
+            raise IRError(f"{self.opcode.value} cannot carry phi incoming labels")
+        expected = arity_of(self.opcode)
+        # phi and call have a flexible operand count in the IR.
+        if self.opcode not in (Opcode.PHI, Opcode.CALL, Opcode.CONST) and expected:
+            if len(self.operands) != expected:
+                raise IRError(
+                    f"{self.opcode.value} expects {expected} operands, "
+                    f"got {len(self.operands)}"
+                )
+        if self.opcode is Opcode.CONST:
+            if len(self.operands) != 1 or not isinstance(self.operands[0], Immediate):
+                raise IRError("const expects exactly one immediate operand")
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_phi(self) -> bool:
+        return self.opcode is Opcode.PHI
+
+    @property
+    def produces_value(self) -> bool:
+        return self.result is not None
+
+    def value_operands(self) -> tuple[ValueRef, ...]:
+        """The operands that are value references (immediates skipped)."""
+        return tuple(op for op in self.operands if isinstance(op, ValueRef))
+
+    def used_names(self) -> tuple[str, ...]:
+        """Names of the values consumed by this instruction."""
+        return tuple(op.name for op in self.value_operands())
+
+    def incoming_value(self, label: str) -> Operand:
+        """For a phi, the operand flowing in from predecessor block *label*."""
+        if not self.is_phi:
+            raise IRError("incoming_value is only meaningful for phi instructions")
+        try:
+            position = self.incoming.index(label)
+        except ValueError as exc:
+            raise IRError(
+                f"phi {self.result!r} has no incoming value from block {label!r}"
+            ) from exc
+        return self.operands[position]
+
+    # ------------------------------------------------------------------
+    # Pretty printing
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        ops = ", ".join(str(op) for op in self.operands)
+        if self.opcode is Opcode.BR:
+            return f"br {self.targets[0]}"
+        if self.opcode is Opcode.CBR:
+            return f"cbr {ops}, {self.targets[0]}, {self.targets[1]}"
+        if self.opcode is Opcode.PHI:
+            pairs = ", ".join(
+                f"[{label}: {op}]" for label, op in zip(self.incoming, self.operands)
+            )
+            return f"%{self.result} = phi {pairs}"
+        prefix = f"%{self.result} = " if self.result is not None else ""
+        return f"{prefix}{self.opcode.value} {ops}".rstrip()
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def make(
+    opcode: Opcode | str,
+    *operands: "Operand | str | int",
+    result: str | None = None,
+    targets: Sequence[str] = (),
+    incoming: Sequence[str] = (),
+    attrs: Mapping | None = None,
+) -> Instruction:
+    """Build an instruction from loosely typed arguments.
+
+    ``opcode`` may be an :class:`~repro.isa.Opcode` or its mnemonic; operands
+    may be strings (value names), integers (immediates) or operand objects.
+    """
+    if isinstance(opcode, str):
+        from ..isa import parse_opcode
+
+        opcode = parse_opcode(opcode)
+    if result is not None and result.startswith("%"):
+        result = result[1:]
+    return Instruction(
+        opcode=opcode,
+        operands=tuple(as_operand(op) for op in operands),
+        result=result,
+        targets=tuple(targets),
+        incoming=tuple(incoming),
+        attrs=dict(attrs or {}),
+    )

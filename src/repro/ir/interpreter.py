@@ -1,0 +1,240 @@
+"""A concrete interpreter for the IR.
+
+The interpreter serves two purposes:
+
+* it executes the small IR kernels shipped with the examples, which lets the
+  code-generation tests check that rewriting a block with a custom
+  instruction preserves semantics, and
+* it drives the profiler (:mod:`repro.ir.profile`): executing a function on a
+  representative input yields the per-basic-block execution counts the
+  whole-application speedup formula of Section 5 needs — the role MachSUIF's
+  profiling pass plays in the paper.
+
+Memory is modelled as a flat word-addressed array of 32-bit integers; ``load``
+and ``store`` treat their address operand as an index into that array.  A
+step budget guards against accidentally non-terminating kernels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import InterpreterError
+from ..isa import Opcode, evaluate, has_evaluator, to_unsigned
+from .function import Function
+from .instruction import Instruction
+from .module import Module
+from .values import Immediate, Operand, ValueRef
+
+
+class Memory:
+    """Flat word-addressed memory backing ``load``/``store``."""
+
+    def __init__(self, size: int = 65536, initial: Mapping[int, int] | None = None):
+        if size <= 0:
+            raise InterpreterError("memory size must be positive")
+        self.size = size
+        self._words: dict[int, int] = {}
+        for address, value in (initial or {}).items():
+            self.store(address, value)
+
+    def _check(self, address: int) -> int:
+        address = to_unsigned(address)
+        if address >= self.size:
+            raise InterpreterError(
+                f"memory access out of bounds: address {address} >= size {self.size}"
+            )
+        return address
+
+    def load(self, address: int) -> int:
+        return self._words.get(self._check(address), 0)
+
+    def store(self, address: int, value: int) -> None:
+        self._words[self._check(address)] = to_unsigned(value)
+
+    def write_array(self, base: int, values: Sequence[int]) -> None:
+        """Bulk-initialize ``values`` starting at word address *base*."""
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def read_array(self, base: int, count: int) -> list[int]:
+        return [self.load(base + offset) for offset in range(count)]
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of one interpreted function call."""
+
+    return_value: int
+    steps: int
+    #: Number of times each basic block was entered.
+    block_counts: dict[str, int] = field(default_factory=dict)
+    #: Number of times each instruction (block label, position) executed.
+    instruction_counts: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def frequency(self, label: str) -> int:
+        return self.block_counts.get(label, 0)
+
+
+class Interpreter:
+    """Executes IR functions over a :class:`Memory` instance."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Memory | None = None,
+        *,
+        max_steps: int = 2_000_000,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.max_steps = max_steps
+        #: Per-(function, block) execution counts accumulated across the whole
+        #: call tree of the last :meth:`run` (callees included).  The
+        #: :class:`ExecutionTrace` only counts the entry function's blocks.
+        self.global_block_counts: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, function_name: str, args: Sequence[int] = ()) -> ExecutionTrace:
+        """Execute *function_name* with integer arguments and return a trace."""
+        function = self.module.function(function_name)
+        self.global_block_counts = {}
+        return self._call(function, [to_unsigned(a) for a in args], depth=0)
+
+    # ------------------------------------------------------------------
+    # Execution machinery
+    # ------------------------------------------------------------------
+    def _operand_value(self, operand: Operand, env: dict[str, int]) -> int:
+        if isinstance(operand, Immediate):
+            return operand.value
+        try:
+            return env[operand.name]
+        except KeyError as exc:
+            raise InterpreterError(f"use of undefined value %{operand.name}") from exc
+
+    def _call(self, function: Function, args: list[int], depth: int) -> ExecutionTrace:
+        if depth > 64:
+            raise InterpreterError("call depth exceeded (recursive kernel?)")
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"function {function.name!r} expects {len(function.params)} "
+                f"arguments, got {len(args)}"
+            )
+        env: dict[str, int] = dict(zip(function.params, args))
+        trace = ExecutionTrace(return_value=0, steps=0)
+        label = function.entry.label
+        previous_label: str | None = None
+        steps = 0
+        while True:
+            block = function.block(label)
+            trace.block_counts[label] = trace.block_counts.get(label, 0) + 1
+            global_key = (function.name, label)
+            self.global_block_counts[global_key] = (
+                self.global_block_counts.get(global_key, 0) + 1
+            )
+            # Phis read their incoming values *in parallel* before the body.
+            phi_updates: dict[str, int] = {}
+            for phi in block.phis:
+                if previous_label is None:
+                    raise InterpreterError(
+                        f"phi %{phi.result} executed in entry block {label!r}"
+                    )
+                operand = phi.incoming_value(previous_label)
+                phi_updates[phi.result] = self._operand_value(operand, env)
+            env.update(phi_updates)
+
+            next_label: str | None = None
+            for position, instruction in enumerate(block):
+                if instruction.is_phi:
+                    continue
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpreterError(
+                        f"step budget of {self.max_steps} exceeded in "
+                        f"function {function.name!r}"
+                    )
+                key = (label, position)
+                trace.instruction_counts[key] = trace.instruction_counts.get(key, 0) + 1
+                outcome = self._execute(instruction, env, function, depth)
+                if outcome is not None:
+                    kind, payload = outcome
+                    if kind == "return":
+                        trace.return_value = payload
+                        trace.steps = steps
+                        return trace
+                    next_label = payload
+                    break
+            if next_label is None:
+                raise InterpreterError(
+                    f"block {label!r} of function {function.name!r} fell through "
+                    "without a terminator"
+                )
+            previous_label = label
+            label = next_label
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        env: dict[str, int],
+        function: Function,
+        depth: int,
+    ) -> tuple[str, int | str] | None:
+        """Execute one non-phi instruction.
+
+        Returns ``("return", value)`` or ``("branch", label)`` for control
+        flow, ``None`` otherwise.
+        """
+        opcode = instruction.opcode
+        values = [self._operand_value(op, env) for op in instruction.operands]
+        if opcode is Opcode.BR:
+            return "branch", instruction.targets[0]
+        if opcode is Opcode.CBR:
+            taken = values[0] != 0
+            return "branch", instruction.targets[0 if taken else 1]
+        if opcode is Opcode.RET:
+            return "return", values[0] if values else 0
+        if opcode is Opcode.CONST:
+            env[instruction.result] = values[0]
+            return None
+        if opcode is Opcode.LOAD:
+            env[instruction.result] = self.memory.load(values[0])
+            return None
+        if opcode is Opcode.LUT:
+            # Table lookups are modelled as loads from memory (the table must
+            # have been placed there by the caller).
+            env[instruction.result] = self.memory.load(values[0])
+            return None
+        if opcode is Opcode.STORE:
+            self.memory.store(values[1], values[0])
+            return None
+        if opcode is Opcode.CALL:
+            callee_name = instruction.attrs.get("callee")
+            if not callee_name:
+                raise InterpreterError(
+                    "call instructions need attrs['callee'] naming the target"
+                )
+            callee = self.module.function(callee_name)
+            sub_trace = self._call(callee, values, depth + 1)
+            if instruction.result is not None:
+                env[instruction.result] = sub_trace.return_value
+            return None
+        if has_evaluator(opcode):
+            env[instruction.result] = evaluate(opcode, values)
+            return None
+        raise InterpreterError(f"cannot execute opcode {opcode.value}")
+
+
+def run_function(
+    module: Module,
+    function_name: str,
+    args: Sequence[int] = (),
+    *,
+    memory: Memory | None = None,
+    max_steps: int = 2_000_000,
+) -> ExecutionTrace:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    interpreter = Interpreter(module, memory, max_steps=max_steps)
+    return interpreter.run(function_name, args)

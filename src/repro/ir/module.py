@@ -1,0 +1,52 @@
+"""IR modules: a named collection of functions (one compilation unit)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import IRError
+from .function import Function
+
+
+class Module:
+    """A compilation unit containing one or more functions."""
+
+    def __init__(self, name: str = "module", functions: Iterable[Function] = ()):
+        self.name = name
+        self._functions: list[Function] = []
+        self._by_name: dict[str, Function] = {}
+        for function in functions:
+            self.add_function(function)
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self._by_name:
+            raise IRError(
+                f"module {self.name!r} already defines function {function.name!r}"
+            )
+        self._functions.append(function)
+        self._by_name[function.name] = function
+        return function
+
+    @property
+    def functions(self) -> tuple[Function, ...]:
+        return tuple(self._functions)
+
+    def function(self, name: str) -> Function:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise IRError(
+                f"module {self.name!r} has no function named {name!r}"
+            ) from exc
+
+    def has_function(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Module(name={self.name!r}, functions={len(self._functions)})"

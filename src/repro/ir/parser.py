@@ -1,0 +1,182 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+Grammar (line oriented, ``#`` starts a comment)::
+
+    module     := function*
+    function   := "func" "@" NAME "(" params? ")" "{" block* "}"
+    params     := "%" NAME ("," "%" NAME)*
+    block      := LABEL ":" instruction*
+    instruction:=
+        "%" NAME "=" OPCODE operand ("," operand)*          # value producing
+      | "%" NAME "=" "phi" "[" LABEL ":" operand "]" (...)  # phi
+      | "store" operand "," operand
+      | "br" LABEL
+      | "cbr" operand "," LABEL "," LABEL
+      | "ret" operand?
+    operand    := "%" NAME | INTEGER
+
+The parser reports the 1-based line number of the first offending line in
+:class:`~repro.errors.IRParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import IRParseError
+from ..isa import Opcode, parse_opcode
+from .basic_block import BasicBlock
+from .function import Function
+from .instruction import Instruction
+from .module import Module
+from .values import Immediate, Operand, ValueRef
+
+_FUNC_RE = re.compile(r"^func\s+@([A-Za-z_][\w.]*)\s*\(([^)]*)\)\s*\{$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*:$")
+_ASSIGN_RE = re.compile(r"^%([A-Za-z_][\w.]*)\s*=\s*([a-z]+)\s*(.*)$")
+_PHI_ARM_RE = re.compile(r"\[\s*([A-Za-z_][\w.]*)\s*:\s*([^\]]+?)\s*\]")
+_VALUE_RE = re.compile(r"^%([A-Za-z_][\w.]*)$")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _parse_operand(text: str, line: int) -> Operand:
+    text = text.strip()
+    value_match = _VALUE_RE.match(text)
+    if value_match:
+        return ValueRef(value_match.group(1))
+    int_match = _INT_RE.match(text)
+    if int_match:
+        return Immediate(int(text, 0))
+    raise IRParseError(f"cannot parse operand {text!r}", line)
+
+
+def _split_operands(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_assignment(result: str, mnemonic: str, rest: str, line: int) -> Instruction:
+    try:
+        opcode = parse_opcode(mnemonic)
+    except ValueError as exc:
+        raise IRParseError(str(exc), line) from exc
+    if opcode is Opcode.PHI:
+        arms = _PHI_ARM_RE.findall(rest)
+        if not arms:
+            raise IRParseError("phi requires at least one [label: value] arm", line)
+        labels = tuple(label for label, _value in arms)
+        operands = tuple(_parse_operand(value, line) for _label, value in arms)
+        return Instruction(
+            opcode=opcode, operands=operands, result=result, incoming=labels
+        )
+    operands = tuple(_parse_operand(part, line) for part in _split_operands(rest))
+    try:
+        return Instruction(opcode=opcode, operands=operands, result=result)
+    except Exception as exc:  # re-raise with position information
+        raise IRParseError(str(exc), line) from exc
+
+
+def _parse_statement(text: str, line: int) -> Instruction:
+    assign = _ASSIGN_RE.match(text)
+    if assign:
+        return _parse_assignment(assign.group(1), assign.group(2), assign.group(3), line)
+    mnemonic, _, rest = text.partition(" ")
+    rest = rest.strip()
+    try:
+        if mnemonic == "br":
+            return Instruction(opcode=Opcode.BR, targets=(rest,))
+        if mnemonic == "cbr":
+            parts = _split_operands(rest)
+            if len(parts) != 3:
+                raise IRParseError("cbr expects: cbr %cond, taken, fallthrough", line)
+            condition = _parse_operand(parts[0], line)
+            return Instruction(
+                opcode=Opcode.CBR, operands=(condition,), targets=(parts[1], parts[2])
+            )
+        if mnemonic == "ret":
+            operands = (
+                (_parse_operand(rest, line),) if rest else (Immediate(0),)
+            )
+            return Instruction(opcode=Opcode.RET, operands=operands)
+        if mnemonic == "store":
+            parts = _split_operands(rest)
+            if len(parts) != 2:
+                raise IRParseError("store expects: store %value, %address", line)
+            return Instruction(
+                opcode=Opcode.STORE,
+                operands=tuple(_parse_operand(part, line) for part in parts),
+            )
+    except IRParseError:
+        raise
+    except Exception as exc:
+        raise IRParseError(str(exc), line) from exc
+    raise IRParseError(f"cannot parse statement {text!r}", line)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse a whole module from *text*."""
+    module = Module(name)
+    function: Function | None = None
+    block: BasicBlock | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            if function is not None:
+                raise IRParseError("nested function definitions are not allowed", line_number)
+            params = [
+                part.strip().lstrip("%")
+                for part in func_match.group(2).split(",")
+                if part.strip()
+            ]
+            function = Function(func_match.group(1), params)
+            block = None
+            continue
+        if line == "}":
+            if function is None:
+                raise IRParseError("unmatched '}'", line_number)
+            module.add_function(function)
+            function = None
+            block = None
+            continue
+        if function is None:
+            raise IRParseError(f"statement outside a function: {line!r}", line_number)
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            block = BasicBlock(label_match.group(1))
+            function.add_block(block)
+            continue
+        if block is None:
+            raise IRParseError(
+                "instructions must appear inside a labelled block", line_number
+            )
+        try:
+            block.append(_parse_statement(line, line_number))
+        except IRParseError:
+            raise
+        except Exception as exc:
+            raise IRParseError(str(exc), line_number) from exc
+    if function is not None:
+        raise IRParseError("missing closing '}' at end of input", None)
+    return module
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function (convenience wrapper over :func:`parse_module`)."""
+    module = parse_module(text)
+    if len(module) != 1:
+        raise IRParseError(
+            f"expected exactly one function, found {len(module)}", None
+        )
+    return module.functions[0]
+
+
+def load_module(path: "str | Path", name: str | None = None) -> Module:
+    """Parse a module from a file."""
+    path = Path(path)
+    return parse_module(path.read_text(), name or path.stem)

@@ -1,0 +1,47 @@
+"""Textual printer for the IR.
+
+The emitted format round-trips through :mod:`repro.ir.parser`.  Example::
+
+    func @saxpy(%a, %x, %y) {
+    entry:
+      %p = mul %a, %x
+      %s = add %p, %y
+      ret %s
+    }
+"""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instruction import Instruction
+from .module import Module
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction (without indentation)."""
+    return str(instruction)
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(indent + format_instruction(inst) for inst in block)
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(f"%{name}" for name in function.params)
+    lines = [f"func @{function.name}({params}) {{"]
+    for block in function:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [format_function(function) for function in module]
+    return "\n\n".join(parts) + "\n"
+
+
+def print_module(module: Module) -> None:  # pragma: no cover - convenience
+    print(format_module(module))

@@ -1,0 +1,149 @@
+"""Conversion of IR basic blocks into data-flow graphs.
+
+This is the bridge between the compiler-facing half of the library (IR,
+interpreter, profiler — the MachSUIF substitute) and the algorithmic half
+(DFGs, cuts, ISE generation).  The conversion follows the paper's conventions:
+
+* every value-producing data instruction of the block becomes a DFG node;
+* values defined outside the block (function parameters, other blocks'
+  results, phi results) become *external inputs* of the DFG;
+* ``phi`` instructions are **not** materialized as nodes — their result is
+  available in a register at block entry, so consumers simply see an external
+  input;
+* immediate operands are materialized as zero-latency ``const`` nodes so that
+  operand arities stay intact without consuming register-file ports;
+* memory operations (``load``/``store``/``lut``) become *forbidden* nodes:
+  they can never join a cut and act as barriers for cut growth;
+* terminators (``br``/``cbr``/``ret``) are not materialized, but any value
+  they consume — and any value consumed by another basic block — is marked
+  *live-out* so the I/O counting charges an output port for it.
+"""
+
+from __future__ import annotations
+
+from ..dfg import DataFlowGraph
+from ..errors import IRError
+from ..isa import Opcode
+from .basic_block import BasicBlock
+from .function import Function
+from .instruction import Instruction
+from .values import Immediate, ValueRef
+
+#: Opcodes that never become DFG nodes.
+_SKIPPED: frozenset[Opcode] = frozenset(
+    {Opcode.PHI, Opcode.BR, Opcode.CBR, Opcode.RET}
+)
+
+
+def _values_live_out_of(block: BasicBlock, function: Function) -> set[str]:
+    """Names defined in *block* that are consumed outside it (including by
+    the block's own terminator, whose operand must sit in a register)."""
+    defined = set(block.defined_names())
+    live: set[str] = set()
+    terminator = block.terminator
+    if terminator is not None:
+        live.update(set(terminator.used_names()) & defined)
+    for other in function:
+        if other.label == block.label:
+            continue
+        for name in other.used_names():
+            if name in defined:
+                live.add(name)
+    return live
+
+
+def _node_name_for(instruction: Instruction, position: int) -> str:
+    if instruction.result is not None:
+        return instruction.result
+    # Result-less data instructions (stores) still need a node identity.
+    return f"__{instruction.opcode.value}_{position}"
+
+
+def block_to_dfg(
+    function: Function,
+    block: BasicBlock,
+    *,
+    name: str | None = None,
+    include_memory: bool = True,
+) -> DataFlowGraph:
+    """Convert one basic block of *function* into a :class:`DataFlowGraph`.
+
+    Parameters
+    ----------
+    function:
+        The enclosing function (needed to determine live-out values).
+    block:
+        The block to convert.
+    name:
+        Name of the resulting DFG (default ``"<function>.<label>"``).
+    include_memory:
+        When False, loads and stores are dropped from the DFG entirely
+        instead of appearing as forbidden barrier nodes.  The default (True)
+        matches the paper, where memory operations stay in the graph and act
+        as barriers.
+    """
+    dfg = DataFlowGraph(name or f"{function.name}.{block.label}")
+    live_out = _values_live_out_of(block, function)
+    defined_here: dict[str, str] = {}
+    const_cache: dict[int, str] = {}
+
+    def const_node(value: int) -> str:
+        if value not in const_cache:
+            node_name = f"__const_{value & 0xFFFFFFFF:x}"
+            dfg.add_node(node_name, Opcode.CONST, (), attrs={"value": value})
+            const_cache[value] = node_name
+        return const_cache[value]
+
+    for position, instruction in enumerate(block):
+        if instruction.opcode in _SKIPPED:
+            continue
+        if not include_memory and instruction.opcode in (
+            Opcode.LOAD,
+            Opcode.STORE,
+            Opcode.LUT,
+        ):
+            continue
+        operands: list[str] = []
+        if instruction.opcode is Opcode.CONST:
+            immediate = instruction.operands[0]
+            if not isinstance(immediate, Immediate):  # pragma: no cover - guarded by IR
+                raise IRError("const instructions must carry an immediate")
+            node_name = _node_name_for(instruction, position)
+            dfg.add_node(
+                node_name,
+                Opcode.CONST,
+                (),
+                live_out=instruction.result in live_out,
+                attrs={"value": immediate.value, **instruction.attrs},
+            )
+            defined_here[instruction.result] = node_name
+            continue
+        for operand in instruction.operands:
+            if isinstance(operand, Immediate):
+                operands.append(const_node(operand.value))
+            elif isinstance(operand, ValueRef):
+                operands.append(defined_here.get(operand.name, operand.name))
+            else:  # pragma: no cover - the operand union has two members
+                raise IRError(f"unexpected operand {operand!r}")
+        node_name = _node_name_for(instruction, position)
+        dfg.add_node(
+            node_name,
+            instruction.opcode,
+            operands,
+            live_out=instruction.result in live_out,
+            attrs=dict(instruction.attrs),
+        )
+        if instruction.result is not None:
+            defined_here[instruction.result] = node_name
+    dfg.prepare()
+    return dfg
+
+
+def function_to_dfgs(
+    function: Function, *, include_memory: bool = True
+) -> dict[str, DataFlowGraph]:
+    """Convert every basic block of *function*; keys are block labels."""
+    return {
+        block.label: block_to_dfg(function, block, include_memory=include_memory)
+        for block in function
+    }

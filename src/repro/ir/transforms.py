@@ -1,0 +1,233 @@
+"""Simple IR clean-up passes run before DFG extraction.
+
+Real compiler front ends (MachSUIF in the paper's flow) lower source code
+through a sequence of scalar optimizations before any instruction-selection
+style analysis looks at the basic blocks.  Three of those passes materially
+affect ISE identification — they change which nodes exist in the DFG — and
+are therefore provided here:
+
+* **constant folding** — an operation whose operands are all constants is
+  replaced by a single ``const`` definition, shrinking the DFG and removing
+  fake "savings" an ISE would otherwise claim for arithmetic the compiler
+  would have folded anyway;
+* **copy propagation** — ``mov``/``zext``-style copies are forwarded to
+  their uses so cuts are not padded with zero-latency copy nodes;
+* **dead code elimination** — values never used by another instruction, a
+  terminator, a store or another block are removed (iteratively).
+
+Each pass rewrites a :class:`~repro.ir.Function` in place-ish style (a new
+function object is returned; the input is never mutated) and preserves
+program semantics, which the test suite checks by interpreting kernels
+before and after the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Opcode, evaluate, has_evaluator
+from .basic_block import BasicBlock
+from .function import Function
+from .instruction import Instruction
+from .values import Immediate, Operand, ValueRef
+
+#: Copies that forward their single operand unchanged (32-bit semantics).
+_COPY_OPCODES = frozenset({Opcode.MOV, Opcode.ZEXT})
+
+
+@dataclass
+class TransformStats:
+    """What a pass (or the whole pipeline) changed."""
+
+    folded_constants: int = 0
+    propagated_copies: int = 0
+    removed_instructions: int = 0
+    details: dict = field(default_factory=dict)
+
+    def merge(self, other: "TransformStats") -> "TransformStats":
+        return TransformStats(
+            folded_constants=self.folded_constants + other.folded_constants,
+            propagated_copies=self.propagated_copies + other.propagated_copies,
+            removed_instructions=self.removed_instructions
+            + other.removed_instructions,
+        )
+
+
+def _rebuild(function: Function, blocks: list[BasicBlock]) -> Function:
+    return Function(function.name, function.params, blocks)
+
+
+def _substitute(instruction: Instruction, replacements: dict[str, Operand]) -> Instruction:
+    """Return a copy of *instruction* with operand value-refs replaced."""
+    if not replacements:
+        return instruction
+    changed = False
+    new_operands: list[Operand] = []
+    for operand in instruction.operands:
+        if isinstance(operand, ValueRef) and operand.name in replacements:
+            new_operands.append(replacements[operand.name])
+            changed = True
+        else:
+            new_operands.append(operand)
+    if not changed:
+        return instruction
+    return Instruction(
+        opcode=instruction.opcode,
+        operands=tuple(new_operands),
+        result=instruction.result,
+        targets=instruction.targets,
+        incoming=instruction.incoming,
+        attrs=dict(instruction.attrs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+def fold_constants(function: Function, stats: TransformStats | None = None) -> Function:
+    """Evaluate operations whose operands are all compile-time constants."""
+    stats = stats if stats is not None else TransformStats()
+    known: dict[str, int] = {}
+    new_blocks: list[BasicBlock] = []
+    for block in function:
+        new_block = BasicBlock(block.label)
+        for instruction in block:
+            instruction = _substitute(
+                instruction,
+                {name: Immediate(value) for name, value in known.items()},
+            )
+            if instruction.opcode is Opcode.CONST and instruction.result:
+                known[instruction.result] = instruction.operands[0].value
+                new_block.append(instruction)
+                continue
+            foldable = (
+                instruction.result is not None
+                and has_evaluator(instruction.opcode)
+                and instruction.operands
+                and all(isinstance(op, Immediate) for op in instruction.operands)
+            )
+            if foldable:
+                try:
+                    value = evaluate(
+                        instruction.opcode,
+                        [op.value for op in instruction.operands],
+                    )
+                except Exception:
+                    new_block.append(instruction)
+                    continue
+                known[instruction.result] = value
+                new_block.append(
+                    Instruction(
+                        opcode=Opcode.CONST,
+                        operands=(Immediate(value),),
+                        result=instruction.result,
+                        attrs=dict(instruction.attrs),
+                    )
+                )
+                stats.folded_constants += 1
+                continue
+            new_block.append(instruction)
+        new_blocks.append(new_block)
+    return _rebuild(function, new_blocks)
+
+
+# ----------------------------------------------------------------------
+# Copy propagation
+# ----------------------------------------------------------------------
+def propagate_copies(function: Function, stats: TransformStats | None = None) -> Function:
+    """Forward ``mov``/``zext`` copies to their uses (within the function)."""
+    stats = stats if stats is not None else TransformStats()
+    forwards: dict[str, Operand] = {}
+    for block in function:
+        for instruction in block:
+            if (
+                instruction.opcode in _COPY_OPCODES
+                and instruction.result is not None
+                and len(instruction.operands) == 1
+            ):
+                source = instruction.operands[0]
+                # Chase chains of copies.
+                while isinstance(source, ValueRef) and source.name in forwards:
+                    source = forwards[source.name]
+                forwards[instruction.result] = source
+    if not forwards:
+        return function
+    new_blocks: list[BasicBlock] = []
+    for block in function:
+        new_block = BasicBlock(block.label)
+        for instruction in block:
+            replaced = _substitute(instruction, forwards)
+            if replaced is not instruction:
+                stats.propagated_copies += 1
+            new_block.append(replaced)
+        new_blocks.append(new_block)
+    return _rebuild(function, new_blocks)
+
+
+# ----------------------------------------------------------------------
+# Dead code elimination
+# ----------------------------------------------------------------------
+_SIDE_EFFECT_OPCODES = frozenset(
+    {Opcode.STORE, Opcode.CALL, Opcode.BR, Opcode.CBR, Opcode.RET}
+)
+
+
+def eliminate_dead_code(
+    function: Function, stats: TransformStats | None = None
+) -> Function:
+    """Iteratively drop value definitions that are never used."""
+    stats = stats if stats is not None else TransformStats()
+    blocks = list(function.blocks)
+    while True:
+        used: set[str] = set()
+        for block in blocks:
+            for instruction in block:
+                used.update(instruction.used_names())
+        removed = 0
+        new_blocks: list[BasicBlock] = []
+        for block in blocks:
+            new_block = BasicBlock(block.label)
+            for instruction in block:
+                removable = (
+                    instruction.result is not None
+                    and instruction.result not in used
+                    and instruction.opcode not in _SIDE_EFFECT_OPCODES
+                    and not instruction.is_phi
+                    and instruction.opcode is not Opcode.LOAD
+                )
+                if removable:
+                    removed += 1
+                    continue
+                new_block.append(instruction)
+            new_blocks.append(new_block)
+        blocks = new_blocks
+        stats.removed_instructions += removed
+        if removed == 0:
+            break
+    return _rebuild(function, blocks)
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+def optimize_function(function: Function) -> tuple[Function, TransformStats]:
+    """Run the standard pipeline: fold -> propagate -> fold -> DCE."""
+    stats = TransformStats()
+    function = fold_constants(function, stats)
+    function = propagate_copies(function, stats)
+    function = fold_constants(function, stats)
+    function = eliminate_dead_code(function, stats)
+    return function, stats
+
+
+def optimize_module(module) -> tuple["object", TransformStats]:
+    """Optimize every function of a module; returns (new module, stats)."""
+    from .module import Module
+
+    total = TransformStats()
+    optimized = Module(module.name)
+    for function in module:
+        new_function, stats = optimize_function(function)
+        total = total.merge(stats)
+        optimized.add_function(new_function)
+    return optimized, total

@@ -1,0 +1,82 @@
+"""Operands of the three-address intermediate representation.
+
+The IR is register based: every instruction that produces a result writes a
+*virtual register* (an SSA-style value named ``%something``), and consumes
+either virtual registers or integer immediates.  Two small classes model
+operands:
+
+* :class:`ValueRef` — a reference to a value by name (function parameters and
+  instruction results share one namespace within a function);
+* :class:`Immediate` — a 32-bit integer constant embedded in the instruction.
+
+Both are immutable and hashable so instructions can be compared structurally
+in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import IRError
+from ..isa import to_unsigned
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """A reference to an IR value (function parameter or instruction result)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("value names must be non-empty")
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A 32-bit integer immediate operand."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", to_unsigned(self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+#: Anything an instruction may consume.
+Operand = Union[ValueRef, Immediate]
+
+
+def as_operand(item: "Operand | str | int") -> Operand:
+    """Coerce convenient Python values into IR operands.
+
+    * strings become :class:`ValueRef` (a leading ``%`` is stripped),
+    * integers become :class:`Immediate`,
+    * existing operands pass through unchanged.
+    """
+    if isinstance(item, (ValueRef, Immediate)):
+        return item
+    if isinstance(item, bool):
+        raise IRError("booleans are not IR operands; use 0/1 immediates")
+    if isinstance(item, int):
+        return Immediate(item)
+    if isinstance(item, str):
+        name = item[1:] if item.startswith("%") else item
+        return ValueRef(name)
+    raise IRError(f"cannot convert {item!r} into an IR operand")
+
+
+def operand_names(operands: "tuple[Operand, ...]") -> tuple[str, ...]:
+    """Names of the value references among *operands* (immediates skipped)."""
+    return tuple(op.name for op in operands if isinstance(op, ValueRef))
+
+
+def is_value(operand: Operand) -> bool:
+    """True when *operand* is a value reference (not an immediate)."""
+    return isinstance(operand, ValueRef)

@@ -1,0 +1,118 @@
+"""Structural verification of IR modules.
+
+The verifier enforces the invariants the rest of the library relies on:
+
+* every block ends in exactly one terminator;
+* phi instructions appear only at the top of a block, carry one incoming
+  value per CFG predecessor, and only reference actual predecessors;
+* every value is defined exactly once per function (SSA form);
+* every used value is defined somewhere in the function (parameters count);
+* non-phi uses of a value defined in the *same* block appear after the
+  definition (the DFG conversion depends on this topological property);
+* branch targets exist.
+
+Violations raise :class:`~repro.errors.IRVerificationError` listing every
+problem found (not only the first one), which makes workload-generator bugs
+much easier to track down.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRVerificationError
+from .cfg import ControlFlowGraph
+from .function import Function
+from .module import Module
+
+
+def verify_function(function: Function) -> None:
+    """Verify one function, raising with all collected problems."""
+    problems: list[str] = []
+
+    # Terminators and phi placement (partially enforced at construction, but
+    # blocks built incrementally may still be unterminated).
+    for block in function:
+        if not block.is_terminated:
+            problems.append(f"block {block.label!r} has no terminator")
+        seen_non_phi = False
+        for instruction in block:
+            if instruction.is_phi and seen_non_phi:
+                problems.append(
+                    f"block {block.label!r}: phi {instruction.result!r} appears "
+                    "after a non-phi instruction"
+                )
+            if not instruction.is_phi:
+                seen_non_phi = True
+
+    # Single assignment and per-block def/use order.
+    defined: dict[str, str] = {name: "<param>" for name in function.params}
+    for block in function:
+        for instruction in block:
+            if instruction.result is None:
+                continue
+            if instruction.result in defined:
+                problems.append(
+                    f"value %{instruction.result} is defined more than once "
+                    f"(in {defined[instruction.result]!r} and {block.label!r})"
+                )
+            else:
+                defined[instruction.result] = block.label
+
+    for block in function:
+        local_defined: set[str] = set()
+        for instruction in block:
+            if not instruction.is_phi:
+                for name in instruction.used_names():
+                    if name not in defined:
+                        problems.append(
+                            f"block {block.label!r}: use of undefined value %{name}"
+                        )
+                    elif defined[name] == block.label and name not in local_defined:
+                        problems.append(
+                            f"block {block.label!r}: %{name} is used before its "
+                            "definition in the same block"
+                        )
+            else:
+                for name in instruction.used_names():
+                    if name not in defined:
+                        problems.append(
+                            f"block {block.label!r}: phi %{instruction.result} "
+                            f"references undefined value %{name}"
+                        )
+            if instruction.result is not None:
+                local_defined.add(instruction.result)
+
+    # Branch targets and phi incoming labels need the CFG.
+    try:
+        cfg = ControlFlowGraph(function)
+    except Exception as exc:
+        problems.append(str(exc))
+        cfg = None
+    if cfg is not None:
+        for block in function:
+            predecessors = set(cfg.predecessors(block.label))
+            for phi in block.phis:
+                labels = set(phi.incoming)
+                missing = predecessors - labels
+                extra = labels - predecessors
+                if missing:
+                    problems.append(
+                        f"block {block.label!r}: phi %{phi.result} is missing "
+                        f"incoming values from {sorted(missing)}"
+                    )
+                if extra:
+                    problems.append(
+                        f"block {block.label!r}: phi %{phi.result} names "
+                        f"non-predecessor blocks {sorted(extra)}"
+                    )
+
+    if problems:
+        raise IRVerificationError(
+            f"function {function.name!r} failed verification:\n  - "
+            + "\n  - ".join(problems)
+        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of *module*."""
+    for function in module:
+        verify_function(function)

@@ -1,0 +1,44 @@
+"""Instruction-set architecture model: opcodes, semantics and latencies."""
+
+from .opcodes import (
+    FORBIDDEN_CATEGORIES,
+    OpCategory,
+    Opcode,
+    OpcodeInfo,
+    all_opcodes,
+    arity_of,
+    category_of,
+    is_commutative,
+    is_forbidden,
+    opcode_info,
+    parse_opcode,
+)
+from .latency import (
+    hardware_delay,
+    hardware_delay_table,
+    software_cycles,
+    software_cycle_table,
+)
+from .operations import evaluate, has_evaluator, to_signed, to_unsigned
+
+__all__ = [
+    "FORBIDDEN_CATEGORIES",
+    "OpCategory",
+    "Opcode",
+    "OpcodeInfo",
+    "all_opcodes",
+    "arity_of",
+    "category_of",
+    "is_commutative",
+    "is_forbidden",
+    "opcode_info",
+    "parse_opcode",
+    "hardware_delay",
+    "hardware_delay_table",
+    "software_cycles",
+    "software_cycle_table",
+    "evaluate",
+    "has_evaluator",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,101 @@
+"""Software and hardware latency tables.
+
+The paper estimates
+
+* the *software latency* of a cut as the sum of the (processor cycle)
+  latencies of its nodes, and
+* the *hardware latency* as the delay of the critical path through the cut,
+  with every operator's delay obtained by synthesis on a 0.18um CMOS library
+  and **normalized to the delay of a 32-bit multiply-accumulate (MAC)**.
+
+We cannot re-synthesize the original library offline, so this module provides
+substitute tables with the same *relative* ordering reported throughout the
+ASIP literature (wires/logic ≪ shift < add < compare < multiply ≈ MAC ≪
+divide).  All numbers are configuration data — experiments can provide their
+own tables through :class:`repro.hwmodel.latency_model.LatencyModel`.
+"""
+
+from __future__ import annotations
+
+from .opcodes import OpCategory, Opcode, category_of
+
+#: Software latency (single-issue RISC cycles) per operator category.
+DEFAULT_SOFTWARE_CYCLES: dict[OpCategory, int] = {
+    OpCategory.ARITH: 1,
+    OpCategory.MULTIPLY: 2,
+    OpCategory.DIVIDE: 16,
+    OpCategory.LOGIC: 1,
+    OpCategory.SHIFT: 1,
+    OpCategory.COMPARE: 1,
+    OpCategory.MEMORY: 2,
+    OpCategory.CONTROL: 1,
+    OpCategory.MOVE: 1,
+    OpCategory.TABLE: 2,
+}
+
+#: Per-opcode software-cycle overrides (on top of the category defaults).
+SOFTWARE_CYCLE_OVERRIDES: dict[Opcode, int] = {
+    Opcode.MAC: 3,      # a MAC is a multiply plus an accumulate on the core
+    Opcode.MULH: 3,
+    Opcode.SELECT: 2,   # compare + conditional move
+    Opcode.ABS: 2,
+    Opcode.CONST: 0,    # immediates are folded into consuming instructions
+}
+
+#: Hardware delay per operator category, normalized so that a 32-bit MAC has
+#: delay 1.0 (the paper's normalization unit).
+DEFAULT_HARDWARE_DELAY: dict[OpCategory, float] = {
+    OpCategory.ARITH: 0.30,
+    OpCategory.MULTIPLY: 0.90,
+    OpCategory.DIVIDE: 6.00,
+    OpCategory.LOGIC: 0.05,
+    OpCategory.SHIFT: 0.10,
+    OpCategory.COMPARE: 0.25,
+    OpCategory.MEMORY: 2.00,
+    OpCategory.CONTROL: 1.00,
+    OpCategory.MOVE: 0.01,
+    OpCategory.TABLE: 1.50,
+}
+
+#: Per-opcode hardware-delay overrides.
+HARDWARE_DELAY_OVERRIDES: dict[Opcode, float] = {
+    Opcode.MAC: 1.00,       # the normalization reference
+    Opcode.MULH: 0.95,
+    Opcode.SELECT: 0.15,    # a mux plus a comparator
+    Opcode.MIN: 0.30,
+    Opcode.MAX: 0.30,
+    Opcode.ABS: 0.32,
+    Opcode.CONST: 0.0,
+    Opcode.MOV: 0.0,
+    Opcode.SEXT: 0.0,       # wiring only
+    Opcode.ZEXT: 0.0,
+    Opcode.TRUNC: 0.0,
+}
+
+
+def software_cycles(opcode: Opcode) -> int:
+    """Default software latency of *opcode* in processor cycles."""
+    if opcode in SOFTWARE_CYCLE_OVERRIDES:
+        return SOFTWARE_CYCLE_OVERRIDES[opcode]
+    return DEFAULT_SOFTWARE_CYCLES[category_of(opcode)]
+
+
+def hardware_delay(opcode: Opcode) -> float:
+    """Default hardware delay of *opcode*, normalized to a 32-bit MAC."""
+    if opcode in HARDWARE_DELAY_OVERRIDES:
+        return HARDWARE_DELAY_OVERRIDES[opcode]
+    return DEFAULT_HARDWARE_DELAY[category_of(opcode)]
+
+
+def software_cycle_table() -> dict[Opcode, int]:
+    """A full per-opcode software latency table (copy; safe to mutate)."""
+    from .opcodes import all_opcodes
+
+    return {op: software_cycles(op) for op in all_opcodes()}
+
+
+def hardware_delay_table() -> dict[Opcode, float]:
+    """A full per-opcode normalized hardware delay table (copy)."""
+    from .opcodes import all_opcodes
+
+    return {op: hardware_delay(op) for op in all_opcodes()}

@@ -1,0 +1,208 @@
+"""Opcode definitions for the simple RISC-like instruction set.
+
+The paper's baseline architecture is "a simple RISC machine"; ISE
+identification operates on data-flow graphs whose nodes carry one of these
+opcodes.  Each opcode belongs to a :class:`OpCategory` which drives
+
+* whether the operation may be mapped into an AFU (memory and control
+  operations are *forbidden* — the paper does not allow memory access from
+  AFUs and treats those nodes as barriers for cut growth), and
+* the default software / hardware latencies in :mod:`repro.isa.latency`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpCategory(enum.Enum):
+    """Coarse operator classes used by the latency and legality models."""
+
+    ARITH = "arith"          #: add/sub style integer arithmetic
+    MULTIPLY = "multiply"    #: multiplication and multiply-accumulate
+    DIVIDE = "divide"        #: division / modulo
+    LOGIC = "logic"          #: bitwise logic
+    SHIFT = "shift"          #: shifts and rotates
+    COMPARE = "compare"      #: comparisons and min/max/select
+    MEMORY = "memory"        #: loads and stores (forbidden inside an ISE)
+    CONTROL = "control"      #: branches, calls, returns (forbidden)
+    MOVE = "move"            #: register moves, constants, sign extension
+    TABLE = "table"          #: table lookups (modelled as memory, forbidden)
+
+
+class Opcode(enum.Enum):
+    """The instruction opcodes understood by the library."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    NEG = "neg"
+    ABS = "abs"
+    # Multiplication family
+    MUL = "mul"
+    MAC = "mac"
+    MULH = "mulh"
+    # Division family
+    DIV = "div"
+    REM = "rem"
+    # Logic
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    # Shifts
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    ROL = "rol"
+    ROR = "ror"
+    # Compare / select
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    MIN = "min"
+    MAX = "max"
+    SELECT = "select"
+    # Moves / widening
+    MOV = "mov"
+    CONST = "const"
+    SEXT = "sext"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+    # Memory (forbidden in ISEs)
+    LOAD = "load"
+    STORE = "store"
+    LUT = "lut"
+    # Control (forbidden in ISEs)
+    BR = "br"
+    CBR = "cbr"
+    CALL = "call"
+    RET = "ret"
+    PHI = "phi"
+    # A generated custom instruction (produced by the rewriter; executed on
+    # an AFU, never itself a candidate for inclusion in another ISE).
+    CUSTOM = "custom"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata attached to every opcode."""
+
+    opcode: Opcode
+    category: OpCategory
+    arity: int
+    #: Number of values produced (0 for stores/branches, 1 otherwise).
+    results: int
+    commutative: bool = False
+
+
+_INFO: dict[Opcode, OpcodeInfo] = {}
+
+
+def _register(opcode: Opcode, category: OpCategory, arity: int,
+              results: int = 1, commutative: bool = False) -> None:
+    _INFO[opcode] = OpcodeInfo(opcode, category, arity, results, commutative)
+
+
+_register(Opcode.ADD, OpCategory.ARITH, 2, commutative=True)
+_register(Opcode.SUB, OpCategory.ARITH, 2)
+_register(Opcode.NEG, OpCategory.ARITH, 1)
+_register(Opcode.ABS, OpCategory.ARITH, 1)
+_register(Opcode.MUL, OpCategory.MULTIPLY, 2, commutative=True)
+_register(Opcode.MAC, OpCategory.MULTIPLY, 3)
+_register(Opcode.MULH, OpCategory.MULTIPLY, 2, commutative=True)
+_register(Opcode.DIV, OpCategory.DIVIDE, 2)
+_register(Opcode.REM, OpCategory.DIVIDE, 2)
+_register(Opcode.AND, OpCategory.LOGIC, 2, commutative=True)
+_register(Opcode.OR, OpCategory.LOGIC, 2, commutative=True)
+_register(Opcode.XOR, OpCategory.LOGIC, 2, commutative=True)
+_register(Opcode.NOT, OpCategory.LOGIC, 1)
+_register(Opcode.SHL, OpCategory.SHIFT, 2)
+_register(Opcode.SHR, OpCategory.SHIFT, 2)
+_register(Opcode.SAR, OpCategory.SHIFT, 2)
+_register(Opcode.ROL, OpCategory.SHIFT, 2)
+_register(Opcode.ROR, OpCategory.SHIFT, 2)
+_register(Opcode.EQ, OpCategory.COMPARE, 2, commutative=True)
+_register(Opcode.NE, OpCategory.COMPARE, 2, commutative=True)
+_register(Opcode.LT, OpCategory.COMPARE, 2)
+_register(Opcode.LE, OpCategory.COMPARE, 2)
+_register(Opcode.GT, OpCategory.COMPARE, 2)
+_register(Opcode.GE, OpCategory.COMPARE, 2)
+_register(Opcode.MIN, OpCategory.COMPARE, 2, commutative=True)
+_register(Opcode.MAX, OpCategory.COMPARE, 2, commutative=True)
+_register(Opcode.SELECT, OpCategory.COMPARE, 3)
+_register(Opcode.MOV, OpCategory.MOVE, 1)
+_register(Opcode.CONST, OpCategory.MOVE, 0)
+_register(Opcode.SEXT, OpCategory.MOVE, 1)
+_register(Opcode.ZEXT, OpCategory.MOVE, 1)
+_register(Opcode.TRUNC, OpCategory.MOVE, 1)
+_register(Opcode.LOAD, OpCategory.MEMORY, 1)
+_register(Opcode.STORE, OpCategory.MEMORY, 2, results=0)
+_register(Opcode.LUT, OpCategory.TABLE, 1)
+_register(Opcode.BR, OpCategory.CONTROL, 0, results=0)
+_register(Opcode.CBR, OpCategory.CONTROL, 1, results=0)
+_register(Opcode.CALL, OpCategory.CONTROL, 1)
+_register(Opcode.RET, OpCategory.CONTROL, 1, results=0)
+_register(Opcode.PHI, OpCategory.CONTROL, 2)
+# Arity 0 means "variable": custom instructions read as many operands as the
+# AFU has register-file read ports.
+_register(Opcode.CUSTOM, OpCategory.CONTROL, 0)
+
+
+#: Categories whose operations may never be included in a cut / ISE.
+FORBIDDEN_CATEGORIES: frozenset[OpCategory] = frozenset(
+    {OpCategory.MEMORY, OpCategory.CONTROL, OpCategory.TABLE}
+)
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static :class:`OpcodeInfo` for *opcode*."""
+    return _INFO[opcode]
+
+
+def category_of(opcode: Opcode) -> OpCategory:
+    """Return the :class:`OpCategory` of *opcode*."""
+    return _INFO[opcode].category
+
+
+def arity_of(opcode: Opcode) -> int:
+    """Return the number of operands consumed by *opcode*."""
+    return _INFO[opcode].arity
+
+
+def is_forbidden(opcode: Opcode) -> bool:
+    """True when *opcode* can never be part of an ISE (memory / control /
+    table lookups), matching the paper's "no memory access from AFUs" rule."""
+    return _INFO[opcode].category in FORBIDDEN_CATEGORIES
+
+
+def is_commutative(opcode: Opcode) -> bool:
+    """True when the operand order of *opcode* does not matter.
+
+    Used by the structural hashing in :mod:`repro.dfg.hashing` so that
+    commutative variations of the same cut hash identically.
+    """
+    return _INFO[opcode].commutative
+
+
+def all_opcodes() -> tuple[Opcode, ...]:
+    """All registered opcodes, in a deterministic order."""
+    return tuple(_INFO.keys())
+
+
+def parse_opcode(name: str) -> Opcode:
+    """Parse an opcode from its lower-case mnemonic.
+
+    Raises :class:`ValueError` for unknown mnemonics.
+    """
+    try:
+        return Opcode(name.lower())
+    except ValueError as exc:
+        raise ValueError(f"unknown opcode mnemonic: {name!r}") from exc

@@ -1,0 +1,132 @@
+"""Concrete semantics of the instruction set.
+
+These evaluation functions back the IR interpreter
+(:mod:`repro.ir.interpreter`), which is used to execute the small IR programs
+shipped with the examples and to derive basic-block execution frequencies for
+the speedup model.  All integer arithmetic is performed modulo 2**32 in
+two's-complement, matching a 32-bit RISC core.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..errors import InterpreterError
+from .opcodes import Opcode
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def to_unsigned(value: int) -> int:
+    """Map a Python integer onto the 32-bit unsigned domain."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed two's-complement integer."""
+    value &= WORD_MASK
+    return value - (1 << WORD_BITS) if value & SIGN_BIT else value
+
+
+def _shift_amount(value: int) -> int:
+    return value & (WORD_BITS - 1)
+
+
+def _div(a: int, b: int) -> int:
+    if to_signed(b) == 0:
+        raise InterpreterError("integer division by zero")
+    quotient = int(to_signed(a) / to_signed(b))  # C-style truncation
+    return to_unsigned(quotient)
+
+
+def _rem(a: int, b: int) -> int:
+    if to_signed(b) == 0:
+        raise InterpreterError("integer remainder by zero")
+    sa, sb = to_signed(a), to_signed(b)
+    return to_unsigned(sa - int(sa / sb) * sb)
+
+
+def _rotate_left(a: int, amount: int) -> int:
+    amount = _shift_amount(amount)
+    a = to_unsigned(a)
+    return to_unsigned((a << amount) | (a >> (WORD_BITS - amount))) if amount else a
+
+
+def _rotate_right(a: int, amount: int) -> int:
+    amount = _shift_amount(amount)
+    a = to_unsigned(a)
+    return to_unsigned((a >> amount) | (a << (WORD_BITS - amount))) if amount else a
+
+
+_EVALUATORS: dict[Opcode, Callable[..., int]] = {
+    Opcode.ADD: lambda a, b: to_unsigned(a + b),
+    Opcode.SUB: lambda a, b: to_unsigned(a - b),
+    Opcode.NEG: lambda a: to_unsigned(-to_signed(a)),
+    Opcode.ABS: lambda a: to_unsigned(abs(to_signed(a))),
+    Opcode.MUL: lambda a, b: to_unsigned(to_signed(a) * to_signed(b)),
+    Opcode.MAC: lambda a, b, c: to_unsigned(to_signed(a) * to_signed(b) + to_signed(c)),
+    Opcode.MULH: lambda a, b: to_unsigned((to_signed(a) * to_signed(b)) >> WORD_BITS),
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.AND: lambda a, b: to_unsigned(a & b),
+    Opcode.OR: lambda a, b: to_unsigned(a | b),
+    Opcode.XOR: lambda a, b: to_unsigned(a ^ b),
+    Opcode.NOT: lambda a: to_unsigned(~a),
+    Opcode.SHL: lambda a, b: to_unsigned(a << _shift_amount(b)),
+    Opcode.SHR: lambda a, b: to_unsigned(to_unsigned(a) >> _shift_amount(b)),
+    Opcode.SAR: lambda a, b: to_unsigned(to_signed(a) >> _shift_amount(b)),
+    Opcode.ROL: _rotate_left,
+    Opcode.ROR: _rotate_right,
+    Opcode.EQ: lambda a, b: int(to_unsigned(a) == to_unsigned(b)),
+    Opcode.NE: lambda a, b: int(to_unsigned(a) != to_unsigned(b)),
+    Opcode.LT: lambda a, b: int(to_signed(a) < to_signed(b)),
+    Opcode.LE: lambda a, b: int(to_signed(a) <= to_signed(b)),
+    Opcode.GT: lambda a, b: int(to_signed(a) > to_signed(b)),
+    Opcode.GE: lambda a, b: int(to_signed(a) >= to_signed(b)),
+    Opcode.MIN: lambda a, b: to_unsigned(min(to_signed(a), to_signed(b))),
+    Opcode.MAX: lambda a, b: to_unsigned(max(to_signed(a), to_signed(b))),
+    Opcode.SELECT: lambda c, a, b: to_unsigned(a if c else b),
+    Opcode.MOV: lambda a: to_unsigned(a),
+    Opcode.SEXT: lambda a: to_unsigned(to_signed(a)),
+    Opcode.ZEXT: lambda a: to_unsigned(a),
+    Opcode.TRUNC: lambda a: to_unsigned(a) & 0xFFFF,
+}
+
+
+def has_evaluator(opcode: Opcode) -> bool:
+    """True when :func:`evaluate` can compute *opcode* purely from operands
+    (memory and control flow are handled by the interpreter itself)."""
+    return opcode in _EVALUATORS
+
+
+def evaluate(opcode: Opcode, operands: Sequence[int]) -> int:
+    """Evaluate a pure (non-memory, non-control) operation.
+
+    Parameters
+    ----------
+    opcode:
+        The operation to perform.
+    operands:
+        Operand values as 32-bit integers.
+
+    Raises
+    ------
+    InterpreterError
+        If the opcode has no pure evaluator or a runtime fault occurs
+        (division by zero).
+    """
+    try:
+        fn = _EVALUATORS[opcode]
+    except KeyError as exc:
+        raise InterpreterError(
+            f"opcode {opcode} has no pure evaluator (memory/control ops are "
+            "executed by the interpreter, not by repro.isa.operations)"
+        ) from exc
+    try:
+        return fn(*operands)
+    except TypeError as exc:
+        raise InterpreterError(
+            f"wrong operand count for {opcode}: got {len(operands)}"
+        ) from exc

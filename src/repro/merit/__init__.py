@@ -1,0 +1,22 @@
+"""Merit and speedup estimation."""
+
+from .merit import MeritBreakdown, MeritFunction
+from .speedup import (
+    BlockSavings,
+    SpeedupReport,
+    application_software_cycles,
+    application_speedup,
+    block_savings,
+    speedup_value,
+)
+
+__all__ = [
+    "MeritFunction",
+    "MeritBreakdown",
+    "SpeedupReport",
+    "BlockSavings",
+    "application_software_cycles",
+    "application_speedup",
+    "block_savings",
+    "speedup_value",
+]

@@ -1,0 +1,68 @@
+"""The merit function M(C).
+
+Section 5 of the paper defines the merit of a cut as
+
+    M(C) = lambda_sw(C) - lambda_hw(C)
+
+where ``lambda_sw`` is the software latency (sum of node latencies on the
+core) and ``lambda_hw`` is the hardware latency (critical-path delay of the
+cut, with operator delays normalized to a MAC, converted back to cycles).
+The merit estimates the number of cycles saved each time the custom
+instruction executes instead of the original instruction sequence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from dataclasses import dataclass
+
+from ..dfg import Cut, DataFlowGraph
+from ..hwmodel import LatencyModel
+
+
+@dataclass(frozen=True)
+class MeritBreakdown:
+    """Merit of a cut together with its two latency terms."""
+
+    software_latency: int
+    hardware_latency: int
+
+    @property
+    def merit(self) -> int:
+        return self.software_latency - self.hardware_latency
+
+
+class MeritFunction:
+    """Evaluates M(C) for cuts of a DFG under a :class:`LatencyModel`."""
+
+    def __init__(self, latency_model: LatencyModel | None = None):
+        self.latency_model = latency_model or LatencyModel()
+
+    def breakdown(
+        self, dfg: DataFlowGraph, members: Collection[int]
+    ) -> MeritBreakdown:
+        """Full latency breakdown of the cut *members*."""
+        if not members:
+            return MeritBreakdown(software_latency=0, hardware_latency=0)
+        return MeritBreakdown(
+            software_latency=self.latency_model.software_latency(dfg, members),
+            hardware_latency=self.latency_model.hardware_latency(dfg, members),
+        )
+
+    def merit(self, dfg: DataFlowGraph, members: Collection[int]) -> int:
+        """Cycles saved per execution of the cut as an ISE.
+
+        The empty cut has merit 0.  The merit of an infeasible cut is still
+        its latency difference — legality is checked separately by the
+        algorithms (the gain function zeroes the merit term for non-convex
+        candidates, but the *reported* merit of a final, legal cut always
+        comes from here).
+        """
+        return self.breakdown(dfg, members).merit
+
+    def cut_merit(self, cut: Cut) -> int:
+        """Convenience overload taking a :class:`Cut`."""
+        return self.merit(cut.dfg, cut.members)
+
+    def cut_breakdown(self, cut: Cut) -> MeritBreakdown:
+        return self.breakdown(cut.dfg, cut.members)

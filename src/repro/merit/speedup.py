@@ -1,0 +1,162 @@
+"""Whole-application speedup estimation.
+
+Section 5 of the paper evaluates the overall speedup of an application as
+
+    speedup = T_sw / (T_sw - sum_over_cuts f(C) * M(C))
+
+where ``T_sw`` is the execution latency of the application when it runs
+entirely in software and ``f(C)`` is the execution frequency of the basic
+block containing cut ``C``.  Every *instance* of a reused cut contributes its
+own ``f(C) * M(C)`` term because each instance replaces a separate sequence
+of instructions in the code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..dfg import DataFlowGraph
+from ..errors import ReproError
+from ..hwmodel import LatencyModel
+from ..program import Program
+from .merit import MeritFunction
+
+
+@dataclass(frozen=True)
+class BlockSavings:
+    """Cycles saved inside one basic block by the cuts selected for it."""
+
+    block_name: str
+    frequency: float
+    software_cycles: int
+    saved_cycles_per_visit: int
+
+    @property
+    def weighted_software_cycles(self) -> float:
+        return self.frequency * self.software_cycles
+
+    @property
+    def weighted_saved_cycles(self) -> float:
+        return self.frequency * self.saved_cycles_per_visit
+
+
+@dataclass
+class SpeedupReport:
+    """Application-level speedup breakdown."""
+
+    total_software_cycles: float
+    total_saved_cycles: float
+    blocks: list[BlockSavings] = field(default_factory=list)
+
+    @property
+    def accelerated_cycles(self) -> float:
+        return self.total_software_cycles - self.total_saved_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.total_software_cycles <= 0:
+            return 1.0
+        accelerated = self.accelerated_cycles
+        if accelerated <= 0:
+            # Cannot happen with non-negative hardware latencies; guard anyway.
+            return float("inf")
+        return self.total_software_cycles / accelerated
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpeedupReport(speedup={self.speedup:.3f}, "
+            f"sw_cycles={self.total_software_cycles:.0f}, "
+            f"saved={self.total_saved_cycles:.0f})"
+        )
+
+
+def application_software_cycles(
+    program: Program, latency_model: LatencyModel | None = None
+) -> float:
+    """``T_sw``: frequency-weighted software cycles of the whole program."""
+    model = latency_model or LatencyModel()
+    return sum(
+        block.frequency * model.whole_graph_software_latency(block.dfg)
+        for block in program
+    )
+
+
+def block_savings(
+    dfg: DataFlowGraph,
+    cuts: Iterable[Collection[int]],
+    merit_function: MeritFunction,
+) -> int:
+    """Cycles saved per execution of the block by the given non-overlapping
+    cuts.  Overlapping cuts would double-count savings, so they are rejected.
+    """
+    seen: set[int] = set()
+    saved = 0
+    for members in cuts:
+        member_set = set(members)
+        if member_set & seen:
+            raise ReproError(
+                f"cuts selected for block {dfg.name!r} overlap; savings would "
+                "be double-counted"
+            )
+        seen.update(member_set)
+        saved += max(0, merit_function.merit(dfg, member_set))
+    return saved
+
+
+def application_speedup(
+    program: Program,
+    cuts_by_block: Mapping[str, Iterable[Collection[int]]],
+    latency_model: LatencyModel | None = None,
+) -> SpeedupReport:
+    """Estimate the whole-application speedup for a set of selected cuts.
+
+    Parameters
+    ----------
+    program:
+        The profiled application.
+    cuts_by_block:
+        For every block name, the (non-overlapping) node sets chosen as ISEs
+        in that block.  Blocks not present in the mapping simply contribute
+        no savings.
+    latency_model:
+        Latency model shared by software and hardware estimates.
+    """
+    model = latency_model or LatencyModel()
+    merit_function = MeritFunction(model)
+    blocks: list[BlockSavings] = []
+    total_sw = 0.0
+    total_saved = 0.0
+    known_blocks = {block.name for block in program}
+    for name in cuts_by_block:
+        if name not in known_blocks:
+            raise ReproError(
+                f"cuts_by_block refers to unknown basic block {name!r}"
+            )
+    for block in program:
+        software_cycles = model.whole_graph_software_latency(block.dfg)
+        cuts = list(cuts_by_block.get(block.name, ()))
+        saved = block_savings(block.dfg, cuts, merit_function) if cuts else 0
+        entry = BlockSavings(
+            block_name=block.name,
+            frequency=block.frequency,
+            software_cycles=software_cycles,
+            saved_cycles_per_visit=saved,
+        )
+        blocks.append(entry)
+        total_sw += entry.weighted_software_cycles
+        total_saved += entry.weighted_saved_cycles
+    return SpeedupReport(
+        total_software_cycles=total_sw,
+        total_saved_cycles=total_saved,
+        blocks=blocks,
+    )
+
+
+def speedup_value(
+    program: Program,
+    cuts_by_block: Mapping[str, Iterable[Collection[int]]],
+    latency_model: LatencyModel | None = None,
+) -> float:
+    """Shorthand returning only the speedup number."""
+    return application_speedup(program, cuts_by_block, latency_model).speedup

@@ -1,0 +1,116 @@
+"""Program-level containers: profiled basic blocks.
+
+ISE generation has two granularities in the paper:
+
+* **Problem 1** works inside a single basic block's DFG, and
+* **Problem 2** distributes up to ``N_ISE`` custom instructions over all the
+  basic blocks of an application, weighting each block by its execution
+  frequency.
+
+:class:`Program` is the minimal application model needed for Problem 2 and
+for the whole-application speedup formula of Section 5: a named collection of
+basic-block DFGs, each with an execution frequency (obtained either from the
+IR profiler in :mod:`repro.ir.profile` or supplied directly by the synthetic
+workload generators).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .dfg import DataFlowGraph
+from .errors import ReproError
+
+
+@dataclass
+class BlockProfile:
+    """One basic block of an application together with its profile weight."""
+
+    dfg: DataFlowGraph
+    frequency: float = 1.0
+    #: Optional free-form metadata (loop nest, source function, ...).
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise ReproError(
+                f"block {self.dfg.name!r}: execution frequency must be >= 0"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.dfg.name
+
+    @property
+    def num_nodes(self) -> int:
+        return self.dfg.num_nodes
+
+
+class Program:
+    """A profiled application: an ordered collection of basic blocks."""
+
+    def __init__(self, name: str, blocks: Iterable[BlockProfile] = ()):
+        self.name = name
+        self._blocks: list[BlockProfile] = []
+        self._by_name: dict[str, BlockProfile] = {}
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: BlockProfile) -> BlockProfile:
+        if block.name in self._by_name:
+            raise ReproError(
+                f"program {self.name!r} already has a block named {block.name!r}"
+            )
+        self._blocks.append(block)
+        self._by_name[block.name] = block
+        return block
+
+    def add_dfg(self, dfg: DataFlowGraph, frequency: float = 1.0) -> BlockProfile:
+        return self.add_block(BlockProfile(dfg=dfg, frequency=frequency))
+
+    @property
+    def blocks(self) -> tuple[BlockProfile, ...]:
+        return tuple(self._blocks)
+
+    def block(self, name: str) -> BlockProfile:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise ReproError(
+                f"program {self.name!r} has no block named {name!r}"
+            ) from exc
+
+    def __iter__(self) -> Iterator[BlockProfile]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(block.num_nodes for block in self._blocks)
+
+    @property
+    def largest_block(self) -> BlockProfile:
+        if not self._blocks:
+            raise ReproError(f"program {self.name!r} has no blocks")
+        return max(self._blocks, key=lambda block: block.num_nodes)
+
+    def critical_block_size(self) -> int:
+        """Number of nodes in the largest basic block — the number the paper
+        quotes in parentheses next to each benchmark name."""
+        return self.largest_block.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program(name={self.name!r}, blocks={len(self._blocks)}, "
+            f"critical_block={self.critical_block_size() if self._blocks else 0})"
+        )
+
+
+def single_block_program(
+    dfg: DataFlowGraph, frequency: float = 1.0, name: str | None = None
+) -> Program:
+    """Wrap a lone DFG into a one-block :class:`Program` (common in tests)."""
+    return Program(name or dfg.name, [BlockProfile(dfg=dfg, frequency=frequency)])

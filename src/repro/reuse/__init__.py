@@ -1,0 +1,39 @@
+"""Reuse / recurrence analysis of generated cuts (Figures 1 and 7)."""
+
+from .isomorphism import (
+    are_isomorphic,
+    count_instances,
+    enumerate_instances,
+    find_isomorphism,
+)
+from .recurrence import (
+    CutInstanceInfo,
+    ReuseReport,
+    annotate_instances,
+    cut_instances,
+    instance_info,
+    reuse_adjusted_saving,
+)
+from .selection import (
+    ReuseAwareResult,
+    best_templates_by_coverage,
+    generate_with_reuse,
+    reuse_aware_speedup,
+)
+
+__all__ = [
+    "are_isomorphic",
+    "find_isomorphism",
+    "enumerate_instances",
+    "count_instances",
+    "CutInstanceInfo",
+    "ReuseReport",
+    "annotate_instances",
+    "cut_instances",
+    "instance_info",
+    "reuse_adjusted_saving",
+    "ReuseAwareResult",
+    "reuse_aware_speedup",
+    "generate_with_reuse",
+    "best_templates_by_coverage",
+]

@@ -1,0 +1,433 @@
+"""Exact structural matching of cut templates.
+
+Two cuts are *structurally identical* — and can therefore share one AFU —
+when there is a bijection between their nodes that preserves opcodes and
+in-cut data dependencies (with commutative operands allowed to swap) and that
+keeps the same pattern of out-of-cut operands (AFU input ports).  The cheap
+Weisfeiler-Lehman signature of :mod:`repro.dfg.hashing` is used as a
+pre-filter; this module provides the exact check (a VF2-style backtracking
+matcher specialized to labelled DAG fragments) plus *instance enumeration*:
+given a template cut, find the copies of it elsewhere in the DFG — the
+quantity Figure 7 of the paper reports for the first four AES cuts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection, Iterator, Mapping
+
+from ..dfg import DataFlowGraph, opcode_histogram
+from ..isa import is_commutative
+
+
+def _in_cut_preds(
+    dfg: DataFlowGraph, index: int, members: frozenset[int]
+) -> tuple[tuple[int, int], ...]:
+    """(operand position, producer index) pairs for in-cut predecessors."""
+    node = dfg.node_by_index(index)
+    pairs = []
+    for position, operand in enumerate(node.operands):
+        if dfg.is_external(operand):
+            continue
+        producer = dfg.node(operand).index
+        if producer in members:
+            pairs.append((position, producer))
+    return tuple(pairs)
+
+
+def _edge_ok(
+    template_dfg: DataFlowGraph,
+    template_index: int,
+    template_set: frozenset[int],
+    target_dfg: DataFlowGraph,
+    target_index: int,
+    target_set: frozenset[int],
+    mapping: Mapping[int, int],
+) -> bool:
+    """Operand-level consistency of one template node under *mapping*.
+
+    Every in-cut operand of the template node must correspond to an in-cut
+    operand of the target node producing the mapped value (same operand
+    position unless the operator is commutative), and the number of
+    out-of-cut operands must agree.  Already-mapped in-cut *successors* are
+    checked symmetrically (they must consume the target node), which keeps
+    the backtracking from exploring permutations of interchangeable leaf
+    nodes.  Template neighbours that are not yet mapped are skipped here and
+    re-checked by the caller's final pass.
+    """
+    template_node = template_dfg.node_by_index(template_index)
+    target_node = target_dfg.node_by_index(target_index)
+    if template_node.opcode is not target_node.opcode:
+        return False
+    template_preds = _in_cut_preds(template_dfg, template_index, template_set)
+    target_preds = _in_cut_preds(target_dfg, target_index, target_set)
+    if len(template_preds) != len(target_preds):
+        return False
+    if is_commutative(template_node.opcode):
+        target_pred_set = {producer for _position, producer in target_preds}
+        for _position, template_pred in template_preds:
+            mapped = mapping.get(template_pred)
+            if mapped is not None and mapped not in target_pred_set:
+                return False
+    else:
+        target_by_position = dict(target_preds)
+        for position, template_pred in template_preds:
+            mapped = mapping.get(template_pred)
+            if mapped is not None and target_by_position.get(position) != mapped:
+                return False
+    # Mapped in-cut successors must consume the target node (at the same
+    # operand position unless the successor is commutative).
+    for succ in template_dfg.succs(template_index):
+        if succ not in template_set:
+            continue
+        mapped_succ = mapping.get(succ)
+        if mapped_succ is None:
+            continue
+        succ_node = template_dfg.node_by_index(succ)
+        consumer = target_dfg.node_by_index(mapped_succ)
+        consumer_producers = [
+            None
+            if target_dfg.is_external(operand)
+            else target_dfg.node(operand).index
+            for operand in consumer.operands
+        ]
+        if is_commutative(succ_node.opcode):
+            if target_index not in consumer_producers:
+                return False
+            continue
+        for position, operand in enumerate(succ_node.operands):
+            if template_dfg.is_external(operand):
+                continue
+            if template_dfg.node(operand).index != template_index:
+                continue
+            if (
+                position >= len(consumer_producers)
+                or consumer_producers[position] != target_index
+            ):
+                return False
+    return True
+
+
+def _verify_mapping(
+    template_dfg: DataFlowGraph,
+    template_set: frozenset[int],
+    target_dfg: DataFlowGraph,
+    target_set: frozenset[int],
+    mapping: Mapping[int, int],
+) -> bool:
+    """Full (non-incremental) verification of a complete candidate mapping."""
+    for template_index in template_set:
+        target_index = mapping[template_index]
+        template_preds = _in_cut_preds(template_dfg, template_index, template_set)
+        target_preds = _in_cut_preds(target_dfg, target_index, target_set)
+        if len(template_preds) != len(target_preds):
+            return False
+        if is_commutative(template_dfg.node_by_index(template_index).opcode):
+            expected = sorted(mapping[p] for _pos, p in template_preds)
+            actual = sorted(p for _pos, p in target_preds)
+            if expected != actual:
+                return False
+        else:
+            expected_by_position = {
+                position: mapping[p] for position, p in template_preds
+            }
+            if expected_by_position != dict(target_preds):
+                return False
+    return True
+
+
+def find_isomorphism(
+    template_dfg: DataFlowGraph,
+    template_members: Collection[int],
+    target_dfg: DataFlowGraph,
+    target_members: Collection[int],
+) -> dict[int, int] | None:
+    """Return a template->target node mapping, or ``None`` if not isomorphic.
+
+    Both node sets must belong to prepared DFGs (they may be the same graph).
+    """
+    template_set = frozenset(template_members)
+    target_set = frozenset(target_members)
+    if len(template_set) != len(target_set):
+        return None
+    if opcode_histogram(template_dfg, template_set) != opcode_histogram(
+        target_dfg, target_set
+    ):
+        return None
+    template_order = _matching_order(template_dfg, template_set)
+    target_by_opcode: dict = {}
+    for index in target_set:
+        target_by_opcode.setdefault(
+            target_dfg.node_by_index(index).opcode, []
+        ).append(index)
+
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def backtrack(position: int) -> bool:
+        if position == len(template_order):
+            return True
+        template_index = template_order[position]
+        opcode = template_dfg.node_by_index(template_index).opcode
+        for target_index in sorted(target_by_opcode.get(opcode, ())):
+            if target_index in used:
+                continue
+            if not _edge_ok(
+                template_dfg,
+                template_index,
+                template_set,
+                target_dfg,
+                target_index,
+                target_set,
+                mapping,
+            ):
+                continue
+            mapping[template_index] = target_index
+            used.add(target_index)
+            if backtrack(position + 1):
+                return True
+            del mapping[template_index]
+            used.discard(target_index)
+        return False
+
+    if backtrack(0) and _verify_mapping(
+        template_dfg, template_set, target_dfg, target_set, mapping
+    ):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(
+    template_dfg: DataFlowGraph,
+    template_members: Collection[int],
+    target_dfg: DataFlowGraph,
+    target_members: Collection[int],
+) -> bool:
+    """True when the two cuts are structurally identical."""
+    return (
+        find_isomorphism(template_dfg, template_members, target_dfg, target_members)
+        is not None
+    )
+
+
+def _matching_order(dfg: DataFlowGraph, members: frozenset[int]) -> list[int]:
+    """Order template nodes so that each node (after the first of its weakly
+    connected component) has at least one already-ordered neighbour — this is
+    what gives the instance search its locality-based pruning."""
+    remaining = set(members)
+    order: list[int] = []
+    while remaining:
+        start = min(remaining)
+        queue = deque([start])
+        remaining.discard(start)
+        order.append(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(dfg.neighbors(current)):
+                if neighbor in remaining:
+                    remaining.discard(neighbor)
+                    order.append(neighbor)
+                    queue.append(neighbor)
+    return order
+
+
+def enumerate_instances(
+    dfg: DataFlowGraph,
+    template_members: Collection[int],
+    *,
+    candidate_nodes: Collection[int] | None = None,
+    overlapping: bool = False,
+    max_instances: int | None = None,
+) -> Iterator[frozenset[int]]:
+    """Find copies of the template cut elsewhere in *dfg*.
+
+    The search maps the template into the graph with a VF2-style backtracking
+    anchored at the template's rarest opcode.  By default instances are
+    reported greedily **disjoint** (an instance claims its nodes; later
+    instances cannot reuse them), which is the counting used by the paper's
+    reusability study: it answers "how many separate times can this AFU be
+    used inside the block".  Set ``overlapping=True`` to report every match.
+
+    The template itself is reported first when it lies inside
+    ``candidate_nodes``.  The greedy disjoint packing is not a maximum
+    packing; for the regular structures this analysis targets (unrolled /
+    round-structured kernels) the two coincide.
+    """
+    dfg.prepare()
+    template_set = frozenset(template_members)
+    if not template_set:
+        return
+    if candidate_nodes is None:
+        candidates = {
+            i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
+        }
+    else:
+        candidates = set(candidate_nodes)
+    template_order = _matching_order(dfg, template_set)
+    anchor_index = template_order[0]
+    anchor_opcode = dfg.node_by_index(anchor_index).opcode
+
+    claimed: set[int] = set()
+    seen: set[frozenset[int]] = set()
+    found = 0
+
+    def matches_from(anchor_target: int, available: set[int]) -> frozenset[int] | None:
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+
+        def partial_ok(template_index: int, target_index: int) -> bool:
+            """Consistency of one tentative pair against the *mapped* part of
+            the template only; the complete mapping is re-verified at the end."""
+            template_node = dfg.node_by_index(template_index)
+            target_node = dfg.node_by_index(target_index)
+            if template_node.opcode is not target_node.opcode:
+                return False
+            commutative = is_commutative(template_node.opcode)
+            target_operand_producers: list[int | None] = []
+            for operand in target_node.operands:
+                if dfg.is_external(operand):
+                    target_operand_producers.append(None)
+                else:
+                    target_operand_producers.append(dfg.node(operand).index)
+            # Mapped template predecessors must feed the target node.
+            for position, operand in enumerate(template_node.operands):
+                if dfg.is_external(operand):
+                    continue
+                producer = dfg.node(operand).index
+                if producer not in template_set or producer not in mapping:
+                    continue
+                expected = mapping[producer]
+                if commutative:
+                    if expected not in target_operand_producers:
+                        return False
+                elif target_operand_producers[position] != expected:
+                    return False
+            # Mapped template successors must consume the target node.
+            for succ in dfg.succs(template_index):
+                if succ not in template_set or succ not in mapping:
+                    continue
+                consumer = dfg.node_by_index(mapping[succ])
+                succ_node = dfg.node_by_index(succ)
+                positions = [
+                    position
+                    for position, operand in enumerate(succ_node.operands)
+                    if not dfg.is_external(operand)
+                    and dfg.node(operand).index == template_index
+                ]
+                consumer_producers = [
+                    None
+                    if dfg.is_external(operand)
+                    else dfg.node(operand).index
+                    for operand in consumer.operands
+                ]
+                if is_commutative(succ_node.opcode):
+                    if target_index not in consumer_producers:
+                        return False
+                else:
+                    for position in positions:
+                        if (
+                            position >= len(consumer_producers)
+                            or consumer_producers[position] != target_index
+                        ):
+                            return False
+            return True
+
+        def candidates_for(template_index: int) -> list[int]:
+            """Candidate target nodes for *template_index* given the partial
+            mapping: neighbours of already-mapped template neighbours when
+            possible, otherwise any unused candidate with the right opcode."""
+            opcode = dfg.node_by_index(template_index).opcode
+            anchored: set[int] | None = None
+            for pred in dfg.preds(template_index):
+                if pred in mapping:
+                    succs = set(dfg.succs(mapping[pred]))
+                    anchored = succs if anchored is None else anchored & succs
+            for succ in dfg.succs(template_index):
+                if succ in mapping:
+                    preds = set(dfg.preds(mapping[succ]))
+                    anchored = preds if anchored is None else anchored & preds
+            if anchored is None:
+                pool = [
+                    i
+                    for i in available
+                    if i not in used and dfg.node_by_index(i).opcode is opcode
+                ]
+            else:
+                pool = [
+                    i
+                    for i in anchored
+                    if i in available
+                    and i not in used
+                    and dfg.node_by_index(i).opcode is opcode
+                ]
+            # Prefer mapping a template node onto itself so the first reported
+            # instance is the template.
+            return sorted(pool, key=lambda i: (i != template_index, i))
+
+        def backtrack(position: int) -> bool:
+            if position == len(template_order):
+                return True
+            template_index = template_order[position]
+            if position == 0:
+                pool = [anchor_target]
+            else:
+                pool = candidates_for(template_index)
+            for target_index in pool:
+                if not partial_ok(template_index, target_index):
+                    continue
+                mapping[template_index] = target_index
+                used.add(target_index)
+                if backtrack(position + 1):
+                    return True
+                del mapping[template_index]
+                used.discard(target_index)
+            return False
+
+        if not backtrack(0):
+            return None
+        mapped = frozenset(mapping.values())
+        if _verify_mapping(dfg, template_set, dfg, mapped, mapping):
+            return mapped
+        return None
+
+    anchor_targets = sorted(
+        i for i in candidates if dfg.node_by_index(i).opcode is anchor_opcode
+    )
+    # Report the template itself first so CUT1's first instance is CUT1.
+    if template_set <= candidates:
+        anchor_targets.remove(anchor_index)
+        anchor_targets.insert(0, anchor_index)
+    for anchor_target in anchor_targets:
+        if max_instances is not None and found >= max_instances:
+            return
+        if not overlapping and anchor_target in claimed:
+            continue
+        available = candidates if overlapping else candidates - claimed
+        instance = matches_from(anchor_target, available)
+        if instance is None or instance in seen:
+            continue
+        if not overlapping and (instance & claimed):
+            continue
+        seen.add(instance)
+        claimed.update(instance)
+        found += 1
+        yield instance
+
+
+def count_instances(
+    dfg: DataFlowGraph,
+    template_members: Collection[int],
+    *,
+    candidate_nodes: Collection[int] | None = None,
+    overlapping: bool = False,
+) -> int:
+    """Number of (by default disjoint) instances of the template in *dfg*."""
+    return sum(
+        1
+        for _instance in enumerate_instances(
+            dfg,
+            template_members,
+            candidate_nodes=candidate_nodes,
+            overlapping=overlapping,
+        )
+    )

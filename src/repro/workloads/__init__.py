@@ -1,0 +1,58 @@
+"""Benchmark workloads: EEMBC / MediaBench / AES reconstructions and
+parametric synthetic generators."""
+
+from .registry import (
+    AES_BENCHMARK,
+    PAPER_BENCHMARKS,
+    WorkloadSpec,
+    available_workloads,
+    iter_workloads,
+    load_workload,
+    register_workload,
+    workload_spec,
+)
+from .embench import (
+    build_autcor00,
+    build_conven00,
+    build_fbital00,
+    build_fft00,
+    build_viterb00,
+)
+from .mediabench import build_adpcm_coder, build_adpcm_decoder
+from .crypto import AES_CRITICAL_BLOCK_SIZE, AES_FULL_ROUNDS, build_aes, build_aes_block
+from .generator import (
+    figure1_dfg,
+    figure1_large_template,
+    figure1_small_template,
+    regular_kernel,
+    regular_program,
+    scaling_program,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "register_workload",
+    "workload_spec",
+    "load_workload",
+    "available_workloads",
+    "iter_workloads",
+    "PAPER_BENCHMARKS",
+    "AES_BENCHMARK",
+    "build_conven00",
+    "build_fbital00",
+    "build_viterb00",
+    "build_autcor00",
+    "build_fft00",
+    "build_adpcm_decoder",
+    "build_adpcm_coder",
+    "build_aes",
+    "build_aes_block",
+    "AES_CRITICAL_BLOCK_SIZE",
+    "AES_FULL_ROUNDS",
+    "figure1_dfg",
+    "figure1_small_template",
+    "figure1_large_template",
+    "regular_kernel",
+    "regular_program",
+    "scaling_program",
+]

@@ -1,0 +1,258 @@
+"""Cryptographic workload: AES-128 encryption with a 696-node critical block.
+
+The paper's AES has a critical basic block of 696 nodes with a symmetric,
+highly regular structure — four identical MixColumns/AddRoundKey rounds over
+sixteen bytes — which is what lets ISEGEN find one cut and reuse it many
+times (Figures 6 and 7).
+
+This generator reconstructs that block at the byte level:
+
+* the four 32-bit input words are unpacked into sixteen state bytes
+  (shift/mask arithmetic);
+* an initial AddRoundKey whitening XORs the state with round-key bytes
+  (round keys live in registers after key expansion, so they appear as
+  external inputs);
+* four **identical full rounds**: SubBytes (table lookups — forbidden ``lut``
+  barrier nodes, exactly like the real memory accesses), ShiftRows (a pure
+  permutation, no nodes), MixColumns (xtime double/mask/XOR arithmetic with
+  the GF(2^8) reduction constant rematerialized per column) and AddRoundKey;
+* a final round without MixColumns;
+* the sixteen output bytes are packed back into four words and chained into
+  the next block (CBC feedback XOR).
+
+Every full round contributes exactly the same subgraph shape, giving the DFG
+the regularity the paper exploits; the block size comes out at exactly 696
+nodes (asserted).
+"""
+
+from __future__ import annotations
+
+from ..dfg import DataFlowGraph
+from ..isa import Opcode
+from ..program import BlockProfile, Program
+from .registry import WorkloadSpec, register_workload
+
+#: Critical-block size the paper quotes for AES.
+AES_CRITICAL_BLOCK_SIZE = 696
+
+#: Number of full (MixColumns) rounds materialized in the critical block.
+AES_FULL_ROUNDS = 4
+
+
+def _const(dfg: DataFlowGraph, name: str, value: int) -> str:
+    dfg.add_node(name, Opcode.CONST, (), attrs={"value": value})
+    return name
+
+
+def _unpack_word(
+    dfg: DataFlowGraph, prefix: str, word: str, consts: dict[str, str]
+) -> list[str]:
+    """Split a 32-bit word into four bytes (6 nodes)."""
+    bytes_out = []
+    dfg.add_node(f"{prefix}_b0", Opcode.AND, [word, consts["cFF"]])
+    bytes_out.append(f"{prefix}_b0")
+    for position, shift_const in enumerate(("c8", "c16"), start=1):
+        dfg.add_node(f"{prefix}_s{position}", Opcode.SHR, [word, consts[shift_const]])
+        dfg.add_node(
+            f"{prefix}_b{position}", Opcode.AND, [f"{prefix}_s{position}", consts["cFF"]]
+        )
+        bytes_out.append(f"{prefix}_b{position}")
+    dfg.add_node(f"{prefix}_b3", Opcode.SHR, [word, consts["c24"]])
+    bytes_out.append(f"{prefix}_b3")
+    return bytes_out
+
+
+def _pack_word(
+    dfg: DataFlowGraph, prefix: str, state_bytes: list[str], consts: dict[str, str],
+    *, live_out: bool = False,
+) -> str:
+    """Recombine four bytes into a 32-bit word (10 nodes).
+
+    Each byte is masked to 8 bits before being shifted into place — the same
+    defensive masking the compiled byte-oriented C code performs.
+    """
+    masked = []
+    for position, byte in enumerate(state_bytes):
+        name = f"{prefix}_mask{position}"
+        dfg.add_node(name, Opcode.AND, [byte, consts["cFF"]])
+        masked.append(name)
+    dfg.add_node(f"{prefix}_h1", Opcode.SHL, [masked[1], consts["c8"]])
+    dfg.add_node(f"{prefix}_h2", Opcode.SHL, [masked[2], consts["c16"]])
+    dfg.add_node(f"{prefix}_h3", Opcode.SHL, [masked[3], consts["c24"]])
+    dfg.add_node(f"{prefix}_o1", Opcode.OR, [masked[0], f"{prefix}_h1"])
+    dfg.add_node(f"{prefix}_o2", Opcode.OR, [f"{prefix}_o1", f"{prefix}_h2"])
+    dfg.add_node(
+        f"{prefix}_word", Opcode.OR, [f"{prefix}_o2", f"{prefix}_h3"], live_out=live_out
+    )
+    return f"{prefix}_word"
+
+
+def _shift_rows(state: list[str]) -> list[str]:
+    """ShiftRows: a pure re-wiring of the sixteen state bytes (no nodes).
+
+    State layout is column-major (byte ``4*c + r`` is row ``r`` of column
+    ``c``), as in the FIPS-197 specification.
+    """
+    shifted = list(state)
+    for row in range(1, 4):
+        for column in range(4):
+            shifted[4 * column + row] = state[4 * ((column + row) % 4) + row]
+    return shifted
+
+
+def _sub_bytes(dfg: DataFlowGraph, prefix: str, state: list[str]) -> list[str]:
+    """SubBytes: one S-box table lookup per byte (16 forbidden nodes)."""
+    output = []
+    for position, byte in enumerate(state):
+        name = f"{prefix}_sbox{position}"
+        dfg.add_node(name, Opcode.LUT, [byte])
+        output.append(name)
+    return output
+
+
+def _xtime(dfg: DataFlowGraph, prefix: str, value: str, reduction_const: str) -> str:
+    """GF(2^8) doubling: add the byte to itself, reduce modulo the AES
+    polynomial (3 nodes, one shared reduction constant per column)."""
+    dfg.add_node(f"{prefix}_dbl", Opcode.ADD, [value, value])
+    dfg.add_node(f"{prefix}_red", Opcode.AND, [f"{prefix}_dbl", reduction_const])
+    dfg.add_node(f"{prefix}_x", Opcode.XOR, [f"{prefix}_dbl", f"{prefix}_red"])
+    return f"{prefix}_x"
+
+
+def _mix_column(
+    dfg: DataFlowGraph,
+    prefix: str,
+    column: list[str],
+) -> list[str]:
+    """MixColumns on one column (28 nodes: 1 constant + 3 + 4 x 6)."""
+    reduction = _const(dfg, f"{prefix}_c1b", 0x11B)
+    dfg.add_node(f"{prefix}_t01", Opcode.XOR, [column[0], column[1]])
+    dfg.add_node(f"{prefix}_t23", Opcode.XOR, [column[2], column[3]])
+    dfg.add_node(f"{prefix}_t", Opcode.XOR, [f"{prefix}_t01", f"{prefix}_t23"])
+    output = []
+    for row in range(4):
+        this_byte = column[row]
+        next_byte = column[(row + 1) % 4]
+        pair = f"{prefix}_p{row}"
+        dfg.add_node(pair, Opcode.XOR, [this_byte, next_byte])
+        doubled = _xtime(dfg, f"{prefix}_r{row}", pair, reduction)
+        dfg.add_node(f"{prefix}_a{row}", Opcode.XOR, [this_byte, f"{prefix}_t"])
+        dfg.add_node(f"{prefix}_m{row}", Opcode.XOR, [f"{prefix}_a{row}", doubled])
+        output.append(f"{prefix}_m{row}")
+    return output
+
+
+def _mix_columns(
+    dfg: DataFlowGraph, prefix: str, state: list[str]
+) -> list[str]:
+    """MixColumns on the whole state (112 nodes)."""
+    output: list[str] = []
+    for column_index in range(4):
+        column = state[4 * column_index : 4 * column_index + 4]
+        output.extend(
+            _mix_column(dfg, f"{prefix}_c{column_index}", column)
+        )
+    return output
+
+
+def _add_round_key(
+    dfg: DataFlowGraph,
+    prefix: str,
+    state: list[str],
+    key_bytes: list[str],
+    *,
+    live_out: bool = False,
+) -> list[str]:
+    """AddRoundKey: one XOR per byte (16 nodes)."""
+    output = []
+    for position, (byte, key) in enumerate(zip(state, key_bytes)):
+        name = f"{prefix}_ark{position}"
+        dfg.add_node(name, Opcode.XOR, [byte, key], live_out=live_out)
+        output.append(name)
+    return output
+
+
+def build_aes_block() -> DataFlowGraph:
+    """Build the 696-node AES critical basic block."""
+    dfg = DataFlowGraph("aes.encrypt_block")
+    # Shared byte-manipulation constants; the GF(2^8) reduction constant is
+    # materialized once per MixColumns column (compilers rematerialize small
+    # immediates near their uses in blocks this large), so every column is a
+    # self-contained, structurally identical subgraph.
+    consts = {
+        "cFF": _const(dfg, "cFF", 0xFF),
+        "c8": _const(dfg, "c8", 8),
+        "c16": _const(dfg, "c16", 16),
+        "c24": _const(dfg, "c24", 24),
+    }
+    # Input unpacking: 4 words -> 16 state bytes.
+    state: list[str] = []
+    for word_index in range(4):
+        word = dfg.add_external_input(f"in{word_index}")
+        state.extend(_unpack_word(dfg, f"u{word_index}", word, consts))
+    # Round-key bytes are external inputs (they sit in registers after key
+    # expansion); one set per AddRoundKey application.
+    def round_key(round_index: int) -> list[str]:
+        return [
+            dfg.add_external_input(f"k{round_index}_{byte}") for byte in range(16)
+        ]
+
+    # Initial whitening.
+    state = _add_round_key(dfg, "w", state, round_key(0))
+    # Full rounds: SubBytes, ShiftRows, MixColumns, AddRoundKey.
+    for round_index in range(1, AES_FULL_ROUNDS + 1):
+        prefix = f"r{round_index}"
+        state = _sub_bytes(dfg, prefix, state)
+        state = _shift_rows(state)
+        state = _mix_columns(dfg, prefix, state)
+        state = _add_round_key(dfg, prefix, state, round_key(round_index))
+    # Final round: SubBytes, ShiftRows, AddRoundKey (no MixColumns).
+    final_prefix = f"r{AES_FULL_ROUNDS + 1}"
+    state = _sub_bytes(dfg, final_prefix, state)
+    state = _shift_rows(state)
+    state = _add_round_key(
+        dfg, final_prefix, state, round_key(AES_FULL_ROUNDS + 1)
+    )
+    # Pack the state back into 4 output words and chain them with the
+    # feedback words (CBC) of the next block.
+    for word_index in range(4):
+        column = state[4 * word_index : 4 * word_index + 4]
+        word = _pack_word(dfg, f"pk{word_index}", column, consts)
+        feedback = dfg.add_external_input(f"iv{word_index}")
+        dfg.add_node(f"out{word_index}", Opcode.XOR, [word, feedback], live_out=True)
+    dfg.prepare()
+    assert dfg.num_nodes == AES_CRITICAL_BLOCK_SIZE, dfg.num_nodes
+    return dfg
+
+
+def build_aes() -> Program:
+    """AES-128 CBC encryption: key-schedule prologue block + the 696-node
+    encryption block executed once per 16-byte input block."""
+    program = Program("aes")
+    prologue = DataFlowGraph("aes.key_schedule")
+    key_word = prologue.add_external_input("key0")
+    round_constant = prologue.add_external_input("rcon")
+    prologue.add_node("ks_rot", Opcode.ROR, [key_word, round_constant])
+    prologue.add_node("ks_sbox", Opcode.LUT, ["ks_rot"])
+    prologue.add_node("ks_out", Opcode.XOR, ["ks_sbox", key_word], live_out=True)
+    prologue.prepare()
+    program.add_block(
+        BlockProfile(dfg=prologue, frequency=11.0, attrs={"role": "key_schedule"})
+    )
+    program.add_block(
+        BlockProfile(
+            dfg=build_aes_block(), frequency=4096.0, attrs={"role": "critical"}
+        )
+    )
+    return program
+
+
+register_workload(
+    WorkloadSpec(
+        name="aes",
+        suite="cryptographic",
+        critical_block_size=AES_CRITICAL_BLOCK_SIZE,
+        description="AES-128 encryption block (byte-level, four full rounds)",
+        builder=build_aes,
+    )
+)

@@ -1,0 +1,213 @@
+"""Parametric synthetic workload generators.
+
+These generators complement the fixed benchmark reconstructions with tunable
+inputs for stress tests, property-based tests and the motivational example of
+Figure 1:
+
+* :func:`regular_kernel` — a DFG made of ``num_clusters`` structurally
+  identical clusters (optionally cross-linked), the shape on which reuse
+  analysis and the directional-growth gain component shine;
+* :func:`figure1_dfg` — the specific regular graph used by the Figure-1
+  example/bench: a large connected template with few instances competing
+  against a smaller template with many instances;
+* :func:`scaling_program` — programs of growing critical-block size used by
+  the runtime-scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..dfg import DataFlowGraph
+from ..errors import WorkloadError
+from ..isa import Opcode
+from ..program import BlockProfile, Program
+
+#: Operator mix of one "cluster" used by the regular generators: a
+#: multiply-accumulate feeding a small logic/shift tail.
+_CLUSTER_OPS: tuple[tuple[str, Opcode], ...] = (
+    ("mul", Opcode.MUL),
+    ("acc", Opcode.ADD),
+    ("mix", Opcode.XOR),
+    ("shift", Opcode.SHR),
+    ("clip", Opcode.MIN),
+)
+
+
+def regular_kernel(
+    num_clusters: int,
+    *,
+    cluster_depth: int = 1,
+    cross_link: bool = False,
+    name: str | None = None,
+    live_out_last_only: bool = False,
+) -> DataFlowGraph:
+    """A DFG consisting of *num_clusters* structurally identical clusters.
+
+    Each cluster is ``cluster_depth`` repetitions of a five-operation
+    template (MUL, ADD, XOR, SHR, MIN) reading two fresh external inputs and
+    one shared coefficient.  With ``cross_link=True`` consecutive clusters
+    are chained through their accumulator, turning the graph into one large
+    connected component (otherwise the clusters are independent subgraphs —
+    the situation in which ISEGEN's independent-cuts component matters).
+    """
+    if num_clusters < 1:
+        raise WorkloadError("num_clusters must be at least 1")
+    if cluster_depth < 1:
+        raise WorkloadError("cluster_depth must be at least 1")
+    dfg = DataFlowGraph(name or f"regular{num_clusters}x{cluster_depth}")
+    coefficient = dfg.add_external_input("coeff")
+    shift = dfg.add_external_input("shift")
+    previous_tail: str | None = None
+    for cluster in range(num_clusters):
+        carry = dfg.add_external_input(f"c{cluster}_seed")
+        for depth in range(cluster_depth):
+            prefix = f"c{cluster}_d{depth}"
+            sample = dfg.add_external_input(f"{prefix}_x")
+            dfg.add_node(f"{prefix}_mul", Opcode.MUL, [sample, coefficient])
+            accumulate_source = carry
+            if cross_link and depth == 0 and previous_tail is not None:
+                accumulate_source = previous_tail
+            dfg.add_node(f"{prefix}_acc", Opcode.ADD, [f"{prefix}_mul", accumulate_source])
+            dfg.add_node(f"{prefix}_mix", Opcode.XOR, [f"{prefix}_acc", sample])
+            dfg.add_node(f"{prefix}_shift", Opcode.SHR, [f"{prefix}_mix", shift])
+            is_tail = depth == cluster_depth - 1
+            live_out = is_tail and (
+                not live_out_last_only or cluster == num_clusters - 1 or not cross_link
+            )
+            dfg.add_node(
+                f"{prefix}_clip",
+                Opcode.MIN,
+                [f"{prefix}_shift", coefficient],
+                live_out=live_out,
+            )
+            carry = f"{prefix}_clip"
+        previous_tail = carry
+    dfg.prepare()
+    return dfg
+
+
+def regular_program(
+    num_clusters: int,
+    *,
+    cluster_depth: int = 1,
+    frequency: float = 100.0,
+    cross_link: bool = False,
+    name: str | None = None,
+) -> Program:
+    """Wrap :func:`regular_kernel` into a single-block profiled program."""
+    dfg = regular_kernel(
+        num_clusters,
+        cluster_depth=cluster_depth,
+        cross_link=cross_link,
+        name=name,
+    )
+    program = Program(name or dfg.name)
+    program.add_block(BlockProfile(dfg=dfg, frequency=frequency))
+    return program
+
+
+def figure1_dfg(*, instances_of_small: int = 6, large_clusters: int = 3) -> DataFlowGraph:
+    """The Figure-1 motivational graph.
+
+    The graph contains ``instances_of_small`` identical small five-operation
+    clusters (the reusable template).  The first ``large_clusters`` of them
+    additionally carry a three-operation tail, forming larger connected
+    regions — the "largest ISE" that a connectivity- or size-driven
+    algorithm would pick, which however only occurs ``large_clusters`` times.
+    Choosing the small template instead covers *every* cluster (it also
+    matches inside the large regions), which is the paper's Figure-1 point.
+
+    Small-template node names follow ``g<k>_{mul,acc,mix,shift,clip}`` so
+    experiments can reference a known instance (``g0`` carries a tail,
+    ``g{large_clusters}`` is a plain small cluster).
+    """
+    if instances_of_small < large_clusters:
+        raise WorkloadError(
+            "instances_of_small must be at least as large as large_clusters"
+        )
+    dfg = DataFlowGraph("figure1")
+    coefficient = dfg.add_external_input("coeff")
+    shift = dfg.add_external_input("shift")
+    for cluster in range(instances_of_small):
+        prefix = f"g{cluster}"
+        sample = dfg.add_external_input(f"{prefix}_x")
+        seed = dfg.add_external_input(f"{prefix}_seed")
+        dfg.add_node(f"{prefix}_mul", Opcode.MUL, [sample, coefficient])
+        dfg.add_node(f"{prefix}_acc", Opcode.ADD, [f"{prefix}_mul", seed])
+        dfg.add_node(f"{prefix}_mix", Opcode.XOR, [f"{prefix}_acc", sample])
+        dfg.add_node(f"{prefix}_shift", Opcode.SHR, [f"{prefix}_mix", shift])
+        has_tail = cluster < large_clusters
+        dfg.add_node(
+            f"{prefix}_clip", Opcode.MIN, [f"{prefix}_shift", coefficient],
+            live_out=not has_tail,
+        )
+        if has_tail:
+            dfg.add_node(f"{prefix}_t1", Opcode.ADD, [f"{prefix}_clip", seed])
+            dfg.add_node(f"{prefix}_t2", Opcode.XOR, [f"{prefix}_t1", sample])
+            dfg.add_node(
+                f"{prefix}_t3", Opcode.MIN, [f"{prefix}_t2", coefficient],
+                live_out=True,
+            )
+    dfg.prepare()
+    return dfg
+
+
+def figure1_small_template(dfg: DataFlowGraph) -> frozenset[int]:
+    """Node indices of one instance of the small reusable cluster template."""
+    prefix = None
+    for node in dfg.nodes:
+        name = node.name
+        if name.endswith("_clip") and f"{name[:-5]}_t1" not in dfg:
+            prefix = name[: -len("_clip")]
+            break
+    if prefix is None:
+        raise WorkloadError("figure1 graph has no plain small cluster")
+    names = [f"{prefix}_{part}" for part in ("mul", "acc", "mix", "shift", "clip")]
+    return dfg.indices_of(names)
+
+
+def figure1_large_template(dfg: DataFlowGraph) -> frozenset[int]:
+    """Node indices of one instance of the large (tailed) cluster region."""
+    names = [
+        "g0_mul", "g0_acc", "g0_mix", "g0_shift", "g0_clip", "g0_t1", "g0_t2", "g0_t3",
+    ]
+    return dfg.indices_of(names)
+
+
+def scaling_program(
+    block_sizes: Sequence[int],
+    *,
+    seed: int = 0,
+    frequency: float = 50.0,
+    name: str = "scaling",
+) -> Program:
+    """A multi-block program whose blocks have the requested node counts.
+
+    Used by the runtime-scaling benchmarks (how ISE-generation time grows
+    with basic-block size).  Blocks are built from the regular cluster
+    template with a sprinkle of randomised cross links so they are neither
+    pathological nor trivially separable.
+    """
+    rng = random.Random(seed)
+    program = Program(name)
+    for position, size in enumerate(block_sizes):
+        if size < 5:
+            raise WorkloadError("scaling blocks need at least 5 nodes")
+        clusters, remainder = divmod(size, 5)
+        dfg = regular_kernel(
+            max(1, clusters),
+            cross_link=rng.random() < 0.5,
+            name=f"{name}.bb{position}",
+        )
+        # Top up with a chain of adds to reach the exact requested size.
+        previous = dfg.nodes[-1].name
+        for extra in range(remainder):
+            node_name = f"pad{extra}"
+            dfg.add_node(node_name, Opcode.ADD, [previous, "coeff"],
+                         live_out=extra == remainder - 1)
+            previous = node_name
+        dfg.prepare()
+        program.add_block(BlockProfile(dfg=dfg, frequency=frequency))
+    return program

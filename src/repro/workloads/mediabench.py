@@ -1,0 +1,260 @@
+"""MediaBench kernels: ADPCM decoder (82 nodes) and coder (96 nodes).
+
+The IMA ADPCM codec's inner loop adapts a step size through a lookup table,
+reconstructs (or quantizes) the signal with shift/add arithmetic, saturates
+the predictor and clamps the table index.  Both kernels process two samples
+per critical-block iteration (the real code packs two 4-bit codes per byte),
+which is reproduced here by instantiating the per-sample op sequence twice.
+
+Modelling choices mirroring the compiled C code:
+
+* the step-size and index-adjustment table lookups are ``lut`` nodes —
+  forbidden operations that act as the growth barriers the paper describes,
+  exactly like the real loads would;
+* immediates are materialized as zero-latency ``const`` nodes (they do not
+  consume register-file ports);
+* the coder block ends with the induction-variable / pointer bookkeeping the
+  compiler keeps in the loop body (address updates, buffer-step toggling).
+"""
+
+from __future__ import annotations
+
+from ..dfg import DataFlowGraph
+from ..isa import Opcode
+from ..program import BlockProfile, Program
+from .registry import WorkloadSpec, register_workload
+
+
+def _prologue(name: str) -> DataFlowGraph:
+    dfg = DataFlowGraph(f"{name}.prologue")
+    dfg.add_external_input("in_ptr")
+    dfg.add_external_input("len")
+    dfg.add_node("samples", Opcode.SHR, ["len", "in_ptr"])
+    dfg.add_node("end_ptr", Opcode.ADD, ["in_ptr", "samples"], live_out=True)
+    dfg.prepare()
+    return dfg
+
+
+def _mediabench_program(
+    name: str, critical: DataFlowGraph, loop_frequency: float
+) -> Program:
+    program = Program(name)
+    program.add_block(
+        BlockProfile(dfg=_prologue(name), frequency=1.0, attrs={"role": "prologue"})
+    )
+    program.add_block(
+        BlockProfile(dfg=critical, frequency=loop_frequency, attrs={"role": "critical"})
+    )
+    return program
+
+
+def _const(dfg: DataFlowGraph, name: str, value: int) -> str:
+    dfg.add_node(name, Opcode.CONST, (), attrs={"value": value})
+    return name
+
+
+# ----------------------------------------------------------------------
+# ADPCM decoder (82 nodes: 2 samples x 41 nodes)
+# ----------------------------------------------------------------------
+def _decoder_sample(
+    dfg: DataFlowGraph,
+    prefix: str,
+    packed: str,
+    out_ptr: str,
+    slot: int,
+    valpred_in: str,
+    index_in: str,
+) -> tuple[str, str]:
+    """One decoded sample (41 nodes).  Returns (new_valpred, new_index)."""
+    p = prefix
+    # --- constants (9) -------------------------------------------------------
+    for name, value in (
+        ("zero", 0),
+        ("c1", 1),
+        ("c2", 2),
+        ("c3", 3),
+        ("c4", 4),
+        ("c8", 8),
+        ("c88", 88),
+        ("cmin", -32768),
+        ("cmax", 32767),
+    ):
+        _const(dfg, f"{p}_{name}", value)
+    # --- unpack the 4-bit code from the packed byte (4) ----------------------
+    _const(dfg, f"{p}_cshift", 4 * slot)
+    _const(dfg, f"{p}_cF", 0xF)
+    dfg.add_node(f"{p}_shifted", Opcode.SHR, [packed, f"{p}_cshift"])
+    dfg.add_node(f"{p}_delta", Opcode.AND, [f"{p}_shifted", f"{p}_cF"])
+    delta = f"{p}_delta"
+    # --- index adaptation: index += indexTable[delta]; clamp to [0, 88] (4) --
+    dfg.add_node(f"{p}_idxadj", Opcode.LUT, [delta])
+    dfg.add_node(f"{p}_idxraw", Opcode.ADD, [index_in, f"{p}_idxadj"])
+    dfg.add_node(f"{p}_idxlo", Opcode.MAX, [f"{p}_idxraw", f"{p}_zero"])
+    dfg.add_node(f"{p}_index", Opcode.MIN, [f"{p}_idxlo", f"{p}_c88"])
+    # --- step = stepsizeTable[index] (1) -------------------------------------
+    dfg.add_node(f"{p}_step", Opcode.LUT, [f"{p}_index"])
+    # --- vpdiff accumulation (12) --------------------------------------------
+    dfg.add_node(f"{p}_vp0", Opcode.SHR, [f"{p}_step", f"{p}_c3"])
+    dfg.add_node(f"{p}_b4", Opcode.AND, [delta, f"{p}_c4"])
+    dfg.add_node(f"{p}_t4", Opcode.SELECT, [f"{p}_b4", f"{p}_step", f"{p}_zero"])
+    dfg.add_node(f"{p}_vp1", Opcode.ADD, [f"{p}_vp0", f"{p}_t4"])
+    dfg.add_node(f"{p}_half", Opcode.SHR, [f"{p}_step", f"{p}_c1"])
+    dfg.add_node(f"{p}_b2", Opcode.AND, [delta, f"{p}_c2"])
+    dfg.add_node(f"{p}_t2", Opcode.SELECT, [f"{p}_b2", f"{p}_half", f"{p}_zero"])
+    dfg.add_node(f"{p}_vp2", Opcode.ADD, [f"{p}_vp1", f"{p}_t2"])
+    dfg.add_node(f"{p}_quarter", Opcode.SHR, [f"{p}_step", f"{p}_c2"])
+    dfg.add_node(f"{p}_b1", Opcode.AND, [delta, f"{p}_c1"])
+    dfg.add_node(f"{p}_t1", Opcode.SELECT, [f"{p}_b1", f"{p}_quarter", f"{p}_zero"])
+    dfg.add_node(f"{p}_vpdiff", Opcode.ADD, [f"{p}_vp2", f"{p}_t1"])
+    # --- sign handling and saturation (6) -------------------------------------
+    dfg.add_node(f"{p}_sign", Opcode.AND, [delta, f"{p}_c8"])
+    dfg.add_node(f"{p}_vplus", Opcode.ADD, [valpred_in, f"{p}_vpdiff"])
+    dfg.add_node(f"{p}_vminus", Opcode.SUB, [valpred_in, f"{p}_vpdiff"])
+    dfg.add_node(f"{p}_vp", Opcode.SELECT, [f"{p}_sign", f"{p}_vminus", f"{p}_vplus"])
+    dfg.add_node(f"{p}_sat_lo", Opcode.MAX, [f"{p}_vp", f"{p}_cmin"])
+    dfg.add_node(f"{p}_valpred", Opcode.MIN, [f"{p}_sat_lo", f"{p}_cmax"])
+    # --- write the 16-bit sample to the output buffer (5) ----------------------
+    _const(dfg, f"{p}_cFFFF", 0xFFFF)
+    _const(dfg, f"{p}_coff", slot)
+    dfg.add_node(f"{p}_out16", Opcode.AND, [f"{p}_valpred", f"{p}_cFFFF"])
+    dfg.add_node(f"{p}_out_addr", Opcode.ADD, [out_ptr, f"{p}_coff"])
+    dfg.add_node(f"{p}_store", Opcode.STORE, [f"{p}_out16", f"{p}_out_addr"])
+    return f"{p}_valpred", f"{p}_index"
+
+
+def build_adpcm_decoder() -> Program:
+    """IMA ADPCM decoder: two unrolled samples per iteration (82 nodes)."""
+    dfg = DataFlowGraph("adpcm_decoder.loop")
+    packed = dfg.add_external_input("packed_byte")
+    out_ptr = dfg.add_external_input("out_ptr")
+    valpred = dfg.add_external_input("valpred_in")
+    index = dfg.add_external_input("index_in")
+    for slot in range(2):
+        valpred, index = _decoder_sample(
+            dfg, f"s{slot}", packed, out_ptr, slot, valpred, index
+        )
+        dfg.node(valpred).live_out = True
+    dfg.node(index).live_out = True
+    dfg.prepare()
+    assert dfg.num_nodes == 82, dfg.num_nodes
+    return _mediabench_program("adpcm_decoder", dfg, loop_frequency=1024.0)
+
+
+# ----------------------------------------------------------------------
+# ADPCM coder (96 nodes: 2 samples x 41 + packing 3 + bookkeeping 11)
+# ----------------------------------------------------------------------
+def _coder_sample(
+    dfg: DataFlowGraph, prefix: str, sample: str, valpred_in: str, index_in: str
+) -> tuple[str, str, str]:
+    """One encoded sample (41 nodes).  Returns (delta, new_valpred, new_index)."""
+    p = prefix
+    # --- constants (7) --------------------------------------------------------
+    for name, value in (
+        ("zero", 0),
+        ("c1", 1),
+        ("c2", 2),
+        ("c3", 3),
+        ("c88", 88),
+        ("cmin", -32768),
+        ("cmax", 32767),
+    ):
+        _const(dfg, f"{p}_{name}", value)
+    # --- step and difference (4) ----------------------------------------------
+    dfg.add_node(f"{p}_step", Opcode.LUT, [index_in])
+    dfg.add_node(f"{p}_diff_raw", Opcode.SUB, [sample, valpred_in])
+    dfg.add_node(f"{p}_sign", Opcode.LT, [f"{p}_diff_raw", f"{p}_zero"])
+    dfg.add_node(f"{p}_diff", Opcode.ABS, [f"{p}_diff_raw"])
+    # --- quantize diff into 3 magnitude bits (11) -------------------------------
+    dfg.add_node(f"{p}_ge_step", Opcode.GE, [f"{p}_diff", f"{p}_step"])
+    dfg.add_node(f"{p}_r1", Opcode.SELECT, [f"{p}_ge_step", f"{p}_step", f"{p}_zero"])
+    dfg.add_node(f"{p}_d1", Opcode.SUB, [f"{p}_diff", f"{p}_r1"])
+    dfg.add_node(f"{p}_half", Opcode.SHR, [f"{p}_step", f"{p}_c1"])
+    dfg.add_node(f"{p}_ge_half", Opcode.GE, [f"{p}_d1", f"{p}_half"])
+    dfg.add_node(f"{p}_r2", Opcode.SELECT, [f"{p}_ge_half", f"{p}_half", f"{p}_zero"])
+    dfg.add_node(f"{p}_d2", Opcode.SUB, [f"{p}_d1", f"{p}_r2"])
+    dfg.add_node(f"{p}_quarter", Opcode.SHR, [f"{p}_step", f"{p}_c2"])
+    dfg.add_node(f"{p}_ge_quarter", Opcode.GE, [f"{p}_d2", f"{p}_quarter"])
+    dfg.add_node(f"{p}_r3", Opcode.SELECT, [f"{p}_ge_quarter", f"{p}_quarter", f"{p}_zero"])
+    dfg.add_node(f"{p}_d3", Opcode.SUB, [f"{p}_d2", f"{p}_r3"])
+    # --- assemble the 4-bit code (6) --------------------------------------------
+    dfg.add_node(f"{p}_b2", Opcode.SHL, [f"{p}_ge_step", f"{p}_c2"])
+    dfg.add_node(f"{p}_b1", Opcode.SHL, [f"{p}_ge_half", f"{p}_c1"])
+    dfg.add_node(f"{p}_m01", Opcode.OR, [f"{p}_b2", f"{p}_b1"])
+    dfg.add_node(f"{p}_mag", Opcode.OR, [f"{p}_m01", f"{p}_ge_quarter"])
+    dfg.add_node(f"{p}_signbit", Opcode.SHL, [f"{p}_sign", f"{p}_c3"])
+    dfg.add_node(f"{p}_delta", Opcode.OR, [f"{p}_mag", f"{p}_signbit"])
+    # --- reconstruct the predictor (9) -------------------------------------------
+    dfg.add_node(f"{p}_vp0", Opcode.SHR, [f"{p}_step", f"{p}_c3"])
+    dfg.add_node(f"{p}_vp1", Opcode.ADD, [f"{p}_vp0", f"{p}_r1"])
+    dfg.add_node(f"{p}_vp2", Opcode.ADD, [f"{p}_vp1", f"{p}_r2"])
+    dfg.add_node(f"{p}_vp3", Opcode.ADD, [f"{p}_vp2", f"{p}_r3"])
+    dfg.add_node(f"{p}_vplus", Opcode.ADD, [valpred_in, f"{p}_vp3"])
+    dfg.add_node(f"{p}_vminus", Opcode.SUB, [valpred_in, f"{p}_vp3"])
+    dfg.add_node(f"{p}_vp", Opcode.SELECT, [f"{p}_sign", f"{p}_vminus", f"{p}_vplus"])
+    dfg.add_node(f"{p}_sat_lo", Opcode.MAX, [f"{p}_vp", f"{p}_cmin"])
+    dfg.add_node(f"{p}_valpred", Opcode.MIN, [f"{p}_sat_lo", f"{p}_cmax"])
+    # --- index adaptation (4) ------------------------------------------------------
+    dfg.add_node(f"{p}_idxadj", Opcode.LUT, [f"{p}_delta"])
+    dfg.add_node(f"{p}_idxraw", Opcode.ADD, [index_in, f"{p}_idxadj"])
+    dfg.add_node(f"{p}_idxlo", Opcode.MAX, [f"{p}_idxraw", f"{p}_zero"])
+    dfg.add_node(f"{p}_index", Opcode.MIN, [f"{p}_idxlo", f"{p}_c88"])
+    return f"{p}_delta", f"{p}_valpred", f"{p}_index"
+
+
+def build_adpcm_coder() -> Program:
+    """IMA ADPCM coder: two unrolled samples plus packing and bookkeeping
+    (96 nodes)."""
+    dfg = DataFlowGraph("adpcm_coder.loop")
+    valpred = dfg.add_external_input("valpred_in")
+    index = dfg.add_external_input("index_in")
+    deltas = []
+    for position in range(2):
+        sample = dfg.add_external_input(f"sample{position}")
+        delta, valpred, index = _coder_sample(dfg, f"s{position}", sample, valpred, index)
+        deltas.append(delta)
+        dfg.node(valpred).live_out = True
+    dfg.node(index).live_out = True
+    # Pack the two 4-bit codes into one output byte (3 nodes).
+    _const(dfg, "pack_c4", 4)
+    dfg.add_node("pack_hi", Opcode.SHL, [deltas[1], "pack_c4"])
+    dfg.add_node("packed", Opcode.OR, ["pack_hi", deltas[0]], live_out=True)
+    # Induction-variable / pointer bookkeeping the compiler keeps in the loop
+    # body (11 nodes).
+    in_ptr = dfg.add_external_input("in_ptr")
+    out_ptr = dfg.add_external_input("out_ptr")
+    remaining = dfg.add_external_input("remaining")
+    bufferstep = dfg.add_external_input("bufferstep")
+    _const(dfg, "bk_c1", 1)
+    _const(dfg, "bk_c2", 2)
+    _const(dfg, "bk_c4", 4)
+    dfg.add_node("bk_in_next", Opcode.ADD, [in_ptr, "bk_c2"], live_out=True)
+    dfg.add_node("bk_out_next", Opcode.ADD, [out_ptr, "bk_c1"], live_out=True)
+    dfg.add_node("bk_store", Opcode.STORE, ["packed", out_ptr])
+    dfg.add_node("bk_remaining", Opcode.SUB, [remaining, "bk_c2"], live_out=True)
+    dfg.add_node("bk_done", Opcode.LE, ["bk_remaining", "bk_c1"], live_out=True)
+    dfg.add_node("bk_step_next", Opcode.XOR, [bufferstep, "bk_c1"], live_out=True)
+    dfg.add_node("bk_scaled", Opcode.SHL, ["bk_remaining", "bk_c4"])
+    dfg.add_node("bk_prefetch", Opcode.ADD, ["bk_in_next", "bk_scaled"], live_out=True)
+    dfg.prepare()
+    assert dfg.num_nodes == 96, dfg.num_nodes
+    return _mediabench_program("adpcm_coder", dfg, loop_frequency=1024.0)
+
+
+register_workload(
+    WorkloadSpec(
+        name="adpcm_decoder",
+        suite="MediaBench",
+        critical_block_size=82,
+        description="IMA ADPCM decoder inner loop (two samples per iteration)",
+        builder=build_adpcm_decoder,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="adpcm_coder",
+        suite="MediaBench",
+        critical_block_size=96,
+        description="IMA ADPCM coder inner loop (two samples per iteration)",
+        builder=build_adpcm_coder,
+    )
+)

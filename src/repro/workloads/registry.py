@@ -1,0 +1,109 @@
+"""Workload registry.
+
+The paper evaluates on seven EEMBC / MediaBench kernels plus AES, quoting for
+each the node count of its *critical basic block* (the number in parentheses
+in Figure 4):
+
+===============  =====================  ====================
+benchmark        suite                  critical block nodes
+===============  =====================  ====================
+conven00         EEMBC telecom          6
+fbital00         EEMBC telecom          20
+viterb00         EEMBC telecom          23
+autcor00         EEMBC telecom          25
+adpcm_decoder    MediaBench             82
+adpcm_coder      MediaBench             96
+fft00            EEMBC telecom          104
+aes              cryptographic          696
+===============  =====================  ====================
+
+The original C sources and their MachSUIF-compiled DFGs are not available
+offline, so every workload here is a *synthetic but structurally faithful*
+reconstruction: the generators reproduce the critical-block node count
+exactly and mimic the operator mix, dependence structure, regularity and
+barrier placement of the real kernels (see DESIGN.md §3 for the substitution
+argument).  Each generator returns a profiled :class:`~repro.program.Program`
+ready for any ISE-generation algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..program import Program
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Metadata describing one benchmark workload."""
+
+    name: str
+    suite: str
+    critical_block_size: int
+    description: str
+    builder: Callable[[], Program]
+
+    def build(self) -> Program:
+        """Construct the workload's profiled program."""
+        return self.builder()
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add *spec* to the global registry (used by the workload modules)."""
+    if spec.name in _REGISTRY:
+        raise WorkloadError(f"workload {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def workload_spec(name: str) -> WorkloadSpec:
+    """Look a workload up by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def load_workload(name: str) -> Program:
+    """Build the named workload's program."""
+    return workload_spec(name).build()
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Names of every registered workload, in registration order."""
+    _ensure_loaded()
+    return tuple(_REGISTRY)
+
+
+def iter_workloads() -> Iterator[WorkloadSpec]:
+    _ensure_loaded()
+    return iter(_REGISTRY.values())
+
+
+#: The Figure-4 benchmark list, ordered by critical-block size as in the
+#: paper (AES is evaluated separately in Figures 6 and 7).
+PAPER_BENCHMARKS: tuple[str, ...] = (
+    "conven00",
+    "fbital00",
+    "viterb00",
+    "autcor00",
+    "adpcm_decoder",
+    "adpcm_coder",
+    "fft00",
+)
+
+#: The large cryptographic benchmark of Figures 6 and 7.
+AES_BENCHMARK = "aes"
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules so their registration side effects run."""
+    from . import crypto, embench, mediabench  # noqa: F401  (side effects)

@@ -1,0 +1,81 @@
+"""Tests for DFG statistics and coverage metrics."""
+
+import pytest
+
+from repro.analysis import (
+    cut_coverage,
+    dfg_stats,
+    operator_mix,
+    program_stats,
+    result_coverage,
+)
+from repro.core import ISEGen
+from repro.isa import OpCategory
+from repro.workloads import load_workload, regular_kernel
+
+
+def test_dfg_stats_counts(diamond_dfg):
+    stats = dfg_stats(diamond_dfg)
+    assert stats.num_nodes == 4
+    assert stats.num_edges == 4
+    assert stats.num_external_inputs == 2
+    assert stats.num_live_out == 1
+    assert stats.num_forbidden == 0
+    assert stats.depth == 3
+    assert stats.num_sources == 1
+    assert stats.num_sinks == 1
+    assert stats.opcode_histogram["add"] == 2
+    assert stats.average_fanin == pytest.approx(1.0)
+    assert "diamond" in stats.summary()
+
+
+def test_forbidden_fraction(chain_with_memory_dfg):
+    stats = dfg_stats(chain_with_memory_dfg)
+    assert stats.num_forbidden == 1
+    assert stats.forbidden_fraction == pytest.approx(0.25)
+
+
+def test_operator_mix_sums_to_one(mac_chain_dfg):
+    mix = operator_mix(mac_chain_dfg)
+    assert sum(mix.values()) == pytest.approx(1.0)
+    assert mix[OpCategory.MULTIPLY] == pytest.approx(0.5)
+    assert mix[OpCategory.ARITH] == pytest.approx(0.5)
+
+
+def test_program_stats(single_block):
+    stats = program_stats(single_block)
+    assert stats.num_blocks == 1
+    assert stats.total_nodes == 8
+    assert stats.critical_block_size == 8
+    assert stats.total_weighted_cycles > 0
+    assert "Program" in stats.summary()
+
+
+def test_program_stats_on_real_workload():
+    program = load_workload("viterb00")
+    stats = program_stats(program)
+    assert stats.critical_block_size == 23
+    assert stats.num_blocks == len(program)
+
+
+def test_cut_coverage_with_reuse():
+    dfg = regular_kernel(4, name="cov")
+    template = dfg.indices_of(
+        ["c0_d0_mul", "c0_d0_acc", "c0_d0_mix", "c0_d0_shift", "c0_d0_clip"]
+    )
+    without = cut_coverage(dfg, [template], with_reuse=False)
+    with_reuse = cut_coverage(dfg, [template], with_reuse=True)
+    assert without.covered_nodes == 5
+    assert with_reuse.covered_nodes == 20
+    assert with_reuse.node_coverage == pytest.approx(1.0)
+    assert with_reuse.saved_cycles >= without.saved_cycles
+    assert 0 <= with_reuse.cycle_coverage <= 1
+
+
+def test_result_coverage(single_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(single_block)
+    reports = result_coverage(single_block, result)
+    assert set(reports) <= {block.name for block in single_block}
+    for report in reports.values():
+        assert 0 <= report.node_coverage <= 1
+        assert 0 <= report.cycle_coverage <= 1

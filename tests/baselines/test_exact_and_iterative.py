@@ -1,0 +1,97 @@
+"""Tests for the Exact multiple-cut and Iterative exact baselines."""
+
+import pytest
+
+from repro.baselines import (
+    EnumeratedCut,
+    ExactMultiCutGenerator,
+    IterativeExactGenerator,
+    exact_block_cuts,
+    run_exact,
+    run_iterative,
+    select_disjoint_cuts,
+)
+from repro.errors import BaselineInfeasibleError
+from repro.hwmodel import ISEConstraints
+from repro.workloads import load_workload
+
+
+def _cut(members, merit):
+    return EnumeratedCut(
+        members=frozenset(members), merit=merit, num_inputs=2, num_outputs=1
+    )
+
+
+def test_select_disjoint_cuts_prefers_total_merit():
+    # Two small disjoint cuts beat one overlapping big one.
+    big = _cut({0, 1, 2, 3}, 10)
+    small_a = _cut({0, 1}, 6)
+    small_b = _cut({2, 3}, 6)
+    chosen = select_disjoint_cuts([big, small_a, small_b], max_cuts=2)
+    assert {cut.members for cut in chosen} == {small_a.members, small_b.members}
+    # With a single slot the big cut wins.
+    single = select_disjoint_cuts([big, small_a, small_b], max_cuts=1)
+    assert single == [big]
+
+
+def test_select_disjoint_cuts_ignores_nonpositive_merit():
+    useless = _cut({0, 1}, 0)
+    assert select_disjoint_cuts([useless], max_cuts=4) == []
+    assert select_disjoint_cuts([], max_cuts=4) == []
+
+
+def test_exact_block_cuts_are_disjoint_and_legal(mac_chain_dfg, paper_constraints):
+    cuts = exact_block_cuts(mac_chain_dfg, paper_constraints)
+    assert cuts
+    seen = set()
+    for cut in cuts:
+        assert cut.merit > 0
+        assert not (cut.members & seen)
+        seen.update(cut.members)
+    assert len(cuts) <= paper_constraints.max_ises
+
+
+def test_exact_beats_or_matches_every_other_algorithm(single_block, paper_constraints):
+    from repro.baselines import run_genetic, run_greedy, run_isegen
+
+    exact = run_exact(single_block, paper_constraints).speedup
+    for runner in (run_isegen, run_greedy):
+        assert exact >= runner(single_block, paper_constraints).speedup - 1e-9
+    genetic = run_genetic(single_block, paper_constraints).speedup
+    assert exact >= genetic - 1e-9
+
+
+def test_exact_matches_iterative_on_small_blocks(paper_constraints):
+    program = load_workload("fbital00")
+    exact = run_exact(program, paper_constraints)
+    iterative = run_iterative(program, paper_constraints)
+    # On small blocks both optimal flavours reach the same speedup (Figure 4).
+    assert exact.speedup == pytest.approx(iterative.speedup, rel=1e-6)
+
+
+def test_exact_refuses_large_blocks(paper_constraints):
+    program = load_workload("adpcm_decoder")  # 82-node critical block
+    with pytest.raises(BaselineInfeasibleError):
+        run_exact(program, paper_constraints)
+
+
+def test_iterative_refuses_oversized_blocks(paper_constraints):
+    program = load_workload("fft00")  # 104-node critical block
+    with pytest.raises(BaselineInfeasibleError):
+        run_iterative(program, paper_constraints)
+
+
+def test_iterative_handles_medium_blocks(paper_constraints):
+    program = load_workload("adpcm_decoder")
+    result = run_iterative(program, paper_constraints)
+    assert result.speedup > 1.0
+    assert result.stats["states_visited"] > 0
+
+
+def test_generators_expose_algorithm_names(single_block, paper_constraints):
+    exact = ExactMultiCutGenerator(paper_constraints).generate(single_block)
+    iterative = IterativeExactGenerator(paper_constraints).generate(single_block)
+    assert exact.algorithm == "Exact"
+    assert iterative.algorithm == "Iterative"
+    assert exact.speedup_report is not None
+    assert iterative.speedup_report is not None

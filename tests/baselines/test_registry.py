@@ -1,0 +1,22 @@
+"""Tests for the algorithm registry shared by the experiment harnesses."""
+
+import pytest
+
+from repro.baselines import ALGORITHMS, run_algorithm
+from repro.errors import ISEGenError
+
+
+def test_registry_contains_the_figure4_algorithms():
+    assert {"Exact", "Iterative", "Genetic", "ISEGEN", "Greedy"} <= set(ALGORITHMS)
+
+
+def test_run_algorithm_dispatches(single_block, paper_constraints):
+    result = run_algorithm("Greedy", single_block, paper_constraints)
+    assert result.algorithm == "Greedy"
+    isegen = run_algorithm("ISEGEN", single_block, paper_constraints)
+    assert isegen.algorithm == "ISEGEN"
+
+
+def test_unknown_algorithm_rejected(single_block):
+    with pytest.raises(ISEGenError, match="unknown algorithm"):
+        run_algorithm("Oracle", single_block)

@@ -1,0 +1,46 @@
+"""Tests for the text report helpers."""
+
+from repro.codegen import comparison_report, format_table, result_report
+from repro.core import ISEGen
+from repro.hwmodel import ISEConstraints
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["alpha", 1.2345], ["long-name", 2]],
+    )
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "1.234" in text
+    assert "long-name" in text
+    # Every row has the same rendered width.
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_result_report_lists_cuts(single_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(single_block)
+    text = result_report(result)
+    assert "ISEGEN" in text
+    assert "Speedup" in text
+    for ise in result.ises:
+        assert ise.name in text
+
+
+def test_comparison_report(single_block, paper_constraints):
+    from repro.baselines import run_greedy
+
+    results = {
+        "ISEGEN": ISEGen(constraints=paper_constraints).generate(single_block),
+        "Greedy": run_greedy(single_block, paper_constraints),
+    }
+    text = comparison_report(results, title="demo")
+    assert text.startswith("demo")
+    assert "ISEGEN" in text and "Greedy" in text
+    assert "runtime (us)" in text

@@ -1,0 +1,103 @@
+"""Tests for basic-block rewriting with custom instructions."""
+
+import pytest
+
+from repro.codegen import (
+    code_size_reduction,
+    instruction_count,
+    rewrite_with_cut,
+    rewrite_with_cuts,
+)
+from repro.core import generate_block_cuts
+from repro.errors import ReproError
+from repro.hwmodel import ISEConstraints, LatencyModel
+from repro.isa import Opcode
+
+
+def test_rewrite_replaces_cut_with_custom_node(mac_chain_dfg):
+    members = mac_chain_dfg.indices_of(["p0", "s0"])
+    rewritten = rewrite_with_cut(mac_chain_dfg, members)
+    customs = [n for n in rewritten.nodes if n.opcode is Opcode.CUSTOM]
+    assert len(customs) == 1
+    assert customs[0].attrs["covers"] == 2
+    # The collapsed nodes are gone; the rest survives.
+    assert "p0" not in [n.name for n in rewritten.nodes if n.opcode is not Opcode.MOV]
+    assert "p1" in rewritten
+    # The cut's output value is still produced (as a mov of the custom node).
+    assert "s0" in rewritten
+    assert rewritten.node("s0").opcode is Opcode.MOV
+
+
+def test_rewrite_preserves_topological_validity(mac_chain_dfg):
+    members = mac_chain_dfg.indices_of(["p1", "s1"])
+    rewritten = rewrite_with_cut(mac_chain_dfg, members)
+    rewritten.prepare()  # would raise if operands were used before definition
+    assert rewritten.num_nodes == mac_chain_dfg.num_nodes - len(members) + 2
+
+
+def test_rewrite_reduces_software_latency(mac_chain_dfg):
+    model = LatencyModel()
+    members = mac_chain_dfg.indices_of(["p0", "s0", "p1", "s1"])
+    merit = model.software_latency(mac_chain_dfg, members) - model.hardware_latency(
+        mac_chain_dfg, members
+    )
+    before = model.whole_graph_software_latency(mac_chain_dfg)
+    rewritten = rewrite_with_cut(mac_chain_dfg, members)
+    after = model.whole_graph_software_latency(rewritten)
+    assert before - after == merit
+
+
+def test_rewrite_empty_cut_is_identity(mac_chain_dfg):
+    rewritten = rewrite_with_cut(mac_chain_dfg, [])
+    assert rewritten.num_nodes == mac_chain_dfg.num_nodes
+
+
+def test_rewrite_rejects_nonconvex_and_outputless_cuts(diamond_dfg):
+    nonconvex = diamond_dfg.indices_of(["n0", "n3"])
+    with pytest.raises(ReproError, match="not convex"):
+        rewrite_with_cut(diamond_dfg, nonconvex)
+
+    from repro.dfg import DataFlowGraph
+
+    dfg = DataFlowGraph("storeonly")
+    dfg.add_external_input("v")
+    dfg.add_external_input("p")
+    dfg.add_node("st", Opcode.STORE, ["v", "p"])
+    dfg.prepare()
+    with pytest.raises(ReproError, match="no outputs"):
+        rewrite_with_cut(dfg, [0])
+
+
+def test_rewrite_with_multiple_cuts(mac_chain_dfg, paper_constraints):
+    cuts = [result.members for result in generate_block_cuts(mac_chain_dfg, paper_constraints)]
+    rewritten = rewrite_with_cuts(mac_chain_dfg, cuts)
+    customs = [n for n in rewritten.nodes if n.opcode is Opcode.CUSTOM]
+    assert len(customs) == len(cuts)
+    assert instruction_count(rewritten) < instruction_count(mac_chain_dfg)
+    assert 0 < code_size_reduction(mac_chain_dfg, rewritten) < 1
+
+
+def test_overlapping_cuts_rejected(mac_chain_dfg):
+    a = mac_chain_dfg.indices_of(["p0", "s0"])
+    b = mac_chain_dfg.indices_of(["s0", "p1"])
+    with pytest.raises(ReproError, match="overlap"):
+        rewrite_with_cuts(mac_chain_dfg, [a, b])
+
+
+def test_instruction_count_ignores_constants():
+    from repro.dfg import DataFlowGraph
+
+    dfg = DataFlowGraph("consts")
+    dfg.add_external_input("a")
+    dfg.add_node("c", Opcode.CONST, (), attrs={"value": 1})
+    dfg.add_node("x", Opcode.ADD, ["a", "c"], live_out=True)
+    dfg.prepare()
+    assert instruction_count(dfg) == 1
+
+
+def test_multi_output_cut_produces_moves(mac_chain_dfg):
+    # p0 and p1 together have two outputs (both feed different adders).
+    members = mac_chain_dfg.indices_of(["p0", "p1"])
+    rewritten = rewrite_with_cut(mac_chain_dfg, members)
+    moves = [n for n in rewritten.nodes if n.attrs.get("custom_output")]
+    assert len(moves) == 2

@@ -1,0 +1,66 @@
+"""Tests for the behavioural Verilog emitter."""
+
+import re
+
+import pytest
+
+from repro.codegen import emit_afu_verilog, emit_cut_verilog
+from repro.dfg import Cut, DataFlowGraph
+from repro.errors import ReproError
+from repro.hwmodel import describe_afu
+from repro.isa import Opcode
+
+
+def test_emit_mac_chain_cut(mac_chain_dfg):
+    cut = Cut(mac_chain_dfg, ["p0", "s0"])
+    text = emit_cut_verilog("MAC_PAIR", cut)
+    assert text.startswith("// AFU MAC_PAIR")
+    assert "module MAC_PAIR (" in text
+    assert text.count("input  wire") == cut.num_inputs
+    assert text.count("output wire") == cut.num_outputs
+    assert "endmodule" in text
+    # Every cut node appears as a wire assignment.
+    assert "wire [31:0] p0 =" in text
+    assert "wire [31:0] s0 =" in text
+    # Outputs are driven.
+    assert re.search(r"assign rd0 = \w+;", text)
+
+
+def test_every_emittable_opcode_has_a_template(diamond_dfg):
+    text = emit_cut_verilog("DIAMOND", Cut.full(diamond_dfg))
+    assert "*" in text  # the multiply
+    assert "^" in text  # the xor
+
+
+def test_constants_become_localparams():
+    dfg = DataFlowGraph("withconst")
+    dfg.add_external_input("a")
+    dfg.add_node("c", Opcode.CONST, (), attrs={"value": 0x1B})
+    dfg.add_node("x", Opcode.AND, ["a", "c"], live_out=True)
+    dfg.prepare()
+    text = emit_cut_verilog("CONSTY", Cut.full(dfg))
+    assert "localparam [31:0] c = 32'h1b;" in text
+
+
+def test_memory_operations_cannot_be_emitted(chain_with_memory_dfg):
+    cut = Cut(chain_with_memory_dfg, ["a0", "ld"])
+    afu = describe_afu("BAD", cut)
+    with pytest.raises(ReproError, match="cannot be emitted"):
+        emit_afu_verilog(afu)
+
+
+def test_identifier_sanitization():
+    dfg = DataFlowGraph("weird-names")
+    dfg.add_external_input("in.0")
+    dfg.add_node("1st+value", Opcode.NOT, ["in.0"], live_out=True)
+    dfg.prepare()
+    text = emit_cut_verilog("SANITIZE", Cut.full(dfg))
+    assert "1st+value" not in text.replace("// ", "")
+    assert "v_1st_value" in text
+
+
+def test_emitted_port_count_matches_descriptor(mac_chain_dfg):
+    cut = Cut(mac_chain_dfg, ["p0", "s0", "p1", "s1"])
+    afu = describe_afu("WIDE", cut)
+    text = emit_afu_verilog(afu, width=16)
+    assert text.count("[15:0]") >= len(afu.ports)

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg import DataFlowGraph, random_dfg
+from repro.hwmodel import ISEConstraints, LatencyModel
+from repro.isa import Opcode
+from repro.program import single_block_program
+
+
+@pytest.fixture
+def paper_constraints() -> ISEConstraints:
+    """The Figure-4 configuration: I/O (4,2), up to four AFUs."""
+    return ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+
+
+@pytest.fixture
+def latency_model() -> LatencyModel:
+    return LatencyModel()
+
+
+@pytest.fixture
+def diamond_dfg() -> DataFlowGraph:
+    """A diamond: two parallel paths from one producer joining at a sink.
+
+        a, b (external)
+        n0 = add(a, b)
+        n1 = mul(n0, a)
+        n2 = xor(n0, b)
+        n3 = add(n1, n2)   (live-out)
+    """
+    dfg = DataFlowGraph("diamond")
+    dfg.add_external_input("a")
+    dfg.add_external_input("b")
+    dfg.add_node("n0", Opcode.ADD, ["a", "b"])
+    dfg.add_node("n1", Opcode.MUL, ["n0", "a"])
+    dfg.add_node("n2", Opcode.XOR, ["n0", "b"])
+    dfg.add_node("n3", Opcode.ADD, ["n1", "n2"], live_out=True)
+    return dfg.prepare()
+
+
+@pytest.fixture
+def chain_with_memory_dfg() -> DataFlowGraph:
+    """A chain interrupted by a (forbidden) load acting as a barrier."""
+    dfg = DataFlowGraph("chain_mem")
+    dfg.add_external_input("p")
+    dfg.add_external_input("x")
+    dfg.add_node("a0", Opcode.ADD, ["p", "x"])
+    dfg.add_node("ld", Opcode.LOAD, ["a0"])
+    dfg.add_node("a1", Opcode.ADD, ["ld", "x"])
+    dfg.add_node("a2", Opcode.MUL, ["a1", "x"], live_out=True)
+    return dfg.prepare()
+
+
+@pytest.fixture
+def mac_chain_dfg() -> DataFlowGraph:
+    """Four multiply-accumulate pairs chained through an accumulator."""
+    dfg = DataFlowGraph("mac_chain")
+    acc = dfg.add_external_input("acc0")
+    for index in range(4):
+        x = dfg.add_external_input(f"x{index}")
+        y = dfg.add_external_input(f"y{index}")
+        dfg.add_node(f"p{index}", Opcode.MUL, [x, y])
+        new_acc = f"s{index}"
+        dfg.add_node(new_acc, Opcode.ADD, [acc, f"p{index}"], live_out=index == 3)
+        acc = new_acc
+    return dfg.prepare()
+
+
+@pytest.fixture
+def medium_random_dfg() -> DataFlowGraph:
+    """A deterministic 30-node random DAG used by several integration tests."""
+    return random_dfg(30, seed=42, live_out_fraction=0.2)
+
+
+@pytest.fixture
+def single_block(mac_chain_dfg):
+    """A one-block program wrapping the MAC chain."""
+    return single_block_program(mac_chain_dfg, frequency=100.0)

@@ -1,0 +1,108 @@
+"""Tests for the five-component gain function (Section 4.2)."""
+
+import pytest
+
+from repro.core import GainEvaluator, GainWeights, ISEGenConfig, PartitionState
+from repro.errors import ISEGenError
+from repro.hwmodel import ISEConstraints
+
+
+@pytest.fixture
+def state_and_evaluator(mac_chain_dfg, paper_constraints):
+    state = PartitionState(mac_chain_dfg, paper_constraints)
+    return state, GainEvaluator(state)
+
+
+def test_weighted_total_combines_components(state_and_evaluator):
+    state, evaluator = state_and_evaluator
+    index = state.dfg.node("p0").index
+    breakdown = evaluator.breakdown(index)
+    weights = GainWeights(alpha=1, beta=1, gamma=1, delta=1, epsilon=1)
+    assert breakdown.weighted_total(weights) == pytest.approx(
+        breakdown.merit
+        + breakdown.io_penalty
+        + breakdown.convexity
+        + breakdown.large_cut
+        + breakdown.independent
+    )
+    assert evaluator.gain(index) == pytest.approx(
+        breakdown.weighted_total(evaluator.weights)
+    )
+
+
+def test_merit_component_zeroed_for_nonconvex_toggle(diamond_dfg, paper_constraints):
+    state = PartitionState(diamond_dfg, paper_constraints)
+    evaluator = GainEvaluator(state)
+    state.toggle(diamond_dfg.node("n0").index)
+    n3 = diamond_dfg.node("n3").index
+    assert evaluator.merit_component(n3) == 0.0
+    # A convex candidate keeps its (positive) merit estimate.
+    n1 = diamond_dfg.node("n1").index
+    assert evaluator.merit_component(n1) > 0.0
+
+
+def test_io_penalty_counts_excess_ports(mac_chain_dfg):
+    tight = ISEConstraints(max_inputs=1, max_outputs=1, max_ises=1)
+    state = PartitionState(mac_chain_dfg, tight)
+    evaluator = GainEvaluator(state)
+    p0 = mac_chain_dfg.node("p0").index
+    # Toggling p0 alone yields (2,1) -> one excess input port.
+    assert evaluator.io_penalty_component(p0) == -1.0
+
+
+def test_convexity_component_signs(diamond_dfg, paper_constraints):
+    state = PartitionState(diamond_dfg, paper_constraints)
+    evaluator = GainEvaluator(state)
+    n0 = diamond_dfg.node("n0").index
+    n1 = diamond_dfg.node("n1").index
+    state.toggle(n0)
+    # Joining next to a cut node is rewarded, leaving the cut is penalized.
+    assert evaluator.convexity_component(n1) == 1.0
+    assert evaluator.convexity_component(n0) <= 0.0
+
+
+def test_large_cut_component_prefers_barrier_adjacent_nodes(
+    chain_with_memory_dfg, paper_constraints
+):
+    state = PartitionState(chain_with_memory_dfg, paper_constraints)
+    evaluator = GainEvaluator(state)
+    a0 = chain_with_memory_dfg.node("a0").index
+    # a0 touches the external inputs and feeds the load: proximity is maximal.
+    assert evaluator.barrier_proximity(a0) == pytest.approx(2.0)
+    assert evaluator.large_cut_component(a0) == pytest.approx(2.0)
+    state.toggle(a0)
+    # Once in the cut, pushing it back out is discouraged.
+    assert evaluator.large_cut_component(a0) == pytest.approx(-2.0)
+
+
+def test_independent_component_only_for_hardware_nodes(mac_chain_dfg, paper_constraints):
+    state = PartitionState(mac_chain_dfg, paper_constraints)
+    evaluator = GainEvaluator(state)
+    p0 = mac_chain_dfg.node("p0").index
+    p2 = mac_chain_dfg.node("p2").index
+    assert evaluator.independent_component(p0) == 0.0
+    state.toggle(p0)
+    state.toggle(p2)
+    # Moving p0 back to software credits the delay of the other component.
+    assert evaluator.independent_component(p0) > 0.0
+
+
+def test_best_candidate_is_deterministic(mac_chain_dfg, paper_constraints):
+    state = PartitionState(mac_chain_dfg, paper_constraints)
+    evaluator = GainEvaluator(state)
+    candidates = [i for i in range(mac_chain_dfg.num_nodes) if state.is_allowed(i)]
+    first = evaluator.best_candidate(candidates)
+    second = evaluator.best_candidate(candidates)
+    assert first == second
+    assert evaluator.best_candidate([]) is None
+
+
+def test_gain_weight_ablation_helpers():
+    weights = GainWeights()
+    no_delta = weights.disabled("delta")
+    assert no_delta.delta == 0.0
+    assert no_delta.alpha == weights.alpha
+    with pytest.raises(ISEGenError):
+        weights.disabled("zeta")
+    config = ISEGenConfig().without_components("epsilon")
+    assert config.weights.epsilon == 0.0

@@ -1,0 +1,104 @@
+"""Tests for the incremental I/O bookkeeping (Section 4.3 of the paper)."""
+
+import pytest
+
+from repro.core import IOState
+from repro.dfg import DataFlowGraph, count_io
+from repro.isa import Opcode
+
+
+def brute_force_io(dfg, state):
+    return count_io(dfg, state.members())
+
+
+def test_initial_state_matches_paper(diamond_dfg):
+    state = IOState(diamond_dfg)
+    assert state.io() == (0, 0)
+    assert state.cut_size == 0
+    # "Initially all nodes are in S and dI/dO equal the number of inputs and
+    # outputs of the corresponding node."
+    for node in diamond_dfg.nodes:
+        addendum = state.addendum(node.index)
+        assert addendum == count_io(diamond_dfg, {node.index})
+
+
+def figure5_dfg() -> DataFlowGraph:
+    """The Figure-5 style example: a small tree feeding one root.
+
+    Nodes 1 and 2 each consume two external inputs; node 3 consumes the
+    values of 1 and 2; node 4 consumes node 3 and an external input.
+    """
+    dfg = DataFlowGraph("figure5")
+    for name in ("e1", "e2", "e3", "e4", "e5"):
+        dfg.add_external_input(name)
+    dfg.add_node("n1", Opcode.ADD, ["e1", "e2"])
+    dfg.add_node("n2", Opcode.ADD, ["e3", "e4"])
+    dfg.add_node("n3", Opcode.MUL, ["n1", "n2"])
+    dfg.add_node("n4", Opcode.ADD, ["n3", "e5"], live_out=True)
+    return dfg.prepare()
+
+
+def test_figure5_example_toggle_of_node3():
+    """Toggling the interior node of the tree reproduces the paper's
+    Figure-5 bookkeeping: I_ISE = 2, O_ISE = 1 after the toggle, and the
+    addendums of the affected neighbours change accordingly."""
+    dfg = figure5_dfg()
+    state = IOState(dfg)
+    n3 = dfg.node("n3").index
+    before_n1 = state.addendum(dfg.node("n1").index)
+    assert before_n1 == (2, 1)
+    # Toggle node 3 into hardware.
+    state.toggle(n3)
+    assert state.io() == (2, 1)
+    # Toggling it back undoes the change exactly (the paper's sign reversal).
+    state.toggle(n3)
+    assert state.io() == (0, 0)
+    state.toggle(n3)
+    # With n3 in H, adding n1 no longer adds an output (its only consumer is
+    # in the cut) but adds its two external inputs and removes one cut input.
+    addendum_n1 = state.addendum(dfg.node("n1").index)
+    assert addendum_n1 == (1, 0)
+    # The parent n4 consumes n3 (removing that output) but becomes an output
+    # itself (live-out) and adds e5 as a new input.
+    addendum_n4 = state.addendum(dfg.node("n4").index)
+    assert addendum_n4 == (1, 0)
+
+
+def test_incremental_matches_brute_force_on_random_sequences(medium_random_dfg):
+    import random
+
+    rng = random.Random(3)
+    state = IOState(medium_random_dfg)
+    nodes = list(range(medium_random_dfg.num_nodes))
+    for _ in range(200):
+        state.toggle(rng.choice(nodes))
+        assert state.io() == brute_force_io(medium_random_dfg, state)
+
+
+def test_io_if_toggled_is_side_effect_free(mac_chain_dfg):
+    state = IOState(mac_chain_dfg)
+    p0 = mac_chain_dfg.node("p0").index
+    s0 = mac_chain_dfg.node("s0").index
+    state.toggle(p0)
+    snapshot = (state.members(), state.io())
+    predicted = state.io_if_toggled(s0)
+    assert (state.members(), state.io()) == snapshot
+    state.toggle(s0)
+    assert state.io() == predicted
+
+
+def test_violation_if_toggled(mac_chain_dfg):
+    state = IOState(mac_chain_dfg)
+    p0 = mac_chain_dfg.node("p0").index
+    assert state.violation_if_toggled(p0, 4, 2) == 0
+    assert state.violation_if_toggled(p0, 1, 1) == 1  # 2 inputs > 1
+
+
+def test_double_toggle_returns_to_initial(medium_random_dfg):
+    state = IOState(medium_random_dfg)
+    for index in range(0, medium_random_dfg.num_nodes, 3):
+        state.toggle(index)
+        state.toggle(index)
+    assert state.io() == (0, 0)
+    assert state.cut_size == 0
+    assert state.members() == frozenset()

@@ -1,0 +1,128 @@
+"""Tests for the ISEGen generator and the application-level driver."""
+
+import pytest
+
+from repro.core import (
+    ApplicationISEDriver,
+    BlockCutFinder,
+    GeneratedISE,
+    ISEGen,
+    ISEGenConfig,
+    ISEGenerationResult,
+    KernighanLinCutFinder,
+    generate_block_cuts,
+    name_ises,
+)
+from repro.dfg import Cut, random_dfg
+from repro.errors import ISEGenError
+from repro.hwmodel import ISEConstraints
+from repro.program import Program, single_block_program
+
+
+def test_generate_block_cuts_are_disjoint_and_legal(mac_chain_dfg, paper_constraints):
+    cuts = generate_block_cuts(mac_chain_dfg, paper_constraints)
+    assert cuts
+    seen = set()
+    for result in cuts:
+        assert result.merit >= 1
+        assert len(result.members) >= paper_constraints.min_cut_size
+        assert not (result.members & seen)
+        seen.update(result.members)
+        assert result.cut.is_feasible(
+            paper_constraints.max_inputs, paper_constraints.max_outputs
+        )
+    assert len(cuts) <= paper_constraints.max_ises
+
+
+def test_generate_block_cuts_respects_max_cuts(mac_chain_dfg, paper_constraints):
+    cuts = generate_block_cuts(mac_chain_dfg, paper_constraints, max_cuts=1)
+    assert len(cuts) <= 1
+
+
+def test_isegen_generate_for_single_block(mac_chain_dfg, paper_constraints):
+    generator = ISEGen(constraints=paper_constraints)
+    result = generator.generate_for_dfg(mac_chain_dfg, frequency=50.0)
+    assert isinstance(result, ISEGenerationResult)
+    assert result.algorithm == "ISEGEN"
+    assert result.speedup > 1.0
+    assert result.num_ises <= paper_constraints.max_ises
+    assert result.stats["max_passes"] == ISEGenConfig().max_passes
+    for ise in result.ises:
+        assert ise.frequency == 50.0
+        assert ise.merit >= 1
+
+
+def test_isegen_distributes_budget_over_blocks(paper_constraints):
+    program = Program("two_blocks")
+    program.add_dfg(random_dfg(20, seed=5, name="hot"), frequency=1000.0)
+    program.add_dfg(random_dfg(20, seed=6, name="cold"), frequency=1.0)
+    result = ISEGen(constraints=paper_constraints).generate(program)
+    # The hot block must be served first.
+    assert result.ises
+    assert result.ises[0].block_name == "hot"
+    assert result.speedup_report is not None
+
+
+def test_empty_program_is_rejected(paper_constraints):
+    with pytest.raises(ISEGenError, match="no basic blocks"):
+        ISEGen(constraints=paper_constraints).generate(Program("empty"))
+
+
+def test_speedup_report_consistency(single_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(single_block)
+    report = result.speedup_report
+    assert report is not None
+    assert report.speedup == pytest.approx(result.speedup)
+    assert result.total_saved_cycles() >= 0
+    grouped = result.cuts_by_block()
+    assert sum(len(cuts) for cuts in grouped.values()) == result.num_ises
+
+
+def test_custom_block_cut_finder_plugs_into_driver(single_block, paper_constraints):
+    class FirstTwoNodesFinder(BlockCutFinder):
+        name = "FirstTwo"
+
+        def best_cut(self, dfg, allowed, constraints, latency_model):
+            members = sorted(allowed)[:2]
+            return frozenset(members) if len(members) == 2 else None
+
+    driver = ApplicationISEDriver(FirstTwoNodesFinder(), paper_constraints)
+    result = driver.generate(single_block)
+    assert result.algorithm == "FirstTwo"
+    assert all(len(ise.cut) == 2 for ise in result.ises)
+
+
+def test_kl_cut_finder_rejects_low_merit(mac_chain_dfg, paper_constraints):
+    finder = KernighanLinCutFinder(ISEGenConfig(min_merit=10_000))
+    allowed = frozenset(range(mac_chain_dfg.num_nodes))
+    from repro.hwmodel import LatencyModel
+
+    assert (
+        finder.best_cut(mac_chain_dfg, allowed, paper_constraints, LatencyModel())
+        is None
+    )
+
+
+def test_generated_ise_summary_and_naming(mac_chain_dfg):
+    cut = Cut(mac_chain_dfg, ["p0", "s0"])
+    ise = GeneratedISE(
+        name="x",
+        block_name=mac_chain_dfg.name,
+        cut=cut,
+        merit=3,
+        software_latency=4,
+        hardware_latency=1,
+        frequency=2.0,
+    )
+    named = name_ises([ise])
+    assert named[0].name == "CUT1"
+    assert "CUT1" in ise.summary()
+    assert ise.weighted_saving == pytest.approx(6.0)
+    assert ise.size == 2
+
+
+def test_result_summary_mentions_algorithm(single_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(single_block)
+    text = result.summary()
+    assert "ISEGEN" in text
+    assert "speedup" in text

@@ -1,0 +1,78 @@
+"""Tests for convexity checking."""
+
+from repro.dfg import (
+    convex_closure,
+    is_convex,
+    is_convex_mask,
+    mask_of,
+    removal_preserves_convexity,
+    violating_nodes,
+)
+
+
+def test_diamond_endpoints_are_not_convex(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    n1 = diamond_dfg.node("n1").index
+    n2 = diamond_dfg.node("n2").index
+    n3 = diamond_dfg.node("n3").index
+    # n0 and n3 with neither middle node: both middles lie on n0->n3 paths.
+    assert not is_convex(diamond_dfg, {n0, n3})
+    assert set(violating_nodes(diamond_dfg, {n0, n3})) == {n1, n2}
+    # Adding one middle node is still not convex; adding both is.
+    assert not is_convex(diamond_dfg, {n0, n1, n3})
+    assert is_convex(diamond_dfg, {n0, n1, n2, n3})
+
+
+def test_single_nodes_and_empty_cut_are_convex(diamond_dfg):
+    assert is_convex(diamond_dfg, set())
+    for node in diamond_dfg.nodes:
+        assert is_convex(diamond_dfg, {node.index})
+
+
+def test_independent_subgraphs_are_convex(mac_chain_dfg):
+    p0 = mac_chain_dfg.node("p0").index
+    p2 = mac_chain_dfg.node("p2").index
+    # Two disconnected multipliers: no path between them, trivially convex.
+    assert is_convex(mac_chain_dfg, {p0, p2})
+
+
+def test_mask_variant_agrees_with_set_variant(medium_random_dfg):
+    import itertools
+    import random
+
+    rng = random.Random(0)
+    nodes = list(range(medium_random_dfg.num_nodes))
+    for _ in range(50):
+        members = set(rng.sample(nodes, rng.randint(1, 8)))
+        assert is_convex(medium_random_dfg, members) == is_convex_mask(
+            medium_random_dfg, mask_of(members)
+        )
+    del itertools
+
+
+def test_convex_closure_repairs_diamond(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    n3 = diamond_dfg.node("n3").index
+    closure = convex_closure(diamond_dfg, {n0, n3})
+    assert closure == frozenset(range(4))
+    assert is_convex(diamond_dfg, closure)
+    # The closure of a convex set is itself.
+    assert convex_closure(diamond_dfg, {n0}) == frozenset({n0})
+
+
+def test_removal_preserves_convexity(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    n1 = diamond_dfg.node("n1").index
+    n2 = diamond_dfg.node("n2").index
+    n3 = diamond_dfg.node("n3").index
+    full = {n0, n1, n2, n3}
+    # Removing a middle node breaks convexity: the path n0 -> n1 -> n3 now
+    # passes through a node outside the cut.
+    assert not removal_preserves_convexity(diamond_dfg, full, n1)
+    assert not removal_preserves_convexity(diamond_dfg, full, n2)
+    # Removing the source or the sink is always safe.
+    assert removal_preserves_convexity(diamond_dfg, full, n0)
+    assert removal_preserves_convexity(diamond_dfg, full, n3)
+    # Removing the middle of a chain breaks convexity too.
+    chain = {n0, n1, n3}  # n0 -> n1 -> n3 is a chain within the diamond
+    assert not removal_preserves_convexity(diamond_dfg, chain, n1)

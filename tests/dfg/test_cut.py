@@ -1,0 +1,88 @@
+"""Tests for the Cut abstraction."""
+
+import pytest
+
+from repro.dfg import Cut
+from repro.errors import CutError
+
+
+def test_cut_accepts_names_and_indices(diamond_dfg):
+    by_name = Cut(diamond_dfg, ["n0", "n1"])
+    by_index = Cut(diamond_dfg, [0, 1])
+    assert by_name == by_index
+    assert "n0" in by_name
+    assert 1 in by_name
+    assert len(by_name) == 2
+    assert by_name.node_names == ("n0", "n1")
+
+
+def test_out_of_range_index_is_rejected(diamond_dfg):
+    with pytest.raises(CutError):
+        Cut(diamond_dfg, [99])
+
+
+def test_structural_properties(diamond_dfg):
+    cut = Cut(diamond_dfg, ["n1", "n2"])
+    assert cut.input_values() == {"n0", "a", "b"}
+    assert cut.output_nodes() == {1, 2}
+    assert cut.num_inputs == 3
+    assert cut.num_outputs == 2
+    assert cut.is_convex()
+    assert not cut.is_connected()
+    assert len(cut.connected_components()) == 2
+
+
+def test_feasibility_report(diamond_dfg):
+    cut = Cut.full(diamond_dfg)
+    report = cut.feasibility(2, 1)
+    assert report.feasible
+    assert report.io_ok
+    assert report.io_violation == 0
+    tight = cut.feasibility(1, 1)
+    assert not tight.feasible
+    assert tight.io_violation == 1
+    assert cut.is_feasible(4, 2)
+
+
+def test_forbidden_detection(chain_with_memory_dfg):
+    legal = Cut(chain_with_memory_dfg, ["a0"])
+    assert not legal.contains_forbidden()
+    with_load = Cut(chain_with_memory_dfg, ["a0", "ld"])
+    assert with_load.contains_forbidden()
+    assert not with_load.is_feasible(4, 2)
+    # Cut.full excludes forbidden nodes by default.
+    assert not Cut.full(chain_with_memory_dfg).contains_forbidden()
+    assert Cut.full(chain_with_memory_dfg, include_forbidden=True).contains_forbidden()
+
+
+def test_latency_estimates(mac_chain_dfg):
+    cut = Cut(mac_chain_dfg, ["p0", "s0"])
+    assert cut.software_latency() >= 3  # mul >= 2 cycles + add 1 cycle
+    assert cut.hardware_delay() > 0
+    assert Cut.empty(mac_chain_dfg).software_latency() == 0
+    assert Cut.empty(mac_chain_dfg).hardware_delay() == 0.0
+
+
+def test_set_algebra(diamond_dfg):
+    left = Cut(diamond_dfg, ["n0", "n1"])
+    right = Cut(diamond_dfg, ["n1", "n2"])
+    assert left.union(right).members == frozenset({0, 1, 2})
+    assert left.intersection(right).members == frozenset({1})
+    assert left.difference(right).members == frozenset({0})
+    assert left.overlaps(right)
+    assert left.with_node(3).members == frozenset({0, 1, 3})
+    assert left.without_node(1).members == frozenset({0})
+
+
+def test_cross_dfg_operations_rejected(diamond_dfg, mac_chain_dfg):
+    left = Cut(diamond_dfg, ["n0"])
+    right = Cut(mac_chain_dfg, ["p0"])
+    with pytest.raises(CutError):
+        left.union(right)
+    assert left != right
+
+
+def test_mask_roundtrip(diamond_dfg):
+    cut = Cut(diamond_dfg, ["n0", "n3"])
+    assert Cut.from_mask(diamond_dfg, cut.mask) == cut
+    assert Cut.empty(diamond_dfg).is_empty

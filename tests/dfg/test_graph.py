@@ -1,0 +1,128 @@
+"""Tests for the DataFlowGraph container and its prepared structures."""
+
+import pytest
+
+from repro.dfg import DataFlowGraph, indices_of_mask, mask_of, popcount
+from repro.errors import DFGError
+from repro.isa import Opcode
+
+
+def test_add_node_records_latencies_and_forbidden_flag():
+    dfg = DataFlowGraph("bb")
+    dfg.add_external_input("a")
+    node = dfg.add_node("m", Opcode.MUL, ["a", "a"])
+    assert node.sw_latency >= 2
+    assert node.hw_delay > 0
+    assert not node.forbidden
+    load = dfg.add_node("ld", Opcode.LOAD, ["m"])
+    assert load.forbidden
+
+
+def test_unknown_operands_become_external_inputs():
+    dfg = DataFlowGraph("bb")
+    dfg.add_node("n", Opcode.ADD, ["x", "y"])
+    assert set(dfg.external_inputs) == {"x", "y"}
+    assert dfg.is_external("x")
+    assert not dfg.is_external("n")
+
+
+def test_duplicate_names_are_rejected():
+    dfg = DataFlowGraph("bb")
+    dfg.add_external_input("a")
+    dfg.add_node("n", Opcode.NOT, ["a"])
+    with pytest.raises(DFGError, match="duplicate node name"):
+        dfg.add_node("n", Opcode.NOT, ["a"])
+    with pytest.raises(DFGError):
+        dfg.add_node("a", Opcode.NOT, ["n"])
+    with pytest.raises(DFGError):
+        dfg.add_external_input("n")
+
+
+def test_wrong_arity_is_rejected():
+    dfg = DataFlowGraph("bb")
+    dfg.add_external_input("a")
+    with pytest.raises(DFGError, match="expects 2 operands"):
+        dfg.add_node("n", Opcode.ADD, ["a"])
+
+
+def test_preds_succs_and_external_operands(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    n1 = diamond_dfg.node("n1").index
+    n3 = diamond_dfg.node("n3").index
+    assert diamond_dfg.preds(n0) == ()
+    assert set(diamond_dfg.succs(n0)) == {n1, diamond_dfg.node("n2").index}
+    assert set(diamond_dfg.preds(n3)) == {n1, diamond_dfg.node("n2").index}
+    assert diamond_dfg.external_operands(n0) == ("a", "b")
+    assert diamond_dfg.consumers_of_external("a") == (n0, n1)
+
+
+def test_ancestor_descendant_bitsets(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    n3 = diamond_dfg.node("n3").index
+    assert diamond_dfg.ancestors_mask(n0) == 0
+    assert diamond_dfg.descendants_mask(n3) == 0
+    # n3 descends from everything; n0 is an ancestor of everything.
+    assert diamond_dfg.ancestors_mask(n3) == mask_of(
+        [n0, diamond_dfg.node("n1").index, diamond_dfg.node("n2").index]
+    )
+    assert diamond_dfg.descendants_mask(n0) == mask_of(
+        [diamond_dfg.node("n1").index, diamond_dfg.node("n2").index, n3]
+    )
+
+
+def test_insertion_must_be_topological():
+    dfg = DataFlowGraph("bad")
+    dfg.add_external_input("a")
+    dfg.add_node("n1", Opcode.NOT, ["later"])  # 'later' becomes external
+    with pytest.raises(DFGError):
+        # Now defining 'later' as a node conflicts with the external input.
+        dfg.add_node("later", Opcode.NOT, ["a"])
+
+
+def test_effectively_live_out(diamond_dfg, chain_with_memory_dfg):
+    assert diamond_dfg.is_effectively_live_out(diamond_dfg.node("n3").index)
+    assert not diamond_dfg.is_effectively_live_out(diamond_dfg.node("n0").index)
+    # A store has no result and is never live-out.
+    dfg = DataFlowGraph("store")
+    dfg.add_external_input("v")
+    dfg.add_external_input("p")
+    dfg.add_node("st", Opcode.STORE, ["v", "p"])
+    dfg.prepare()
+    assert not dfg.is_effectively_live_out(0)
+
+
+def test_forbidden_mask(chain_with_memory_dfg):
+    load_index = chain_with_memory_dfg.node("ld").index
+    assert chain_with_memory_dfg.forbidden_mask == 1 << load_index
+
+
+def test_copy_preserves_structure(diamond_dfg):
+    clone = diamond_dfg.copy()
+    assert clone.num_nodes == diamond_dfg.num_nodes
+    assert clone.external_inputs == diamond_dfg.external_inputs
+    assert [n.opcode for n in clone.nodes] == [n.opcode for n in diamond_dfg.nodes]
+    # Mutating the clone does not touch the original.
+    clone.add_node("extra", Opcode.NOT, ["n3"])
+    assert "extra" not in diamond_dfg
+
+
+def test_to_networkx_exports_nodes_and_edges(diamond_dfg):
+    graph = diamond_dfg.to_networkx()
+    assert set(graph.nodes) == {"n0", "n1", "n2", "n3"}
+    assert graph.number_of_edges() == 4
+    assert graph.nodes["n3"]["live_out"] is True
+
+
+def test_mask_helpers_roundtrip():
+    indices = [0, 3, 5]
+    mask = mask_of(indices)
+    assert indices_of_mask(mask) == indices
+    assert popcount(mask) == 3
+    assert popcount(0) == 0
+
+
+def test_indices_of_and_names_of(diamond_dfg):
+    indices = diamond_dfg.indices_of(["n1", "n2"])
+    assert diamond_dfg.names_of(indices) == ("n1", "n2")
+    with pytest.raises(DFGError):
+        diamond_dfg.node("missing")

@@ -1,0 +1,76 @@
+"""Tests for structural cut signatures."""
+
+from repro.dfg import DataFlowGraph, cut_signature, node_signatures, opcode_histogram
+from repro.isa import Opcode
+
+
+def _two_cluster_dfg() -> DataFlowGraph:
+    dfg = DataFlowGraph("two")
+    for k in range(2):
+        a = dfg.add_external_input(f"a{k}")
+        b = dfg.add_external_input(f"b{k}")
+        dfg.add_node(f"m{k}", Opcode.MUL, [a, b])
+        dfg.add_node(f"s{k}", Opcode.ADD, [f"m{k}", a], live_out=True)
+    return dfg.prepare()
+
+
+def test_identical_clusters_have_identical_signatures():
+    dfg = _two_cluster_dfg()
+    sig0 = cut_signature(dfg, dfg.indices_of(["m0", "s0"]))
+    sig1 = cut_signature(dfg, dfg.indices_of(["m1", "s1"]))
+    assert sig0 == sig1
+
+
+def test_different_shapes_have_different_signatures():
+    dfg = _two_cluster_dfg()
+    cluster = cut_signature(dfg, dfg.indices_of(["m0", "s0"]))
+    single = cut_signature(dfg, dfg.indices_of(["m0"]))
+    crossed = cut_signature(dfg, dfg.indices_of(["m0", "s1"]))
+    assert cluster != single
+    assert cluster != crossed
+
+
+def test_signature_is_stable_across_graphs():
+    first = _two_cluster_dfg()
+    second = _two_cluster_dfg()
+    assert cut_signature(first, first.indices_of(["m0", "s0"])) == cut_signature(
+        second, second.indices_of(["m1", "s1"])
+    )
+
+
+def test_commutative_operand_order_does_not_matter():
+    dfg = DataFlowGraph("comm")
+    a = dfg.add_external_input("a")
+    b = dfg.add_external_input("b")
+    dfg.add_node("x", Opcode.ADD, [a, b], live_out=True)
+    dfg.add_node("y", Opcode.ADD, [b, a], live_out=True)
+    dfg.prepare()
+    assert cut_signature(dfg, dfg.indices_of(["x"])) == cut_signature(
+        dfg, dfg.indices_of(["y"])
+    )
+
+
+def test_non_commutative_order_matters():
+    dfg = DataFlowGraph("noncomm")
+    a = dfg.add_external_input("a")
+    b = dfg.add_external_input("b")
+    dfg.add_node("u", Opcode.SUB, [a, b])
+    dfg.add_node("v", Opcode.SUB, [b, a])
+    dfg.add_node("x", Opcode.SHL, ["u", "v"], live_out=True)
+    dfg.add_node("y", Opcode.SHL, ["v", "u"], live_out=True)
+    dfg.prepare()
+    assert cut_signature(dfg, dfg.indices_of(["u", "x"])) != cut_signature(
+        dfg, dfg.indices_of(["u", "y"])
+    )
+
+
+def test_empty_signature_sentinel(diamond_dfg):
+    assert cut_signature(diamond_dfg, set()) == "empty"
+
+
+def test_node_signatures_and_histogram(diamond_dfg):
+    members = {node.index for node in diamond_dfg.nodes}
+    labels = node_signatures(diamond_dfg, members)
+    assert set(labels) == members
+    histogram = opcode_histogram(diamond_dfg, members)
+    assert histogram == {"add": 2, "mul": 1, "xor": 1}

@@ -1,0 +1,67 @@
+"""Tests for cut input/output counting."""
+
+from repro.dfg import (
+    count_io,
+    cut_input_values,
+    cut_output_nodes,
+    io_feasible,
+    io_violation,
+    node_io_footprint,
+    union_io,
+)
+
+
+def test_single_node_footprint(diamond_dfg):
+    n0 = diamond_dfg.node("n0").index
+    assert node_io_footprint(diamond_dfg, n0) == (2, 1)
+    n3 = diamond_dfg.node("n3").index
+    assert node_io_footprint(diamond_dfg, n3) == (2, 1)
+
+
+def test_whole_diamond_io(diamond_dfg):
+    members = {node.index for node in diamond_dfg.nodes}
+    assert cut_input_values(diamond_dfg, members) == {"a", "b"}
+    assert cut_output_nodes(diamond_dfg, members) == {diamond_dfg.node("n3").index}
+    assert count_io(diamond_dfg, members) == (2, 1)
+
+
+def test_shared_value_counts_once(diamond_dfg):
+    # n1 and n2 both read n0 (outside the cut) -> one input, not two.
+    members = {diamond_dfg.node("n1").index, diamond_dfg.node("n2").index}
+    num_in, num_out = count_io(diamond_dfg, members)
+    assert num_in == 3  # n0, a, b
+    assert num_out == 2  # both feed n3 outside the cut
+
+
+def test_internal_values_are_not_outputs(mac_chain_dfg):
+    # {p0, s0}: p0 feeds only s0 (inside), s0 feeds s1 (outside).
+    members = mac_chain_dfg.indices_of(["p0", "s0"])
+    assert count_io(mac_chain_dfg, members) == (3, 1)
+
+
+def test_live_out_nodes_always_count_as_outputs(mac_chain_dfg):
+    members = mac_chain_dfg.indices_of(["p3", "s3"])
+    # s3 is live-out even though it has no consumer in the block.
+    assert count_io(mac_chain_dfg, members) == (3, 1)
+
+
+def test_io_feasible_and_violation(diamond_dfg):
+    members = {node.index for node in diamond_dfg.nodes}
+    assert io_feasible(diamond_dfg, members, 2, 1)
+    assert not io_feasible(diamond_dfg, members, 1, 1)
+    assert io_violation(diamond_dfg, members, 1, 1) == 1
+    assert io_violation(diamond_dfg, members, 2, 1) == 0
+    assert io_violation(diamond_dfg, members, 1, 0) == 2
+
+
+def test_union_io(mac_chain_dfg):
+    a = mac_chain_dfg.indices_of(["p0", "s0"])
+    b = mac_chain_dfg.indices_of(["p1", "s1"])
+    # The union chains through s0 -> s1, sharing the accumulator internally.
+    num_in, num_out = union_io(mac_chain_dfg, [a, b])
+    assert num_in == 5  # acc0, x0, y0, x1, y1
+    assert num_out == 1  # s1 feeds s2 outside
+
+
+def test_empty_cut_has_no_io(diamond_dfg):
+    assert count_io(diamond_dfg, set()) == (0, 0)

@@ -1,0 +1,96 @@
+"""Tests for the random DFG generators and (de)serialization."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    chain_dfg,
+    dfg_from_dict,
+    dfg_to_dict,
+    dfg_to_dot,
+    layered_dfg,
+    load_dfg,
+    random_dfg,
+    save_dfg,
+)
+from repro.errors import DFGError
+from repro.isa import Opcode
+
+
+def test_random_dfg_is_deterministic_per_seed():
+    first = random_dfg(25, seed=7)
+    second = random_dfg(25, seed=7)
+    assert dfg_to_dict(first) == dfg_to_dict(second)
+    different = random_dfg(25, seed=8)
+    assert dfg_to_dict(first) != dfg_to_dict(different)
+
+
+def test_random_dfg_respects_parameters():
+    dfg = random_dfg(40, seed=1, num_external_inputs=6, memory_fraction=0.2)
+    assert dfg.num_nodes == 40
+    assert len(dfg.external_inputs) >= 6
+    assert any(node.forbidden for node in dfg.nodes)
+    with pytest.raises(ValueError):
+        random_dfg(-1)
+
+
+def test_layered_and_chain_generators():
+    layered = layered_dfg(4, 3, seed=2)
+    assert layered.num_nodes == 12
+    chain = chain_dfg(5)
+    assert chain.num_nodes == 5
+    # A chain's depth equals its length.
+    from repro.dfg import graph_depth
+
+    assert graph_depth(chain) == 5
+
+
+def test_dict_roundtrip(diamond_dfg):
+    payload = dfg_to_dict(diamond_dfg)
+    rebuilt = dfg_from_dict(payload)
+    assert rebuilt.num_nodes == diamond_dfg.num_nodes
+    assert rebuilt.external_inputs == diamond_dfg.external_inputs
+    assert [n.opcode for n in rebuilt.nodes] == [n.opcode for n in diamond_dfg.nodes]
+    assert rebuilt.node("n3").live_out
+
+
+def test_malformed_payload_raises():
+    with pytest.raises(DFGError, match="malformed"):
+        dfg_from_dict({"name": "x"})
+
+
+def test_file_roundtrip(tmp_path, mac_chain_dfg):
+    path = tmp_path / "mac.json"
+    save_dfg(mac_chain_dfg, path)
+    loaded = load_dfg(path)
+    assert loaded.num_nodes == mac_chain_dfg.num_nodes
+    assert loaded.name == mac_chain_dfg.name
+
+
+def test_dot_output_mentions_nodes_and_highlight(diamond_dfg):
+    dot = dfg_to_dot(diamond_dfg, highlight=[0, 1], title="demo")
+    assert "digraph" in dot
+    assert '"n0"' in dot and '"n3"' in dot
+    assert "fillcolor" in dot
+    # Forbidden nodes are drawn as boxes.
+    dfg = DataFlowGraph("mem")
+    dfg.add_external_input("p")
+    dfg.add_node("ld", Opcode.LOAD, ["p"])
+    dfg.prepare()
+    assert "box" in dfg_to_dot(dfg)
+
+
+def test_builder_fixture():
+    from repro.dfg import DFGBuilder
+
+    builder = DFGBuilder("bb", inputs=["a", "b"])
+    m = builder.op("mul", "a", "b")
+    builder.op("add", m, "a", live_out=True)
+    built = builder.build()
+    assert built.num_nodes == 2
+    assert built.node(m).opcode is Opcode.MUL
+    # Implicit chaining: the previous result fills the missing operand slot.
+    builder2 = DFGBuilder("bb2", inputs=["x"])
+    builder2.op("not", "x")
+    builder2.op("not")
+    assert builder2.build().num_nodes == 2

@@ -1,0 +1,27 @@
+"""Tests for the code-size / energy future-work harness."""
+
+from repro.experiments import run_codesize_energy
+from repro.hwmodel import ISEConstraints
+
+
+def test_codesize_energy_rows_are_consistent():
+    table = run_codesize_energy(
+        benchmarks=("conven00", "fbital00", "autcor00"),
+        constraints=ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4),
+    )
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert row["speedup"] >= 1.0
+        assert row["instructions_after"] <= row["instructions_before"]
+        assert 0.0 <= row["code_size_reduction"] < 1.0
+        assert row["energy_after"] <= row["energy_before"]
+        assert 0.0 <= row["energy_reduction"] < 1.0
+
+
+def test_codesize_energy_reports_gains_on_mac_heavy_kernel():
+    table = run_codesize_energy(benchmarks=("autcor00",))
+    row = table.rows[0]
+    # The MAC chain collapses into a handful of custom instructions: both the
+    # static code size and the fetch/decode energy must drop noticeably.
+    assert row["code_size_reduction"] > 0.1
+    assert row["energy_reduction"] > 0.05

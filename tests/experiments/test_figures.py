@@ -1,0 +1,107 @@
+"""Tests for the figure harnesses (reduced configurations for speed)."""
+
+import pytest
+
+from repro.baselines import GeneticConfig
+from repro.core import ISEGenConfig
+from repro.experiments import (
+    average_isegen_advantage,
+    instances_by_io,
+    isegen_vs_genetic_speed_ratio,
+    run_ablation,
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+    run_scaling,
+)
+from repro.hwmodel import ISEConstraints
+
+
+def test_figure1_shows_reuse_beats_size():
+    table = run_figure1()
+    rows = {row["selection"]: row for row in table.rows}
+    large = rows["largest ISE (tailed cluster)"]
+    small = rows["reusable ISE (small cluster)"]
+    assert large["size"] > small["size"]
+    assert small["instances"] > large["instances"]
+    # The paper's point: more instances -> more total savings.
+    assert small["saved_per_execution"] > large["saved_per_execution"]
+
+
+def test_figure4_small_subset(paper_constraints):
+    speedup, runtime = run_figure4(
+        benchmarks=("conven00", "fbital00"),
+        algorithms=("Iterative", "ISEGEN", "Genetic"),
+        constraints=paper_constraints,
+    )
+    assert len(speedup.rows) == 6
+    by_algorithm = {}
+    for row in speedup.rows:
+        by_algorithm.setdefault(row["algorithm"], {})[row["benchmark"]] = row["speedup"]
+    # ISEGEN matches the optimal Iterative baseline on these small kernels.
+    for benchmark, optimal in by_algorithm["Iterative"].items():
+        assert by_algorithm["ISEGEN"][benchmark] == pytest.approx(optimal, rel=1e-6)
+    # Runtime rows exist for every (benchmark, algorithm) pair.
+    assert len(runtime.rows) == 6
+    ratios = isegen_vs_genetic_speed_ratio(runtime)
+    assert all(ratio > 1.0 for ratio in ratios.values())
+
+
+def test_figure4_marks_infeasible_runs(paper_constraints):
+    speedup, _runtime = run_figure4(
+        benchmarks=("fft00",), algorithms=("Exact", "ISEGEN"),
+        constraints=paper_constraints,
+    )
+    exact_row = next(r for r in speedup.rows if r["algorithm"] == "Exact")
+    isegen_row = next(r for r in speedup.rows if r["algorithm"] == "ISEGEN")
+    assert exact_row["speedup"] is None and not exact_row["feasible"]
+    assert isegen_row["speedup"] > 1.0
+
+
+def test_figure6_reduced_sweep():
+    table = run_figure6(
+        io_sweep=((4, 2), (8, 4)),
+        nise_values=(1,),
+        genetic_config=GeneticConfig(
+            population_size=16, generations=10, stagnation_limit=5
+        ),
+        workload="aes",
+    )
+    assert len(table.rows) == 4  # 2 configurations x 2 algorithms
+    isegen_rows = [r for r in table.rows if r["algorithm"] == "ISEGEN"]
+    assert all(row["speedup"] >= 1.0 for row in table.rows)
+    # Relaxing I/O lets ISEGEN pick bigger cuts.
+    assert isegen_rows[1]["largest_cut"] >= isegen_rows[0]["largest_cut"]
+    assert average_isegen_advantage(table) > 0
+
+
+def test_figure7_reduced_sweep():
+    table = run_figure7(io_sweep=((4, 2), (8, 4)), max_ises=2)
+    cut1 = instances_by_io(table, "CUT1")
+    assert set(cut1) == {"(4,2)", "(8,4)"}
+    # Tighter I/O -> smaller cuts -> at least as many instances.
+    assert cut1["(4,2)"] >= cut1["(8,4)"]
+    sizes = {row["io"]: row["size"] for row in table.rows if row["cut"] == "CUT1"}
+    assert sizes["(4,2)"] <= sizes["(8,4)"]
+
+
+def test_ablation_reduced():
+    table = run_ablation(
+        benchmarks=("autcor00",),
+        constraints=ISEConstraints(max_inputs=4, max_outputs=2, max_ises=2),
+    )
+    variants = {row["variant"] for row in table.rows}
+    assert "default" in variants
+    assert "no I/O penalty (beta=0)" in variants
+    assert "reset working cut each pass" in variants
+    default_row = next(r for r in table.rows if r["variant"] == "default")
+    assert default_row["relative_to_default"] == pytest.approx(1.0)
+
+
+def test_scaling_reduced():
+    table = run_scaling(cluster_counts=(2, 4), algorithms=("ISEGEN", "Greedy"))
+    assert len(table.rows) == 4
+    sizes = sorted({row["block_size"] for row in table.rows})
+    assert sizes == [10, 20]
+    assert all(row["runtime_us"] > 0 for row in table.rows)

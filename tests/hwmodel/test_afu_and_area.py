@@ -1,0 +1,51 @@
+"""Tests for AFU descriptors and the area model."""
+
+from repro.dfg import Cut
+from repro.hwmodel import AreaModel, describe_afu
+from repro.isa import Opcode
+
+
+def test_describe_afu_ports_match_cut_io(mac_chain_dfg):
+    cut = Cut(mac_chain_dfg, ["p0", "s0"])
+    afu = describe_afu("MAC0", cut)
+    assert afu.num_inputs == cut.num_inputs
+    assert afu.num_outputs == cut.num_outputs
+    input_values = {port.value for port in afu.ports if port.direction == "in"}
+    assert input_values == cut.input_values()
+    assert afu.merit == afu.software_latency - afu.hardware_latency
+    assert "MAC0" in afu.summary()
+
+
+def test_port_names_follow_register_file_convention(diamond_dfg):
+    afu = describe_afu("D", Cut.full(diamond_dfg))
+    names = [port.name for port in afu.ports]
+    assert names == ["rs0", "rs1", "rd0"]
+
+
+def test_area_model_orders_operator_cost(diamond_dfg):
+    model = AreaModel()
+    mul_area = model.node_area(diamond_dfg, diamond_dfg.node("n1").index)
+    xor_area = model.node_area(diamond_dfg, diamond_dfg.node("n2").index)
+    add_area = model.node_area(diamond_dfg, diamond_dfg.node("n0").index)
+    assert mul_area > add_area > xor_area
+
+
+def test_cut_area_includes_overhead(diamond_dfg):
+    model = AreaModel()
+    members = {node.index for node in diamond_dfg.nodes}
+    total = model.cut_area(diamond_dfg, members)
+    assert total > sum(model.node_area(diamond_dfg, i) for i in members)
+    assert model.cut_area(diamond_dfg, set()) == 0.0
+    assert model.total_area(diamond_dfg, [members, set()]) == total
+
+
+def test_const_and_move_nodes_are_free():
+    from repro.dfg import DataFlowGraph
+
+    dfg = DataFlowGraph("free")
+    dfg.add_node("c", Opcode.CONST, (), attrs={"value": 3})
+    dfg.add_node("m", Opcode.MOV, ["c"], live_out=True)
+    dfg.prepare()
+    model = AreaModel()
+    assert model.node_area(dfg, 0) == 0.0
+    assert model.node_area(dfg, 1) == 0.0

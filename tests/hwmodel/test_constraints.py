@@ -1,0 +1,44 @@
+"""Tests for ISE constraints."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.hwmodel import DEFAULT_IO, DEFAULT_NUM_ISES, ISEConstraints, PAPER_IO_SWEEP
+
+
+def test_paper_default_matches_figure4():
+    constraints = ISEConstraints.paper_default()
+    assert constraints.io == (4, 2)
+    assert constraints.max_ises == 4
+    assert constraints.io == DEFAULT_IO
+    assert constraints.max_ises == DEFAULT_NUM_ISES
+    assert not constraints.allow_memory
+
+
+def test_paper_io_sweep_matches_figures_6_and_7():
+    assert PAPER_IO_SWEEP == ((2, 1), (3, 1), (4, 1), (4, 2), (6, 3), (8, 4))
+
+
+def test_invalid_constraints_rejected():
+    with pytest.raises(ConstraintError):
+        ISEConstraints(max_inputs=0)
+    with pytest.raises(ConstraintError):
+        ISEConstraints(max_outputs=0)
+    with pytest.raises(ConstraintError):
+        ISEConstraints(max_ises=0)
+    with pytest.raises(ConstraintError):
+        ISEConstraints(min_cut_size=0)
+
+
+def test_with_io_and_with_max_ises_return_copies():
+    base = ISEConstraints.paper_default()
+    relaxed = base.with_io(8, 4)
+    assert relaxed.io == (8, 4)
+    assert base.io == (4, 2)
+    single = base.with_max_ises(1)
+    assert single.max_ises == 1
+    assert base.max_ises == 4
+
+
+def test_label_is_human_readable():
+    assert ISEConstraints(max_inputs=6, max_outputs=3, max_ises=2).label() == "(6,3) x2"

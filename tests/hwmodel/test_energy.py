@@ -1,0 +1,79 @@
+"""Tests for the relative energy model (the paper's future-work study)."""
+
+import pytest
+
+from repro.core import generate_block_cuts
+from repro.hwmodel import EnergyModel, ISEConstraints
+from repro.isa import Opcode
+
+
+def test_software_energy_components(mac_chain_dfg):
+    model = EnergyModel()
+    breakdown = model.software_energy(mac_chain_dfg)
+    assert breakdown.datapath > 0
+    assert breakdown.fetch_decode == model.fetch_decode_energy * 8
+    assert breakdown.register_file > 0
+    assert breakdown.total == pytest.approx(
+        breakdown.datapath + breakdown.fetch_decode + breakdown.register_file
+    )
+
+
+def test_constants_cost_no_fetch(mac_chain_dfg):
+    from repro.dfg import DataFlowGraph
+
+    dfg = DataFlowGraph("with_const")
+    dfg.add_external_input("a")
+    dfg.add_node("c", Opcode.CONST, (), attrs={"value": 3})
+    dfg.add_node("x", Opcode.ADD, ["a", "c"], live_out=True)
+    dfg.prepare()
+    breakdown = EnergyModel().software_energy(dfg)
+    assert breakdown.fetch_decode == EnergyModel().fetch_decode_energy  # one issue
+
+
+def test_ise_energy_pays_one_fetch(mac_chain_dfg):
+    model = EnergyModel()
+    members = mac_chain_dfg.indices_of(["p0", "s0", "p1", "s1"])
+    software = model.software_energy(mac_chain_dfg, members)
+    ise = model.ise_energy(mac_chain_dfg, members)
+    assert ise.fetch_decode == model.fetch_decode_energy
+    assert ise.fetch_decode < software.fetch_decode
+    assert ise.datapath < software.datapath  # AFU datapath factor < 1
+    assert ise.total < software.total
+    assert model.ise_energy(mac_chain_dfg, []).total == 0.0
+
+
+def test_block_energy_with_cuts_reduces_total(mac_chain_dfg, paper_constraints):
+    model = EnergyModel()
+    cuts = [r.members for r in generate_block_cuts(mac_chain_dfg, paper_constraints)]
+    baseline = model.software_energy(mac_chain_dfg).total
+    accelerated = model.block_energy_with_cuts(mac_chain_dfg, cuts).total
+    assert accelerated < baseline
+    reduction = model.energy_reduction(mac_chain_dfg, cuts)
+    assert 0 < reduction < 1
+    assert reduction == pytest.approx((baseline - accelerated) / baseline)
+
+
+def test_overlapping_cuts_rejected(mac_chain_dfg):
+    model = EnergyModel()
+    a = mac_chain_dfg.indices_of(["p0", "s0"])
+    b = mac_chain_dfg.indices_of(["s0", "p1"])
+    with pytest.raises(ValueError, match="overlap"):
+        model.block_energy_with_cuts(mac_chain_dfg, [a, b])
+
+
+def test_memory_operations_are_expensive(chain_with_memory_dfg):
+    model = EnergyModel()
+    load_index = chain_with_memory_dfg.node("ld").index
+    add_index = chain_with_memory_dfg.node("a0").index
+    assert model.node_operation_energy(
+        chain_with_memory_dfg, load_index
+    ) > model.node_operation_energy(chain_with_memory_dfg, add_index)
+
+
+def test_empty_block_energy():
+    from repro.dfg import DataFlowGraph
+
+    empty = DataFlowGraph("empty").prepare()
+    model = EnergyModel()
+    assert model.software_energy(empty).total == 0.0
+    assert model.energy_reduction(empty, []) == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the latency model."""
+
+from repro.hwmodel import LatencyModel
+from repro.isa import Opcode
+
+
+def test_node_latencies_come_from_dfg_by_default(mac_chain_dfg):
+    model = LatencyModel()
+    p0 = mac_chain_dfg.node("p0").index
+    assert model.node_software_cycles(mac_chain_dfg, p0) == mac_chain_dfg.node("p0").sw_latency
+    assert model.node_hardware_delay(mac_chain_dfg, p0) == mac_chain_dfg.node("p0").hw_delay
+
+
+def test_overrides_take_precedence(mac_chain_dfg):
+    model = LatencyModel(
+        software_overrides={Opcode.MUL: 10},
+        hardware_overrides={Opcode.MUL: 5.0},
+    )
+    p0 = mac_chain_dfg.node("p0").index
+    assert model.node_software_cycles(mac_chain_dfg, p0) == 10
+    assert model.node_hardware_delay(mac_chain_dfg, p0) == 5.0
+
+
+def test_cut_latencies(mac_chain_dfg):
+    model = LatencyModel()
+    members = mac_chain_dfg.indices_of(["p0", "s0"])
+    software = model.software_latency(mac_chain_dfg, members)
+    hardware = model.hardware_latency(mac_chain_dfg, members)
+    assert software == sum(
+        mac_chain_dfg.node(name).sw_latency for name in ("p0", "s0")
+    )
+    assert hardware >= model.min_hardware_cycles
+    assert model.hardware_latency(mac_chain_dfg, set()) == 0
+    assert model.software_latency(mac_chain_dfg, set()) == 0
+
+
+def test_hardware_latency_rounds_up_critical_path(mac_chain_dfg):
+    # With 2 cycles per MAC-delay the same cut needs at least as many cycles.
+    slow = LatencyModel(cycles_per_mac=2.0)
+    fast = LatencyModel(cycles_per_mac=1.0)
+    members = mac_chain_dfg.indices_of(["p0", "s0", "s1", "s2", "s3"])
+    assert slow.hardware_latency(mac_chain_dfg, members) >= fast.hardware_latency(
+        mac_chain_dfg, members
+    )
+
+
+def test_whole_graph_software_latency(diamond_dfg):
+    model = LatencyModel()
+    assert model.whole_graph_software_latency(diamond_dfg) == sum(
+        node.sw_latency for node in diamond_dfg.nodes
+    )

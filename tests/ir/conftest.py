@@ -1,0 +1,38 @@
+"""Shared IR fixtures: a small loop kernel used by several IR tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import IRBuilder, Module, build_module
+
+
+def build_sumsq_module() -> Module:
+    """sum of i*i for i in [0, n) — a loop with phis, compare and branch."""
+    builder = IRBuilder("sumsq", params=["n"])
+    builder.const(0, "i0")
+    builder.const(0, "s0")
+    builder.branch("loop")
+    builder.block("loop")
+    builder.phi({"entry": "i0", "body": "i_next"}, result="i")
+    builder.phi({"entry": "s0", "body": "s_next"}, result="s")
+    builder.emit("lt", "i", "n", result="c")
+    builder.cond_branch("c", "body", "exit")
+    builder.block("body")
+    builder.emit("mul", "i", "i", result="sq")
+    builder.emit("add", "s", "sq", result="s_next")
+    builder.emit("add", "i", 1, result="i_next")
+    builder.branch("loop")
+    builder.block("exit")
+    builder.ret("s")
+    return build_module("sumsq_module", builder)
+
+
+@pytest.fixture
+def sumsq_module() -> Module:
+    return build_sumsq_module()
+
+
+@pytest.fixture
+def sumsq_function(sumsq_module):
+    return sumsq_module.function("sumsq")

@@ -1,0 +1,97 @@
+"""Tests for BasicBlock / Function / Module containers and the builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import BasicBlock, Function, IRBuilder, Module, build_module, make
+
+
+def test_block_enforces_single_terminator():
+    block = BasicBlock("entry")
+    block.append(make("add", "a", "b", result="r"))
+    block.append(make("ret", "r"))
+    assert block.is_terminated
+    with pytest.raises(IRError, match="already ends"):
+        block.append(make("add", "a", "b", result="again"))
+
+
+def test_block_phi_placement():
+    block = BasicBlock("loop")
+    block.append(
+        make("phi", "a", "b", result="x", incoming=["p", "q"])
+    )
+    block.append(make("add", "x", "x", result="y"))
+    with pytest.raises(IRError, match="phi"):
+        block.append(make("phi", "y", "y", result="z", incoming=["p", "q"]))
+
+
+def test_block_accessors(sumsq_function):
+    loop = sumsq_function.block("loop")
+    assert len(loop.phis) == 2
+    assert loop.terminator is not None
+    assert loop.successors() == ("body", "exit")
+    assert "c" in loop.defined_names()
+    assert {"i", "n"} <= loop.used_names()
+    exit_block = sumsq_function.block("exit")
+    assert exit_block.successors() == ()
+
+
+def test_function_structure(sumsq_function):
+    assert sumsq_function.entry.label == "entry"
+    assert len(sumsq_function) == 4
+    assert sumsq_function.has_block("body")
+    assert not sumsq_function.has_block("nowhere")
+    assert sumsq_function.params == ("n",)
+    assert {"i", "s", "sq", "c"} <= sumsq_function.defined_names()
+    assert sumsq_function.defining_block("sq") == "body"
+    assert sumsq_function.defining_block("n") is None
+    with pytest.raises(IRError):
+        sumsq_function.block("missing")
+
+
+def test_duplicate_labels_and_params_rejected():
+    function = Function("f", params=["a"])
+    function.new_block("entry")
+    with pytest.raises(IRError):
+        function.new_block("entry")
+    with pytest.raises(IRError):
+        Function("g", params=["x", "x"])
+
+
+def test_module_registry(sumsq_module):
+    assert sumsq_module.has_function("sumsq")
+    assert len(sumsq_module) == 1
+    with pytest.raises(IRError):
+        sumsq_module.function("other")
+    with pytest.raises(IRError):
+        sumsq_module.add_function(sumsq_module.function("sumsq"))
+
+
+def test_builder_requires_terminated_blocks():
+    builder = IRBuilder("f", params=["a"])
+    builder.emit("add", "a", 1, result="r")
+    with pytest.raises(IRError, match="no terminator"):
+        builder.build()
+    builder.ret("r")
+    function = builder.build()
+    assert function.entry.is_terminated
+
+
+def test_builder_fresh_names_and_helpers():
+    builder = IRBuilder("f", params=["p"])
+    first = builder.emit("not", "p")
+    second = builder.emit("not", first)
+    assert first != second
+    address = builder.const(16)
+    loaded = builder.load(address)
+    builder.store(loaded, address)
+    builder.ret(loaded)
+    module = build_module("m", builder)
+    assert isinstance(module, Module)
+    assert module.function("f").name == "f"
+
+
+def test_builder_rejects_emit_of_result_less_ops():
+    builder = IRBuilder("f")
+    with pytest.raises(IRError, match="value-producing"):
+        builder.emit("store", "a", "b")

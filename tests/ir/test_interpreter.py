@@ -1,0 +1,118 @@
+"""Tests for the IR interpreter and memory model."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ir import IRBuilder, Interpreter, Memory, build_module, make, run_function
+from repro.isa import to_unsigned
+
+
+def test_sumsq_executes_and_counts_blocks(sumsq_module):
+    trace = run_function(sumsq_module, "sumsq", [5])
+    assert trace.return_value == sum(i * i for i in range(5))
+    assert trace.block_counts["entry"] == 1
+    assert trace.block_counts["loop"] == 6  # 5 body iterations + exit check
+    assert trace.block_counts["body"] == 5
+    assert trace.block_counts["exit"] == 1
+    assert trace.steps > 0
+
+
+def test_zero_iterations(sumsq_module):
+    trace = run_function(sumsq_module, "sumsq", [0])
+    assert trace.return_value == 0
+    assert trace.block_counts.get("body", 0) == 0
+
+
+def test_memory_load_store_roundtrip():
+    builder = IRBuilder("sumarr", params=["base", "count"])
+    builder.const(0, "i0")
+    builder.const(0, "s0")
+    builder.branch("loop")
+    builder.block("loop")
+    builder.phi({"entry": "i0", "body": "i1"}, result="i")
+    builder.phi({"entry": "s0", "body": "s1"}, result="s")
+    builder.emit("lt", "i", "count", result="c")
+    builder.cond_branch("c", "body", "done")
+    builder.block("body")
+    builder.emit("add", "base", "i", result="addr")
+    builder.load("addr", result="v")
+    builder.emit("add", "s", "v", result="s1")
+    builder.emit("add", "i", 1, result="i1")
+    builder.branch("loop")
+    builder.block("done")
+    builder.ret("s")
+    module = build_module("m", builder)
+
+    memory = Memory()
+    memory.write_array(100, [3, 5, 7, 11])
+    trace = run_function(module, "sumarr", [100, 4], memory=memory)
+    assert trace.return_value == 26
+    assert memory.read_array(100, 4) == [3, 5, 7, 11]
+
+
+def test_store_writes_memory():
+    builder = IRBuilder("poke", params=["addr", "value"])
+    builder.store("value", "addr")
+    builder.ret("value")
+    module = build_module("m", builder)
+    memory = Memory(size=256)
+    run_function(module, "poke", [10, 42], memory=memory)
+    assert memory.load(10) == 42
+
+
+def test_memory_bounds_are_enforced():
+    memory = Memory(size=16)
+    with pytest.raises(InterpreterError, match="out of bounds"):
+        memory.load(100)
+    with pytest.raises(InterpreterError):
+        Memory(size=0)
+
+
+def test_call_executes_callee_and_counts_globally():
+    callee = IRBuilder("double", params=["x"])
+    callee.emit("add", "x", "x", result="r")
+    callee.ret("r")
+    caller = IRBuilder("main", params=["x"])
+    call = make("call", "x", result="d", attrs={"callee": "double"})
+    caller.current_block.append(call)
+    caller.emit("add", "d", 1, result="out")
+    caller.ret("out")
+    module = build_module("m", caller, callee)
+    interpreter = Interpreter(module)
+    trace = interpreter.run("main", [5])
+    assert trace.return_value == 11
+    assert interpreter.global_block_counts[("double", "entry")] == 1
+    assert interpreter.global_block_counts[("main", "entry")] == 1
+
+
+def test_call_without_callee_attr_raises():
+    caller = IRBuilder("main", params=["x"])
+    caller.current_block.append(make("call", "x", result="d"))
+    caller.ret("d")
+    module = build_module("m", caller)
+    with pytest.raises(InterpreterError, match="callee"):
+        run_function(module, "main", [1])
+
+
+def test_wrong_argument_count_raises(sumsq_module):
+    with pytest.raises(InterpreterError, match="expects 1 arguments"):
+        run_function(sumsq_module, "sumsq", [])
+
+
+def test_step_budget_guards_against_infinite_loops():
+    builder = IRBuilder("spin", params=[])
+    builder.branch("loop")
+    builder.block("loop")
+    builder.emit("add", 1, 1, result=builder.fresh_name())
+    builder.branch("loop")
+    module = build_module("m", builder)
+    with pytest.raises(InterpreterError, match="step budget"):
+        run_function(module, "spin", [], max_steps=100)
+
+
+def test_arguments_are_wrapped_to_32_bits(sumsq_module):
+    # 2**32 wraps to 0, so the loop body never executes.
+    trace = run_function(sumsq_module, "sumsq", [1 << 32])
+    assert trace.return_value == 0
+    assert trace.block_counts.get("body", 0) == 0
+    assert to_unsigned(1 << 32) == 0

@@ -1,0 +1,140 @@
+"""Tests for the textual IR format (printer + parser round-trip)."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir import (
+    format_function,
+    format_module,
+    load_module,
+    parse_function,
+    parse_module,
+    run_function,
+    verify_module,
+)
+
+SAXPY = """
+# y = a*x + y, one element
+func @saxpy(%a, %x, %y) {
+entry:
+  %p = mul %a, %x
+  %s = add %p, %y
+  ret %s
+}
+"""
+
+
+def test_parse_simple_function():
+    function = parse_function(SAXPY)
+    assert function.name == "saxpy"
+    assert function.params == ("a", "x", "y")
+    assert len(function.entry) == 3
+    assert function.entry.terminator.opcode.value == "ret"
+
+
+def test_comments_and_blank_lines_are_ignored():
+    module = parse_module("\n" + SAXPY + "\n# trailing comment\n")
+    assert module.has_function("saxpy")
+
+
+def test_roundtrip_through_printer(sumsq_module):
+    text = format_module(sumsq_module)
+    reparsed = parse_module(text, "reparsed")
+    verify_module(reparsed)
+    assert format_module(reparsed) == text
+    # Functional equivalence: both compute sum of squares below 7.
+    expected = sum(i * i for i in range(7))
+    assert run_function(sumsq_module, "sumsq", [7]).return_value == expected
+    assert run_function(reparsed, "sumsq", [7]).return_value == expected
+
+
+def test_parse_memory_and_control_statements():
+    text = """
+func @copy(%src, %dst) {
+entry:
+  %v = load %src
+  store %v, %dst
+  %c = eq %v, 0
+  cbr %c, done, more
+more:
+  br done
+done:
+  ret
+}
+"""
+    function = parse_function(text)
+    assert function.block("entry").terminator.targets == ("done", "more")
+    assert function.block("done").terminator.operands  # implicit ret 0
+
+
+def test_parse_phi_arms():
+    text = """
+func @pick(%a, %b) {
+entry:
+  %c = lt %a, %b
+  cbr %c, left, right
+left:
+  br join
+right:
+  br join
+join:
+  %m = phi [left: %a], [right: %b]
+  ret %m
+}
+"""
+    function = parse_function(text)
+    phi = function.block("join").phis[0]
+    assert phi.incoming == ("left", "right")
+
+
+def test_hex_and_negative_immediates():
+    function = parse_function(
+        "func @f(%a) {\nentry:\n  %x = and %a, 0xFF\n  %y = add %x, -1\n  ret %y\n}"
+    )
+    operands = function.entry.instructions[0].operands
+    assert operands[1].value == 0xFF
+
+
+@pytest.mark.parametrize(
+    "bad_text, message",
+    [
+        ("func @f() {\nentry:\n  %x = bogus %a\n  ret %x\n}", "unknown opcode"),
+        ("func @f() {\n  %x = add %a, %b\n}", "labelled block"),
+        ("%x = add %a, %b", "outside a function"),
+        ("func @f() {\nentry:\n  ret\n", "missing closing"),
+        ("func @f() {\nentry:\n  %x = add %a\n  ret %x\n}", "expects 2 operands"),
+        ("func @f() {\nentry:\n  cbr %c, only\n  ret\n}", "cbr expects"),
+        ("}", "unmatched"),
+    ],
+)
+def test_parse_errors_carry_helpful_messages(bad_text, message):
+    with pytest.raises(IRParseError, match=message):
+        parse_module(bad_text)
+
+
+def test_parse_error_reports_line_number():
+    try:
+        parse_module("func @f() {\nentry:\n  %x = frob %a\n  ret\n}")
+    except IRParseError as error:
+        assert error.line == 3
+    else:  # pragma: no cover
+        pytest.fail("expected a parse error")
+
+
+def test_parse_function_requires_exactly_one(sumsq_module):
+    with pytest.raises(IRParseError):
+        parse_function(format_module(sumsq_module) + "\n" + SAXPY)
+
+
+def test_load_module_from_file(tmp_path):
+    path = tmp_path / "kernel.ir"
+    path.write_text(SAXPY)
+    module = load_module(path)
+    assert module.name == "kernel"
+    assert module.has_function("saxpy")
+
+
+def test_format_function_header_lists_params(sumsq_function):
+    text = format_function(sumsq_function)
+    assert text.startswith("func @sumsq(%n) {")
+    assert text.rstrip().endswith("}")

@@ -1,0 +1,113 @@
+"""Tests for the IR-to-DFG conversion and the profiler."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    block_to_dfg,
+    build_module,
+    function_to_dfgs,
+    profile_function,
+    profile_module,
+    static_program,
+)
+from repro.isa import Opcode
+
+
+def test_sumsq_body_block_conversion(sumsq_function):
+    body = sumsq_function.block("body")
+    dfg = block_to_dfg(sumsq_function, body)
+    # sq, s_next, i_next plus one const node for the immediate 1.
+    assert dfg.num_nodes == 4
+    assert dfg.node("sq").opcode is Opcode.MUL
+    # Values defined in other blocks (the phis) become external inputs.
+    assert "i" in dfg.external_inputs
+    assert "s" in dfg.external_inputs
+    # Values used by other blocks (the phi back-edges) are live-out.
+    assert dfg.node("s_next").live_out
+    assert dfg.node("i_next").live_out
+
+
+def test_terminator_operand_becomes_live_out(sumsq_function):
+    loop = sumsq_function.block("loop")
+    dfg = block_to_dfg(sumsq_function, loop)
+    # The compare feeds the cbr, so it must be written to a register.
+    assert dfg.node("c").live_out
+    # Phis themselves are not materialized.
+    assert "i" not in dfg
+    assert "s" not in dfg
+
+
+def test_immediates_are_deduplicated_const_nodes():
+    builder = IRBuilder("k", params=["a"])
+    builder.emit("add", "a", 5, result="x")
+    builder.emit("mul", "x", 5, result="y")
+    builder.emit("shl", "y", 2, result="z")
+    builder.ret("z")
+    function = builder.build()
+    dfg = block_to_dfg(function, function.entry)
+    const_nodes = [n for n in dfg.nodes if n.opcode is Opcode.CONST]
+    assert len(const_nodes) == 2  # one for 5 (shared), one for 2
+    assert {n.attrs["value"] for n in const_nodes} == {5, 2}
+
+
+def test_memory_nodes_are_forbidden_or_dropped():
+    builder = IRBuilder("k", params=["p"])
+    loaded = builder.load("p")
+    builder.emit("add", loaded, 1, result="x")
+    builder.store("x", "p")
+    builder.ret("x")
+    function = builder.build()
+    with_memory = block_to_dfg(function, function.entry)
+    assert any(node.forbidden for node in with_memory.nodes)
+    without_memory = block_to_dfg(function, function.entry, include_memory=False)
+    assert not any(node.forbidden for node in without_memory.nodes)
+    assert without_memory.num_nodes < with_memory.num_nodes
+
+
+def test_function_to_dfgs_covers_every_block(sumsq_function):
+    dfgs = function_to_dfgs(sumsq_function)
+    assert set(dfgs) == {"entry", "loop", "body", "exit"}
+    assert dfgs["exit"].num_nodes == 0  # only the ret, which is skipped
+
+
+def test_profile_function_uses_measured_frequencies(sumsq_module):
+    program = profile_function(sumsq_module, "sumsq", [8])
+    by_name = {block.name: block for block in program}
+    assert by_name["sumsq.body"].frequency == 8.0
+    assert by_name["sumsq.loop"].frequency == 9.0
+    assert by_name["sumsq.entry"].frequency == 1.0
+    assert all(block.attrs["profiled"] for block in program)
+    assert by_name["sumsq.body"].attrs["return_value"] == sum(i * i for i in range(8))
+
+
+def test_static_program_estimates_loop_weights(sumsq_function):
+    program = static_program(sumsq_function, loop_weight=10.0)
+    by_name = {block.name: block for block in program}
+    assert by_name["sumsq.entry"].frequency == pytest.approx(1.0)
+    assert by_name["sumsq.body"].frequency == pytest.approx(10.0)
+    assert not by_name["sumsq.body"].attrs["profiled"]
+
+
+def test_profile_module_includes_callees(sumsq_module):
+    helper = IRBuilder("helper", params=["x"])
+    helper.emit("add", "x", "x", result="r")
+    helper.ret("r")
+    module = build_module("combo", helper)
+    module.add_function(sumsq_module.function("sumsq"))
+    program = profile_module(module, "sumsq", [3])
+    names = {block.name for block in program}
+    assert "sumsq.body" in names
+    assert "helper.entry" in names
+    assert program.block("helper.entry").frequency == 0.0
+    assert program.block("sumsq.body").frequency == 3.0
+
+
+def test_profiled_program_feeds_ise_generation(sumsq_module):
+    """End-to-end: profile a kernel, generate ISEs for it."""
+    from repro.core import ISEGen
+    from repro.hwmodel import ISEConstraints
+
+    program = profile_function(sumsq_module, "sumsq", [64])
+    result = ISEGen(ISEConstraints.paper_default()).generate(program)
+    assert result.speedup >= 1.0

@@ -1,0 +1,166 @@
+"""Tests for the IR clean-up passes (folding, copy propagation, DCE)."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    build_module,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    optimize_module,
+    parse_function,
+    propagate_copies,
+    run_function,
+    verify_function,
+)
+from repro.isa import Opcode
+
+
+def _count(function, opcode):
+    return sum(
+        1 for _block, inst in function.instructions() if inst.opcode is opcode
+    )
+
+
+def test_fold_constants_collapses_constant_expressions():
+    function = parse_function(
+        """
+func @f(%x) {
+entry:
+  %a = const 6
+  %b = const 7
+  %p = mul %a, %b
+  %q = add %p, %x
+  ret %q
+}
+"""
+    )
+    folded = fold_constants(function)
+    verify_function(folded)
+    assert _count(folded, Opcode.MUL) == 0
+    assert _count(folded, Opcode.CONST) == 3  # a, b and the folded product
+    module_before = build_module("m0")
+    module_before.add_function(function)
+    module_after = build_module("m1")
+    module_after.add_function(folded)
+    assert (
+        run_function(module_before, "f", [8]).return_value
+        == run_function(module_after, "f", [8]).return_value
+        == 50
+    )
+
+
+def test_fold_constants_keeps_division_by_zero_unfolded():
+    function = parse_function(
+        "func @f() {\nentry:\n  %z = const 0\n  %d = div 10, %z\n  ret %d\n}"
+    )
+    folded = fold_constants(function)
+    assert _count(folded, Opcode.DIV) == 1  # left for the runtime to trap
+
+
+def test_propagate_copies_forwards_moves():
+    builder = IRBuilder("copies", params=["x"])
+    builder.emit("mov", "x", result="c1")
+    builder.emit("zext", "c1", result="c2")
+    builder.emit("add", "c2", "c2", result="sum")
+    builder.ret("sum")
+    function = builder.build()
+    propagated = propagate_copies(function)
+    verify_function(propagated)
+    add = next(
+        inst
+        for _b, inst in propagated.instructions()
+        if inst.opcode is Opcode.ADD
+    )
+    assert add.used_names() == ("x", "x")
+
+
+def test_dead_code_elimination_removes_unused_chains():
+    builder = IRBuilder("dead", params=["x"])
+    builder.emit("add", "x", 1, result="used")
+    builder.emit("mul", "x", "x", result="dead1")
+    builder.emit("add", "dead1", 3, result="dead2")
+    builder.store("used", "x")  # stores must survive
+    builder.ret("used")
+    function = builder.build()
+    cleaned = eliminate_dead_code(function)
+    verify_function(cleaned)
+    assert _count(cleaned, Opcode.MUL) == 0
+    assert _count(cleaned, Opcode.STORE) == 1
+    names = {inst.result for _b, inst in cleaned.instructions() if inst.result}
+    assert "dead1" not in names and "dead2" not in names
+
+
+def test_dce_keeps_loads_and_phis(sumsq_function):
+    cleaned = eliminate_dead_code(sumsq_function)
+    verify_function(cleaned)
+    # The loop's phis are all still there.
+    assert len(cleaned.block("loop").phis) == 2
+
+
+def test_optimize_function_preserves_semantics(sumsq_module):
+    optimized_module, stats = optimize_module(sumsq_module)
+    for n in (0, 1, 5, 9):
+        assert (
+            run_function(sumsq_module, "sumsq", [n]).return_value
+            == run_function(optimized_module, "sumsq", [n]).return_value
+        )
+    assert stats.removed_instructions >= 0
+
+
+def test_optimize_function_shrinks_foldable_kernels():
+    builder = IRBuilder("shrink", params=["x"])
+    builder.const(4, "four")
+    builder.emit("shl", "four", 1, result="eight")        # foldable
+    builder.emit("mov", "x", result="copy")               # propagatable
+    builder.emit("add", "copy", "eight", result="sum")
+    builder.emit("mul", "four", "four", result="unused")  # dead after folding
+    builder.ret("sum")
+    function = builder.build()
+    optimized, stats = optimize_function(function)
+    verify_function(optimized)
+    assert stats.folded_constants >= 2
+    assert stats.propagated_copies >= 1
+    assert stats.removed_instructions >= 1
+    assert len(list(optimized.instructions())) < len(list(function.instructions()))
+    before = build_module("b")
+    before.add_function(function)
+    after = build_module("a")
+    after.add_function(optimized)
+    assert (
+        run_function(before, "shrink", [5]).return_value
+        == run_function(after, "shrink", [5]).return_value
+        == 13
+    )
+
+
+def test_optimized_kernel_produces_smaller_dfg():
+    from repro.ir import block_to_dfg
+
+    function = parse_function(
+        """
+func @addressing(%base) {
+entry:
+  %four = const 4
+  %eight = shl %four, 1
+  %addr = add %base, %eight
+  %v = load %addr
+  %out = add %v, %four
+  ret %out
+}
+"""
+    )
+    optimized, _stats = optimize_function(function)
+    original_dfg = block_to_dfg(function, function.entry)
+    optimized_dfg = block_to_dfg(optimized, optimized.entry)
+    assert optimized_dfg.num_nodes < original_dfg.num_nodes
+
+
+def test_passes_do_not_mutate_their_input(sumsq_function):
+    before = [str(inst) for _b, inst in sumsq_function.instructions()]
+    fold_constants(sumsq_function)
+    propagate_copies(sumsq_function)
+    eliminate_dead_code(sumsq_function)
+    after = [str(inst) for _b, inst in sumsq_function.instructions()]
+    assert before == after

@@ -1,0 +1,96 @@
+"""Tests for IR operands and instruction construction rules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Immediate, Instruction, ValueRef, as_operand, make
+from repro.isa import Opcode
+
+
+def test_as_operand_coercions():
+    assert as_operand("x") == ValueRef("x")
+    assert as_operand("%x") == ValueRef("x")
+    assert as_operand(7) == Immediate(7)
+    assert as_operand(-1) == Immediate(0xFFFFFFFF)
+    ref = ValueRef("y")
+    assert as_operand(ref) is ref
+    with pytest.raises(IRError):
+        as_operand(True)
+    with pytest.raises(IRError):
+        as_operand(3.5)
+
+
+def test_value_names_must_be_non_empty():
+    with pytest.raises(IRError):
+        ValueRef("")
+
+
+def test_make_builds_value_instructions():
+    inst = make("add", "a", 3, result="%r")
+    assert inst.opcode is Opcode.ADD
+    assert inst.result == "r"
+    assert inst.operands == (ValueRef("a"), Immediate(3))
+    assert inst.used_names() == ("a",)
+    assert str(inst) == "%r = add %a, 3"
+
+
+def test_result_arity_rules():
+    with pytest.raises(IRError):
+        make("add", "a", "b")  # missing result
+    with pytest.raises(IRError):
+        make("store", "v", "p", result="r")  # store produces nothing
+    with pytest.raises(IRError):
+        make("add", "a", result="r")  # wrong operand count
+    with pytest.raises(IRError):
+        make("const", "x", result="c")  # const needs an immediate
+
+
+def test_branch_target_rules():
+    br = make("br", targets=["next"])
+    assert br.is_terminator and br.targets == ("next",)
+    cbr = make("cbr", "c", targets=["t", "f"])
+    assert cbr.targets == ("t", "f")
+    with pytest.raises(IRError):
+        make("br", targets=[])
+    with pytest.raises(IRError):
+        make("cbr", "c", targets=["only"])
+    with pytest.raises(IRError):
+        make("add", "a", "b", result="r", targets=["x"])
+
+
+def test_phi_rules():
+    phi = Instruction(
+        opcode=Opcode.PHI,
+        operands=(ValueRef("a"), ValueRef("b")),
+        result="x",
+        incoming=("left", "right"),
+    )
+    assert phi.is_phi
+    assert phi.incoming_value("left") == ValueRef("a")
+    with pytest.raises(IRError):
+        phi.incoming_value("missing")
+    with pytest.raises(IRError):
+        Instruction(
+            opcode=Opcode.PHI,
+            operands=(ValueRef("a"),),
+            result="x",
+            incoming=("left", "right"),
+        )
+    with pytest.raises(IRError):
+        make("add", "a", "b", result="r", incoming=["left", "right"])
+    with pytest.raises(IRError):
+        phi.is_phi and make("add", "a", "b", result="r").incoming_value("left")
+
+
+def test_string_rendering_of_control_flow():
+    assert str(make("br", targets=["loop"])) == "br loop"
+    assert str(make("cbr", "c", targets=["a", "b"])) == "cbr %c, a, b"
+    assert str(make("ret", 0)) == "ret 0"
+    assert str(make("store", "v", "p")) == "store %v, %p"
+    phi = Instruction(
+        opcode=Opcode.PHI,
+        operands=(ValueRef("a"), ValueRef("b")),
+        result="x",
+        incoming=("l", "r"),
+    )
+    assert str(phi) == "%x = phi [l: %a], [r: %b]"

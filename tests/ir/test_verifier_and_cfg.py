@@ -1,0 +1,139 @@
+"""Tests for the IR verifier and control-flow graph utilities."""
+
+import pytest
+
+from repro.errors import IRError, IRVerificationError
+from repro.ir import (
+    BasicBlock,
+    ControlFlowGraph,
+    Function,
+    IRBuilder,
+    make,
+    verify_function,
+)
+
+
+def _loop_function() -> Function:
+    builder = IRBuilder("looper", params=["n"])
+    builder.const(0, "i0")
+    builder.branch("head")
+    builder.block("head")
+    builder.phi({"entry": "i0", "body": "i1"}, result="i")
+    builder.emit("lt", "i", "n", result="c")
+    builder.cond_branch("c", "body", "out")
+    builder.block("body")
+    builder.emit("add", "i", 1, result="i1")
+    builder.branch("head")
+    builder.block("out")
+    builder.ret("i")
+    return builder.build()
+
+
+def test_wellformed_function_verifies(sumsq_function):
+    verify_function(sumsq_function)  # must not raise
+
+
+def test_unterminated_block_is_reported():
+    function = Function("f", params=["a"])
+    block = function.new_block("entry")
+    block.append(make("add", "a", "a", result="r"))
+    with pytest.raises(IRVerificationError, match="no terminator"):
+        verify_function(function)
+
+
+def test_double_definition_is_reported():
+    function = Function("f", params=["a"])
+    block = function.new_block("entry")
+    block.append(make("add", "a", "a", result="r"))
+    block.append(make("add", "r", "a", result="r"))
+    block.append(make("ret", "r"))
+    with pytest.raises(IRVerificationError, match="more than once"):
+        verify_function(function)
+
+
+def test_undefined_use_and_use_before_def_are_reported():
+    function = Function("f", params=[])
+    block = function.new_block("entry")
+    block.append(make("add", "ghost", "ghost", result="r"))
+    block.append(make("ret", "r"))
+    with pytest.raises(IRVerificationError, match="undefined value"):
+        verify_function(function)
+
+    function2 = Function("g", params=["a"])
+    block2 = function2.new_block("entry")
+    block2.append(make("add", "later", "a", result="r"))
+    block2.append(make("add", "a", "a", result="later"))
+    block2.append(make("ret", "r"))
+    with pytest.raises(IRVerificationError, match="before its definition"):
+        verify_function(function2)
+
+
+def test_bad_branch_target_is_reported():
+    function = Function("f", params=[])
+    block = function.new_block("entry")
+    block.append(make("br", targets=["nowhere"]))
+    with pytest.raises(IRVerificationError, match="unknown label"):
+        verify_function(function)
+
+
+def test_phi_incoming_labels_must_match_predecessors():
+    function = Function("f", params=["a", "b"])
+    entry = function.new_block("entry")
+    entry.append(make("br", targets=["join"]))
+    join = function.new_block("join")
+    join.append(
+        make("phi", "a", "b", result="x", incoming=["entry", "ghost"])
+    )
+    join.append(make("ret", "x"))
+    with pytest.raises(IRVerificationError, match="non-predecessor"):
+        verify_function(function)
+
+
+def test_cfg_structure():
+    function = _loop_function()
+    cfg = ControlFlowGraph(function)
+    assert cfg.entry == "entry"
+    assert cfg.successors("head") == ("body", "out")
+    assert set(cfg.predecessors("head")) == {"entry", "body"}
+    assert cfg.reachable() == {"entry", "head", "body", "out"}
+    order = cfg.reverse_post_order()
+    assert order[0] == "entry"
+    assert order.index("head") < order.index("body")
+    assert ("body", "head") in cfg.back_edges()
+    assert cfg.loop_headers() == {"head"}
+
+
+def test_cfg_rejects_unknown_targets():
+    function = Function("f", params=[])
+    block = function.new_block("entry")
+    block.append(make("br", targets=["missing"]))
+    with pytest.raises(IRError):
+        ControlFlowGraph(function)
+
+
+def test_static_frequency_estimate_weights_loops():
+    function = _loop_function()
+    cfg = ControlFlowGraph(function)
+    frequencies = cfg.estimate_frequencies(loop_weight=10.0)
+    assert frequencies["entry"] == 1.0
+    assert frequencies["body"] == pytest.approx(10.0)
+    assert frequencies["head"] == pytest.approx(10.0)
+
+
+def test_unreachable_blocks_get_zero_frequency():
+    function = Function("f", params=[])
+    entry = function.new_block("entry")
+    entry.append(make("ret", 0))
+    orphan = function.new_block("orphan")
+    orphan.append(make("ret", 0))
+    cfg = ControlFlowGraph(function)
+    frequencies = cfg.estimate_frequencies()
+    assert frequencies["orphan"] == 0.0
+    assert "orphan" not in cfg.reachable()
+
+
+def test_blocks_without_phis_expose_empty_phi_tuple():
+    block = BasicBlock("b")
+    block.append(make("ret", 0))
+    assert block.phis == ()
+    assert block.body == ()

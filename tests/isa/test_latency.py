@@ -1,0 +1,46 @@
+"""Tests for the software-cycle and hardware-delay tables."""
+
+from repro.isa import (
+    Opcode,
+    all_opcodes,
+    hardware_delay,
+    hardware_delay_table,
+    software_cycle_table,
+    software_cycles,
+)
+
+
+def test_every_opcode_has_latencies():
+    for opcode in all_opcodes():
+        assert software_cycles(opcode) >= 0
+        assert hardware_delay(opcode) >= 0.0
+
+
+def test_mac_is_the_hardware_normalization_unit():
+    assert hardware_delay(Opcode.MAC) == 1.0
+
+
+def test_relative_hardware_ordering_matches_literature():
+    # wires < logic < shift < add < multiply <= MAC << divide
+    assert hardware_delay(Opcode.MOV) <= hardware_delay(Opcode.XOR)
+    assert hardware_delay(Opcode.XOR) < hardware_delay(Opcode.SHL)
+    assert hardware_delay(Opcode.SHL) < hardware_delay(Opcode.ADD)
+    assert hardware_delay(Opcode.ADD) < hardware_delay(Opcode.MUL)
+    assert hardware_delay(Opcode.MUL) <= hardware_delay(Opcode.MAC)
+    assert hardware_delay(Opcode.MAC) < hardware_delay(Opcode.DIV)
+
+
+def test_software_cycles_reflect_multi_cycle_units():
+    assert software_cycles(Opcode.ADD) == 1
+    assert software_cycles(Opcode.MUL) >= 2
+    assert software_cycles(Opcode.DIV) > software_cycles(Opcode.MUL)
+    assert software_cycles(Opcode.CONST) == 0
+
+
+def test_tables_are_copies_and_complete():
+    sw = software_cycle_table()
+    hw = hardware_delay_table()
+    assert set(sw) == set(all_opcodes())
+    assert set(hw) == set(all_opcodes())
+    sw[Opcode.ADD] = 99
+    assert software_cycles(Opcode.ADD) == 1  # table mutation does not leak

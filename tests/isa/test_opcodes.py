@@ -1,0 +1,88 @@
+"""Tests for the opcode metadata tables."""
+
+import pytest
+
+from repro.isa import (
+    FORBIDDEN_CATEGORIES,
+    OpCategory,
+    Opcode,
+    all_opcodes,
+    arity_of,
+    category_of,
+    is_commutative,
+    is_forbidden,
+    opcode_info,
+    parse_opcode,
+)
+
+
+def test_every_opcode_has_metadata():
+    for opcode in Opcode:
+        info = opcode_info(opcode)
+        assert info.opcode is opcode
+        assert info.arity >= 0
+        assert info.results in (0, 1)
+
+
+def test_all_opcodes_is_complete_and_deterministic():
+    opcodes = all_opcodes()
+    assert set(opcodes) == set(Opcode)
+    assert list(opcodes) == list(all_opcodes())
+
+
+def test_memory_and_control_are_forbidden():
+    assert is_forbidden(Opcode.LOAD)
+    assert is_forbidden(Opcode.STORE)
+    assert is_forbidden(Opcode.LUT)
+    assert is_forbidden(Opcode.BR)
+    assert is_forbidden(Opcode.CALL)
+    assert is_forbidden(Opcode.CUSTOM)
+
+
+def test_arithmetic_is_not_forbidden():
+    for opcode in (Opcode.ADD, Opcode.MUL, Opcode.XOR, Opcode.SELECT, Opcode.MAC):
+        assert not is_forbidden(opcode)
+
+
+def test_forbidden_categories_cover_memory_control_table():
+    assert OpCategory.MEMORY in FORBIDDEN_CATEGORIES
+    assert OpCategory.CONTROL in FORBIDDEN_CATEGORIES
+    assert OpCategory.TABLE in FORBIDDEN_CATEGORIES
+    assert OpCategory.ARITH not in FORBIDDEN_CATEGORIES
+
+
+def test_arity_of_known_opcodes():
+    assert arity_of(Opcode.ADD) == 2
+    assert arity_of(Opcode.NOT) == 1
+    assert arity_of(Opcode.MAC) == 3
+    assert arity_of(Opcode.SELECT) == 3
+    assert arity_of(Opcode.CONST) == 0
+    assert arity_of(Opcode.CUSTOM) == 0  # variable
+
+
+def test_commutativity_flags():
+    assert is_commutative(Opcode.ADD)
+    assert is_commutative(Opcode.XOR)
+    assert not is_commutative(Opcode.SUB)
+    assert not is_commutative(Opcode.SHL)
+    assert not is_commutative(Opcode.SELECT)
+
+
+def test_category_of_matches_families():
+    assert category_of(Opcode.MUL) is OpCategory.MULTIPLY
+    assert category_of(Opcode.DIV) is OpCategory.DIVIDE
+    assert category_of(Opcode.SAR) is OpCategory.SHIFT
+    assert category_of(Opcode.LT) is OpCategory.COMPARE
+    assert category_of(Opcode.LOAD) is OpCategory.MEMORY
+
+
+def test_parse_opcode_roundtrip_and_case_insensitive():
+    assert parse_opcode("add") is Opcode.ADD
+    assert parse_opcode("XOR") is Opcode.XOR
+    for opcode in Opcode:
+        assert parse_opcode(opcode.value) is opcode
+
+
+def test_parse_opcode_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown opcode"):
+        parse_opcode("frobnicate")

@@ -1,0 +1,91 @@
+"""Tests for the concrete operator semantics (32-bit two's complement)."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.isa import Opcode, evaluate, has_evaluator, to_signed, to_unsigned
+
+
+def test_to_unsigned_wraps_modulo_2_32():
+    assert to_unsigned(0) == 0
+    assert to_unsigned(-1) == 0xFFFFFFFF
+    assert to_unsigned(1 << 32) == 0
+    assert to_unsigned((1 << 32) + 5) == 5
+
+
+def test_to_signed_interprets_sign_bit():
+    assert to_signed(0xFFFFFFFF) == -1
+    assert to_signed(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed(0x80000000) == -(2**31)
+
+
+@pytest.mark.parametrize(
+    "opcode, operands, expected",
+    [
+        (Opcode.ADD, (3, 4), 7),
+        (Opcode.ADD, (0xFFFFFFFF, 1), 0),
+        (Opcode.SUB, (3, 5), to_unsigned(-2)),
+        (Opcode.NEG, (5,), to_unsigned(-5)),
+        (Opcode.ABS, (to_unsigned(-9),), 9),
+        (Opcode.MUL, (6, 7), 42),
+        (Opcode.MAC, (3, 4, 5), 17),
+        (Opcode.AND, (0b1100, 0b1010), 0b1000),
+        (Opcode.OR, (0b1100, 0b1010), 0b1110),
+        (Opcode.XOR, (0b1100, 0b1010), 0b0110),
+        (Opcode.NOT, (0,), 0xFFFFFFFF),
+        (Opcode.SHL, (1, 4), 16),
+        (Opcode.SHR, (0x80000000, 31), 1),
+        (Opcode.SAR, (to_unsigned(-8), 2), to_unsigned(-2)),
+        (Opcode.ROL, (0x80000001, 1), 0x00000003),
+        (Opcode.ROR, (0x00000003, 1), 0x80000001),
+        (Opcode.EQ, (5, 5), 1),
+        (Opcode.NE, (5, 5), 0),
+        (Opcode.LT, (to_unsigned(-1), 0), 1),
+        (Opcode.GE, (0, to_unsigned(-1)), 1),
+        (Opcode.MIN, (to_unsigned(-3), 2), to_unsigned(-3)),
+        (Opcode.MAX, (to_unsigned(-3), 2), 2),
+        (Opcode.SELECT, (1, 10, 20), 10),
+        (Opcode.SELECT, (0, 10, 20), 20),
+        (Opcode.MOV, (123,), 123),
+        (Opcode.TRUNC, (0x12345678,), 0x5678),
+    ],
+)
+def test_evaluate_reference_values(opcode, operands, expected):
+    assert evaluate(opcode, operands) == expected
+
+
+def test_signed_division_truncates_toward_zero():
+    assert to_signed(evaluate(Opcode.DIV, (7, 2))) == 3
+    assert to_signed(evaluate(Opcode.DIV, (to_unsigned(-7), 2))) == -3
+    assert to_signed(evaluate(Opcode.REM, (to_unsigned(-7), 2))) == -1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpreterError):
+        evaluate(Opcode.DIV, (1, 0))
+    with pytest.raises(InterpreterError):
+        evaluate(Opcode.REM, (1, 0))
+
+
+def test_mulh_returns_upper_half():
+    assert evaluate(Opcode.MULH, (1 << 16, 1 << 16)) == 1
+    assert evaluate(Opcode.MULH, (3, 4)) == 0
+
+
+def test_shift_amounts_are_masked_to_five_bits():
+    assert evaluate(Opcode.SHL, (1, 33)) == 2  # 33 & 31 == 1
+    assert evaluate(Opcode.ROL, (1, 32)) == 1
+
+
+def test_has_evaluator_excludes_memory_and_control():
+    assert has_evaluator(Opcode.ADD)
+    assert not has_evaluator(Opcode.LOAD)
+    assert not has_evaluator(Opcode.BR)
+    assert not has_evaluator(Opcode.CONST)
+
+
+def test_evaluate_unknown_or_bad_arity_raises():
+    with pytest.raises(InterpreterError):
+        evaluate(Opcode.LOAD, (0,))
+    with pytest.raises(InterpreterError):
+        evaluate(Opcode.ADD, (1,))

@@ -1,0 +1,50 @@
+"""Tests for the merit function M(C)."""
+
+from repro.dfg import Cut
+from repro.hwmodel import LatencyModel
+from repro.merit import MeritFunction
+
+
+def test_merit_is_software_minus_hardware(mac_chain_dfg):
+    merit_function = MeritFunction()
+    members = mac_chain_dfg.indices_of(["p0", "s0"])
+    breakdown = merit_function.breakdown(mac_chain_dfg, members)
+    assert breakdown.merit == breakdown.software_latency - breakdown.hardware_latency
+    assert breakdown.merit == merit_function.merit(mac_chain_dfg, members)
+
+
+def test_empty_cut_has_zero_merit(mac_chain_dfg):
+    merit_function = MeritFunction()
+    assert merit_function.merit(mac_chain_dfg, set()) == 0
+    breakdown = merit_function.breakdown(mac_chain_dfg, set())
+    assert breakdown.software_latency == 0
+    assert breakdown.hardware_latency == 0
+
+
+def test_larger_parallel_cut_has_higher_merit(mac_chain_dfg):
+    """Adding a parallel multiplier increases software savings while barely
+    touching the critical path, so merit must grow."""
+    merit_function = MeritFunction()
+    small = merit_function.merit(mac_chain_dfg, mac_chain_dfg.indices_of(["p0", "s0"]))
+    large = merit_function.merit(
+        mac_chain_dfg, mac_chain_dfg.indices_of(["p0", "s0", "p1", "s1"])
+    )
+    assert large > small
+
+
+def test_merit_respects_custom_latency_model(mac_chain_dfg):
+    members = mac_chain_dfg.indices_of(["p0", "s0"])
+    default = MeritFunction().merit(mac_chain_dfg, members)
+    expensive_hw = MeritFunction(LatencyModel(cycles_per_mac=10.0)).merit(
+        mac_chain_dfg, members
+    )
+    assert expensive_hw < default
+
+
+def test_cut_overloads(mac_chain_dfg):
+    merit_function = MeritFunction()
+    cut = Cut(mac_chain_dfg, ["p0", "s0"])
+    assert merit_function.cut_merit(cut) == merit_function.merit(
+        mac_chain_dfg, cut.members
+    )
+    assert merit_function.cut_breakdown(cut).merit == merit_function.cut_merit(cut)

@@ -1,0 +1,69 @@
+"""Tests for the whole-application speedup formula."""
+
+import pytest
+
+from repro.dfg import random_dfg
+from repro.errors import ReproError
+from repro.hwmodel import LatencyModel
+from repro.merit import (
+    application_software_cycles,
+    application_speedup,
+    block_savings,
+    MeritFunction,
+    speedup_value,
+)
+from repro.program import BlockProfile, Program, single_block_program
+
+
+def test_no_cuts_means_unit_speedup(single_block):
+    report = application_speedup(single_block, {})
+    assert report.speedup == pytest.approx(1.0)
+    assert report.total_saved_cycles == 0
+
+
+def test_speedup_matches_paper_formula(single_block, mac_chain_dfg):
+    model = LatencyModel()
+    members = mac_chain_dfg.indices_of(["p0", "s0", "p1", "s1"])
+    merit = MeritFunction(model).merit(mac_chain_dfg, members)
+    report = application_speedup(single_block, {mac_chain_dfg.name: [members]}, model)
+    t_sw = application_software_cycles(single_block, model)
+    expected = t_sw / (t_sw - single_block.blocks[0].frequency * merit)
+    assert report.speedup == pytest.approx(expected)
+    assert speedup_value(single_block, {mac_chain_dfg.name: [members]}, model) == (
+        pytest.approx(expected)
+    )
+
+
+def test_frequency_weighting_prefers_hot_blocks():
+    hot = random_dfg(20, seed=1, name="hot")
+    cold = random_dfg(20, seed=1, name="cold")
+    program = Program(
+        "two_blocks",
+        [BlockProfile(dfg=hot, frequency=1000.0), BlockProfile(dfg=cold, frequency=1.0)],
+    )
+    members = frozenset(range(4))
+    hot_speedup = speedup_value(program, {"hot": [members]})
+    cold_speedup = speedup_value(program, {"cold": [members]})
+    assert hot_speedup > cold_speedup
+
+
+def test_overlapping_cuts_are_rejected(mac_chain_dfg, single_block):
+    a = mac_chain_dfg.indices_of(["p0", "s0"])
+    b = mac_chain_dfg.indices_of(["s0", "p1"])
+    with pytest.raises(ReproError, match="overlap"):
+        block_savings(mac_chain_dfg, [a, b], MeritFunction())
+    with pytest.raises(ReproError):
+        application_speedup(single_block, {mac_chain_dfg.name: [a, b]})
+
+
+def test_unknown_block_name_is_rejected(single_block):
+    with pytest.raises(ReproError, match="unknown basic block"):
+        application_speedup(single_block, {"nonexistent": [frozenset({0})]})
+
+
+def test_block_savings_ignores_negative_merit(mac_chain_dfg):
+    # A single multiplier alone has merit >= 0; force negative merit with an
+    # expensive hardware model and check it is clamped to zero savings.
+    model = LatencyModel(cycles_per_mac=100.0)
+    members = mac_chain_dfg.indices_of(["p0"])
+    assert block_savings(mac_chain_dfg, [members], MeritFunction(model)) == 0

@@ -1,0 +1,85 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The central strategy builds random but always-valid :class:`DataFlowGraph`
+instances (topologically ordered, correct arities, optional memory barriers
+and live-out flags), plus random node subsets of those graphs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.dfg import DataFlowGraph
+from repro.isa import Opcode, arity_of
+
+#: Operator pool used by the generated graphs (a realistic integer mix).
+OPCODE_POOL = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.SELECT,
+    Opcode.NOT,
+)
+
+
+@st.composite
+def dataflow_graphs(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 18,
+    allow_memory: bool = True,
+):
+    """Generate a valid DFG with ``min_nodes``..``max_nodes`` instruction nodes."""
+    num_nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    num_inputs = draw(st.integers(min_value=1, max_value=4))
+    dfg = DataFlowGraph("hypothesis")
+    externals = [dfg.add_external_input(f"in{i}") for i in range(num_inputs)]
+    produced: list[str] = []
+    for index in range(num_nodes):
+        use_memory = (
+            allow_memory and draw(st.integers(min_value=0, max_value=9)) == 0
+        )
+        opcode = Opcode.LOAD if use_memory else draw(st.sampled_from(OPCODE_POOL))
+        pool = externals + produced[-6:]
+        operands = [
+            draw(st.sampled_from(pool)) for _ in range(arity_of(opcode))
+        ]
+        live_out = draw(st.integers(min_value=0, max_value=4)) == 0
+        name = f"n{index}"
+        dfg.add_node(name, opcode, operands, live_out=live_out)
+        produced.append(name)
+    dfg.prepare()
+    return dfg
+
+
+@st.composite
+def graphs_with_subsets(draw, max_nodes: int = 18, allow_memory: bool = True):
+    """A graph together with a random subset of its non-forbidden nodes."""
+    dfg = draw(dataflow_graphs(max_nodes=max_nodes, allow_memory=allow_memory))
+    eligible = [
+        index
+        for index in range(dfg.num_nodes)
+        if not dfg.node_by_index(index).forbidden
+    ]
+    if not eligible:
+        return dfg, frozenset()
+    subset = draw(
+        st.sets(st.sampled_from(eligible), min_size=0, max_size=len(eligible))
+    )
+    return dfg, frozenset(subset)
+
+
+@st.composite
+def toggle_sequences(draw, max_nodes: int = 15, max_toggles: int = 40):
+    """A graph plus a sequence of node indices to toggle one after another."""
+    dfg = draw(dataflow_graphs(max_nodes=max_nodes, allow_memory=False))
+    indices = st.integers(min_value=0, max_value=dfg.num_nodes - 1)
+    sequence = draw(st.lists(indices, min_size=1, max_size=max_toggles))
+    return dfg, sequence

@@ -1,0 +1,61 @@
+"""Property-based tests on the ISE-generation algorithms themselves.
+
+The key invariant — every cut any algorithm returns is *legal* (convex,
+within the I/O budget, free of forbidden nodes, disjoint from other cuts) —
+must hold on arbitrary valid DFGs, not only on the benchmark workloads.
+"""
+
+from hypothesis import given, settings
+
+from repro.baselines import best_single_cut, enumerate_feasible_cuts
+from repro.core import generate_block_cuts
+from repro.dfg import count_io, is_convex
+from repro.hwmodel import ISEConstraints
+
+from .strategies import dataflow_graphs
+
+CONSTRAINTS = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=3)
+
+
+def _assert_legal(dfg, members):
+    assert members
+    assert is_convex(dfg, members)
+    num_in, num_out = count_io(dfg, members)
+    assert num_in <= CONSTRAINTS.max_inputs
+    assert num_out <= CONSTRAINTS.max_outputs
+    assert not any(dfg.node_by_index(index).forbidden for index in members)
+
+
+@given(dataflow_graphs(max_nodes=16))
+@settings(max_examples=40, deadline=None)
+def test_isegen_cuts_are_always_legal_and_disjoint(dfg):
+    cuts = generate_block_cuts(dfg, CONSTRAINTS)
+    claimed = set()
+    for result in cuts:
+        _assert_legal(dfg, result.members)
+        assert result.merit >= 1
+        assert not (result.members & claimed)
+        claimed.update(result.members)
+
+
+@given(dataflow_graphs(max_nodes=12))
+@settings(max_examples=30, deadline=None)
+def test_exhaustive_best_cut_dominates_isegen(dfg):
+    """The optimal single cut can never be worse than ISEGEN's first cut —
+    if it were, the 'optimal' search would not be optimal."""
+    best = best_single_cut(dfg, CONSTRAINTS, min_size=CONSTRAINTS.min_cut_size)
+    cuts = generate_block_cuts(dfg, CONSTRAINTS, max_cuts=1)
+    if cuts:
+        assert best is not None
+        assert best.merit >= cuts[0].merit
+
+
+@given(dataflow_graphs(max_nodes=12))
+@settings(max_examples=30, deadline=None)
+def test_enumerated_cuts_are_feasible_and_unique(dfg):
+    seen = set()
+    for cut in enumerate_feasible_cuts(dfg, CONSTRAINTS):
+        assert cut.members not in seen
+        seen.add(cut.members)
+        _assert_legal(dfg, cut.members)
+        assert (cut.num_inputs, cut.num_outputs) == count_io(dfg, cut.members)

@@ -1,0 +1,61 @@
+"""Property-based tests: incremental I/O bookkeeping equals a full recount.
+
+This is the library's check of the paper's Section-4.3 claim that the
+per-node addendum rules keep ``I_ISE`` / ``O_ISE`` exact under arbitrary
+toggle sequences (including toggling the same node back, which must undo the
+change exactly).
+"""
+
+from hypothesis import given, settings
+
+from repro.core import IOState
+from repro.dfg import count_io
+
+from .strategies import toggle_sequences
+
+
+@given(toggle_sequences())
+@settings(max_examples=120, deadline=None)
+def test_incremental_io_matches_recount_after_every_toggle(case):
+    dfg, sequence = case
+    state = IOState(dfg)
+    for index in sequence:
+        state.toggle(index)
+        assert state.io() == count_io(dfg, state.members())
+
+
+@given(toggle_sequences(max_toggles=20))
+@settings(max_examples=80, deadline=None)
+def test_toggling_twice_is_the_identity(case):
+    dfg, sequence = case
+    state = IOState(dfg)
+    reference = IOState(dfg)
+    for index in sequence:
+        reference.toggle(index)
+    # Replay the sequence, but bounce one extra node there and back after
+    # every step: the extra double-toggle must never change anything.
+    state2 = IOState(dfg)
+    for position, index in enumerate(sequence):
+        state2.toggle(index)
+        bounce = (index + position) % dfg.num_nodes
+        state2.toggle(bounce)
+        state2.toggle(bounce)
+    assert state2.io() == reference.io()
+    assert state2.members() == reference.members()
+
+
+@given(toggle_sequences(max_toggles=15))
+@settings(max_examples=80, deadline=None)
+def test_hypothetical_toggle_equals_real_toggle(case):
+    dfg, sequence = case
+    state = IOState(dfg)
+    for index in sequence:
+        predicted = state.io_if_toggled(index)
+        addendum = state.addendum(index)
+        before = state.io()
+        state.toggle(index)
+        assert state.io() == predicted
+        assert (
+            before[0] + addendum[0],
+            before[1] + addendum[1],
+        ) == state.io()

@@ -1,0 +1,83 @@
+"""Property-based tests for structural matching and IR round-tripping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import cut_signature
+from repro.ir import format_module, parse_module, verify_module
+from repro.isa import Opcode, evaluate, to_signed, to_unsigned
+from repro.reuse import are_isomorphic, enumerate_instances
+
+from .strategies import graphs_with_subsets
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(graphs_with_subsets(max_nodes=12, allow_memory=False))
+@settings(max_examples=60, deadline=None)
+def test_every_cut_is_isomorphic_to_itself_and_matches_its_signature(case):
+    dfg, members = case
+    if not members:
+        return
+    assert are_isomorphic(dfg, members, dfg, members)
+    # Instances reported for the template are isomorphic to it and share its
+    # structural signature.
+    for instance in enumerate_instances(dfg, members, max_instances=4):
+        assert are_isomorphic(dfg, members, dfg, instance)
+        assert cut_signature(dfg, instance) == cut_signature(dfg, members)
+
+
+@given(words, words)
+@settings(max_examples=200)
+def test_add_sub_roundtrip(a, b):
+    total = evaluate(Opcode.ADD, (a, b))
+    assert evaluate(Opcode.SUB, (total, b)) == a
+
+
+@given(words, words)
+@settings(max_examples=200)
+def test_min_max_partition(a, b):
+    low = evaluate(Opcode.MIN, (a, b))
+    high = evaluate(Opcode.MAX, (a, b))
+    assert {low, high} == {a, b} or to_signed(low) == to_signed(high)
+    assert to_signed(low) <= to_signed(high)
+
+
+@given(words)
+@settings(max_examples=200)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=31), words)
+@settings(max_examples=100)
+def test_rotate_left_right_inverse(amount, value):
+    rotated = evaluate(Opcode.ROL, (value, amount))
+    assert evaluate(Opcode.ROR, (rotated, amount)) == value
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "sub", "mul", "xor", "and", "or"]),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ir_text_roundtrip_of_straightline_code(operations):
+    """Straight-line functions survive print -> parse -> print unchanged."""
+    lines = ["func @generated(%seed) {", "entry:"]
+    previous = "%seed"
+    for position, (mnemonic, immediate) in enumerate(operations):
+        name = f"%v{position}"
+        lines.append(f"  {name} = {mnemonic} {previous}, {immediate}")
+        previous = name
+    lines.append(f"  ret {previous}")
+    lines.append("}")
+    text = "\n".join(lines)
+    module = parse_module(text)
+    verify_module(module)
+    assert format_module(module).strip() == text.strip()

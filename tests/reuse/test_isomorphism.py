@@ -1,0 +1,137 @@
+"""Tests for exact structural matching and instance enumeration."""
+
+import pytest
+
+from repro.dfg import DataFlowGraph
+from repro.isa import Opcode
+from repro.reuse import (
+    are_isomorphic,
+    count_instances,
+    enumerate_instances,
+    find_isomorphism,
+)
+
+
+def _clusters_dfg(count=3) -> DataFlowGraph:
+    """`count` identical mul/add/xor clusters over distinct inputs."""
+    dfg = DataFlowGraph("clusters")
+    for k in range(count):
+        a = dfg.add_external_input(f"a{k}")
+        b = dfg.add_external_input(f"b{k}")
+        c = dfg.add_external_input(f"c{k}")
+        dfg.add_node(f"m{k}", Opcode.MUL, [a, b])
+        dfg.add_node(f"s{k}", Opcode.ADD, [f"m{k}", c])
+        dfg.add_node(f"x{k}", Opcode.XOR, [f"s{k}", a], live_out=True)
+    return dfg.prepare()
+
+
+@pytest.fixture
+def clusters():
+    return _clusters_dfg()
+
+
+def test_identical_clusters_are_isomorphic(clusters):
+    template = clusters.indices_of(["m0", "s0", "x0"])
+    other = clusters.indices_of(["m1", "s1", "x1"])
+    mapping = find_isomorphism(clusters, template, clusters, other)
+    assert mapping is not None
+    assert mapping[clusters.node("m0").index] == clusters.node("m1").index
+    assert are_isomorphic(clusters, template, clusters, other)
+
+
+def test_mixed_sets_are_not_isomorphic(clusters):
+    template = clusters.indices_of(["m0", "s0", "x0"])
+    crossed = clusters.indices_of(["m1", "s1", "x2"])
+    assert not are_isomorphic(clusters, template, clusters, crossed)
+    smaller = clusters.indices_of(["m1", "s1"])
+    assert not are_isomorphic(clusters, template, clusters, smaller)
+
+
+def test_isomorphism_across_different_graphs():
+    first = _clusters_dfg(1)
+    second = _clusters_dfg(2)
+    assert are_isomorphic(
+        first,
+        first.indices_of(["m0", "s0", "x0"]),
+        second,
+        second.indices_of(["m1", "s1", "x1"]),
+    )
+
+
+def test_operand_roles_matter():
+    dfg = DataFlowGraph("roles")
+    a = dfg.add_external_input("a")
+    b = dfg.add_external_input("b")
+    dfg.add_node("d0", Opcode.SUB, [a, b])
+    dfg.add_node("u0", Opcode.SHL, ["d0", b], live_out=True)
+    dfg.add_node("d1", Opcode.SUB, [a, b])
+    dfg.add_node("u1", Opcode.SHL, [b, "d1"], live_out=True)  # swapped roles
+    dfg.prepare()
+    template = dfg.indices_of(["d0", "u0"])
+    swapped = dfg.indices_of(["d1", "u1"])
+    assert not are_isomorphic(dfg, template, dfg, swapped)
+
+
+def test_commutative_operands_may_swap():
+    dfg = DataFlowGraph("commutes")
+    a = dfg.add_external_input("a")
+    b = dfg.add_external_input("b")
+    dfg.add_node("m0", Opcode.MUL, [a, b])
+    dfg.add_node("s0", Opcode.ADD, ["m0", a], live_out=True)
+    dfg.add_node("m1", Opcode.MUL, [b, a])
+    dfg.add_node("s1", Opcode.ADD, [a, "m1"], live_out=True)
+    dfg.prepare()
+    assert are_isomorphic(
+        dfg, dfg.indices_of(["m0", "s0"]), dfg, dfg.indices_of(["m1", "s1"])
+    )
+
+
+def test_enumerate_instances_finds_all_disjoint_copies(clusters):
+    template = clusters.indices_of(["m0", "s0", "x0"])
+    instances = list(enumerate_instances(clusters, template))
+    assert len(instances) == 3
+    assert instances[0] == template  # the template itself comes first
+    assert count_instances(clusters, template) == 3
+    # Sub-template (mul+add) also recurs three times.
+    assert count_instances(clusters, clusters.indices_of(["m0", "s0"])) == 3
+
+
+def test_enumerate_instances_respects_candidate_restriction(clusters):
+    template = clusters.indices_of(["m0", "s0", "x0"])
+    restricted = set(template) | set(clusters.indices_of(["m1", "s1", "x1"]))
+    instances = list(
+        enumerate_instances(clusters, template, candidate_nodes=restricted)
+    )
+    assert len(instances) == 2
+
+
+def test_overlapping_vs_disjoint_counting():
+    dfg = DataFlowGraph("chain")
+    dfg.add_external_input("x")
+    previous = "x"
+    for index in range(4):
+        name = f"n{index}"
+        dfg.add_node(name, Opcode.NOT, [previous], live_out=index == 3)
+        previous = name
+    dfg.prepare()
+    template = dfg.indices_of(["n0", "n1"])
+    assert count_instances(dfg, template) == 2  # {n0,n1}, {n2,n3}
+    assert count_instances(dfg, template, overlapping=True) == 3  # + {n1,n2}
+
+
+def test_max_instances_limit(clusters):
+    template = clusters.indices_of(["m0", "s0", "x0"])
+    limited = list(enumerate_instances(clusters, template, max_instances=2))
+    assert len(limited) == 2
+
+
+def test_empty_template_yields_nothing(clusters):
+    assert list(enumerate_instances(clusters, frozenset())) == []
+
+
+def test_disconnected_template_instances(clusters):
+    # A template made of two disconnected pieces (one mul from each of two
+    # clusters) still matches any disjoint pair of muls.
+    template = clusters.indices_of(["m0", "m1"])
+    assert count_instances(clusters, template) == 1  # only one disjoint pair left (m2 unpaired)
+    assert count_instances(clusters, clusters.indices_of(["m0"])) == 3

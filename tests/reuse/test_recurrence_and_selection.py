@@ -1,0 +1,107 @@
+"""Tests for recurrence analysis and reuse-aware selection."""
+
+import pytest
+
+from repro.core import ISEGen
+from repro.hwmodel import ISEConstraints
+from repro.program import single_block_program
+from repro.reuse import (
+    annotate_instances,
+    best_templates_by_coverage,
+    cut_instances,
+    generate_with_reuse,
+    instance_info,
+    reuse_adjusted_saving,
+    reuse_aware_speedup,
+)
+from repro.workloads import regular_kernel
+
+
+@pytest.fixture
+def regular_block():
+    """Six identical clusters -> a perfect reuse scenario."""
+    dfg = regular_kernel(6, name="reuse_block")
+    return single_block_program(dfg, frequency=100.0)
+
+
+def test_cut_instances_on_regular_kernel(regular_block):
+    dfg = regular_block.blocks[0].dfg
+    template = dfg.indices_of(
+        ["c0_d0_mul", "c0_d0_acc", "c0_d0_mix", "c0_d0_shift", "c0_d0_clip"]
+    )
+    instances = cut_instances(dfg, template)
+    assert len(instances) == 6
+
+
+def test_annotate_instances_fills_ise_counts(regular_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(regular_block)
+    assert result.ises
+    report = annotate_instances(result)
+    assert len(report.cuts) == len(result.ises)
+    for ise, info in zip(result.ises, report.cuts):
+        assert ise.instances == info.instances
+        assert info.instances >= 1
+        assert info.cut_name == ise.name
+    assert report.instances_of(result.ises[0].name) == result.ises[0].instances
+    assert report.as_rows()
+    assert "Reusability" in report.summary()
+
+
+def test_instances_of_one_cut_are_disjoint(regular_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(regular_block)
+    report = annotate_instances(result)
+    for info in report.cuts:
+        claimed = set()
+        for members in info.instance_members:
+            assert not (members & claimed)
+            claimed.update(members)
+    # The cut itself is always the first of its own instances.
+    for ise, info in zip(result.ises, report.cuts):
+        assert info.instance_members[0] == ise.cut.members
+
+
+def test_reuse_aware_speedup_beats_single_use(regular_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(regular_block)
+    reuse = reuse_aware_speedup(regular_block, result)
+    assert reuse.single_use_speedup == pytest.approx(result.speedup)
+    assert reuse.reuse_speedup >= reuse.single_use_speedup
+    assert reuse.instance_counts
+    assert "speedup" in reuse.summary()
+
+
+def test_generate_with_reuse_wrapper(regular_block, paper_constraints):
+    reuse = generate_with_reuse(
+        ISEGen(constraints=paper_constraints), regular_block
+    )
+    assert reuse.base.algorithm == "ISEGEN"
+    assert reuse.reuse_speedup >= 1.0
+
+
+def test_reuse_adjusted_saving_counts_every_instance(regular_block):
+    dfg = regular_block.blocks[0].dfg
+    template = dfg.indices_of(
+        ["c0_d0_mul", "c0_d0_acc", "c0_d0_mix", "c0_d0_shift", "c0_d0_clip"]
+    )
+    single = reuse_adjusted_saving(dfg, [])
+    assert single == 0
+    total = reuse_adjusted_saving(dfg, [template])
+    from repro.merit import MeritFunction
+
+    per_instance = MeritFunction().merit(dfg, template)
+    assert total == per_instance * 6
+
+
+def test_instance_info_signature_is_stable(regular_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(regular_block)
+    info_a = instance_info(result.ises[0])
+    info_b = instance_info(result.ises[0])
+    assert info_a.signature == info_b.signature
+    assert info_a.total_saving == info_a.merit * info_a.instances
+
+
+def test_best_templates_by_coverage_ranks_by_reuse(regular_block, paper_constraints):
+    result = ISEGen(constraints=paper_constraints).generate(regular_block)
+    ranked = best_templates_by_coverage(result)
+    assert len(ranked) <= paper_constraints.max_ises
+    savings = [ise.merit * ise.instances for ise in ranked]
+    assert savings == sorted(savings, reverse=True)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_command_lists_benchmarks(capsys):
+    assert main(["workloads"]) == 0
+    output = capsys.readouterr().out
+    assert "conven00" in output
+    assert "aes" in output
+    assert "696" in output
+
+
+def test_inspect_command(capsys):
+    assert main(["inspect", "viterb00"]) == 0
+    output = capsys.readouterr().out
+    assert "viterb00" in output
+    assert "23" in output
+
+
+def test_inspect_unknown_workload_fails_cleanly(capsys):
+    assert main(["inspect", "not_a_benchmark"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_command_with_options(capsys):
+    code = main(
+        [
+            "run",
+            "fbital00",
+            "--algorithm",
+            "Greedy",
+            "--max-inputs",
+            "4",
+            "--max-outputs",
+            "2",
+            "--max-ises",
+            "2",
+            "--reuse",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Greedy" in output
+    assert "Reuse-aware speedup" in output
+
+
+def test_figure1_command_saves_tables(tmp_path, capsys):
+    assert main(["figure1", "--output", str(tmp_path)]) == 0
+    output = capsys.readouterr().out
+    assert "figure1_reuse_motivation" in output
+    assert (tmp_path / "figure1_reuse_motivation.json").exists()
+    assert (tmp_path / "figure1_reuse_motivation.csv").exists()
+
+
+def test_parser_rejects_unknown_algorithm():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fbital00", "--algorithm", "Magic"])
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

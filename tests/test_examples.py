@@ -1,0 +1,62 @@
+"""Smoke tests: the runnable examples must keep working.
+
+Only the fast examples are executed here (the Figure-4 sweep and the AES
+case study take minutes and are exercised through the benchmark harness
+instead).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None, monkeypatch=None):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    if monkeypatch is not None:
+        monkeypatch.setattr(sys, "argv", [str(path)] + (argv or []))
+    return runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    _run_example("quickstart.py")
+    output = capsys.readouterr().out
+    assert "autcor00" in output
+    assert "ISEGEN" in output
+    assert "Optimal" in output
+
+
+def test_reuse_motivation_runs(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _run_example("reuse_motivation.py")
+    output = capsys.readouterr().out
+    assert "Best selection" in output
+    assert (tmp_path / "figure1_dfg.dot").exists()
+
+
+def test_custom_kernel_ir_runs(capsys):
+    _run_example("custom_kernel_ir.py")
+    output = capsys.readouterr().out
+    assert "Interpreted result" in output
+    assert "Code-size effect" in output
+
+
+def test_mediabench_sweep_supports_subsets(capsys, monkeypatch):
+    # Restrict the sweep to the two smallest kernels so the example stays fast.
+    _run_example(
+        "mediabench_sweep.py", argv=["conven00", "fbital00"], monkeypatch=monkeypatch
+    )
+    output = capsys.readouterr().out
+    assert "Figure 4, left" in output
+    assert "conven00" in output
+
+
+@pytest.mark.slow
+def test_aes_example_runs(capsys, monkeypatch):
+    _run_example("aes_regularity.py", argv=["4", "2"], monkeypatch=monkeypatch)
+    output = capsys.readouterr().out
+    assert "AES critical block: 696 nodes" in output

@@ -1,0 +1,47 @@
+"""Tests for the Program / BlockProfile containers."""
+
+import pytest
+
+from repro.dfg import random_dfg
+from repro.errors import ReproError
+from repro.program import BlockProfile, Program, single_block_program
+
+
+def test_program_add_and_lookup():
+    program = Program("app")
+    first = program.add_dfg(random_dfg(10, seed=0, name="bb0"), frequency=10.0)
+    second = program.add_dfg(random_dfg(20, seed=1, name="bb1"), frequency=5.0)
+    assert len(program) == 2
+    assert program.block("bb0") is first
+    assert program.block("bb1") is second
+    assert program.total_nodes == 30
+    assert program.largest_block is second
+    assert program.critical_block_size() == 20
+    assert [block.name for block in program] == ["bb0", "bb1"]
+
+
+def test_duplicate_block_names_rejected():
+    program = Program("app")
+    program.add_dfg(random_dfg(5, seed=0, name="bb"))
+    with pytest.raises(ReproError, match="already has a block"):
+        program.add_dfg(random_dfg(5, seed=1, name="bb"))
+
+
+def test_unknown_block_lookup_raises():
+    program = Program("app")
+    with pytest.raises(ReproError):
+        program.block("missing")
+    with pytest.raises(ReproError):
+        _ = program.largest_block
+
+
+def test_negative_frequency_rejected():
+    with pytest.raises(ReproError, match="frequency"):
+        BlockProfile(dfg=random_dfg(5, seed=0), frequency=-1.0)
+
+
+def test_single_block_program(mac_chain_dfg):
+    program = single_block_program(mac_chain_dfg, frequency=7.0)
+    assert len(program) == 1
+    assert program.blocks[0].frequency == 7.0
+    assert program.name == mac_chain_dfg.name

@@ -1,0 +1,69 @@
+"""Tests for the AES workload — the regularity Figures 6 and 7 rely on."""
+
+import pytest
+
+from repro.isa import Opcode
+from repro.reuse import are_isomorphic, count_instances
+from repro.workloads import (
+    AES_CRITICAL_BLOCK_SIZE,
+    AES_FULL_ROUNDS,
+    build_aes,
+    build_aes_block,
+)
+
+
+@pytest.fixture(scope="module")
+def aes_block():
+    return build_aes_block()
+
+
+def test_block_size_is_exactly_696(aes_block):
+    assert aes_block.num_nodes == AES_CRITICAL_BLOCK_SIZE == 696
+
+
+def test_sbox_lookups_are_barriers(aes_block):
+    luts = [node for node in aes_block.nodes if node.opcode is Opcode.LUT]
+    # 16 S-box lookups per round, in 4 full rounds plus the final round.
+    assert len(luts) == 16 * (AES_FULL_ROUNDS + 1)
+    assert all(node.forbidden for node in luts)
+
+
+def test_round_key_bytes_are_external_inputs(aes_block):
+    key_inputs = [name for name in aes_block.external_inputs if name.startswith("k")]
+    assert len(key_inputs) == 16 * (AES_FULL_ROUNDS + 2)  # whitening + rounds + final
+    assert len([n for n in aes_block.external_inputs if n.startswith("in")]) == 4
+
+
+def test_rounds_are_structurally_identical(aes_block):
+    """The MixColumns columns of different rounds are isomorphic — the
+    regularity ISEGEN exploits."""
+    column_r1 = [n.index for n in aes_block.nodes if n.name.startswith("r1_c0_")]
+    column_r3 = [n.index for n in aes_block.nodes if n.name.startswith("r3_c2_")]
+    assert len(column_r1) == len(column_r3) == 28
+    assert are_isomorphic(aes_block, column_r1, aes_block, column_r3)
+
+
+def test_xtime_gadget_recurs_massively(aes_block):
+    """The 3-node GF(2^8) doubling gadget appears 16 times per full round."""
+    gadget = aes_block.indices_of(["r1_c0_r0_dbl", "r1_c0_r0_red", "r1_c0_r0_x"])
+    instances = count_instances(aes_block, gadget)
+    assert instances == 16 * AES_FULL_ROUNDS
+
+
+def test_mix_column_recurs_per_round_and_column(aes_block):
+    column = [n.index for n in aes_block.nodes if n.name.startswith("r1_c0_")]
+    assert count_instances(aes_block, column) == 4 * AES_FULL_ROUNDS
+
+
+def test_program_profile_weights_encryption_block():
+    program = build_aes()
+    assert program.critical_block_size() == 696
+    critical = program.largest_block
+    assert critical.frequency > 1000
+    assert len(program) == 2
+
+
+def test_live_out_words(aes_block):
+    outputs = [node for node in aes_block.nodes if node.live_out]
+    assert len(outputs) == 4
+    assert all(node.name.startswith("out") for node in outputs)

@@ -1,0 +1,82 @@
+"""Tests for the parametric synthetic workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.reuse import count_instances
+from repro.workloads import (
+    figure1_dfg,
+    figure1_large_template,
+    figure1_small_template,
+    regular_kernel,
+    regular_program,
+    scaling_program,
+)
+
+
+def test_regular_kernel_size_and_structure():
+    dfg = regular_kernel(4)
+    assert dfg.num_nodes == 20  # 4 clusters x 5 operations
+    deeper = regular_kernel(2, cluster_depth=3)
+    assert deeper.num_nodes == 30
+    with pytest.raises(WorkloadError):
+        regular_kernel(0)
+    with pytest.raises(WorkloadError):
+        regular_kernel(2, cluster_depth=0)
+
+
+def test_regular_kernel_clusters_are_reusable():
+    dfg = regular_kernel(5)
+    template = dfg.indices_of(
+        ["c0_d0_mul", "c0_d0_acc", "c0_d0_mix", "c0_d0_shift", "c0_d0_clip"]
+    )
+    assert count_instances(dfg, template) == 5
+
+
+def test_cross_link_connects_clusters():
+    from repro.dfg import connected_components
+
+    independent = regular_kernel(3)
+    linked = regular_kernel(3, cross_link=True)
+    all_nodes_independent = range(independent.num_nodes)
+    all_nodes_linked = range(linked.num_nodes)
+    assert len(connected_components(independent, all_nodes_independent)) == 3
+    assert len(connected_components(linked, all_nodes_linked)) == 1
+
+
+def test_regular_program_wraps_kernel():
+    program = regular_program(3, frequency=42.0)
+    assert len(program) == 1
+    assert program.blocks[0].frequency == 42.0
+    assert program.critical_block_size() == 15
+
+
+def test_figure1_graph_and_templates():
+    dfg = figure1_dfg(instances_of_small=6, large_clusters=3)
+    small = figure1_small_template(dfg)
+    large = figure1_large_template(dfg)
+    assert len(small) == 5
+    assert len(large) == 8
+    # The small template matches every cluster (plain and tailed alike).
+    assert count_instances(dfg, small) == 6
+    # The large template only matches the tailed clusters.
+    assert count_instances(dfg, large) == 3
+    with pytest.raises(WorkloadError):
+        figure1_dfg(instances_of_small=2, large_clusters=3)
+
+
+def test_scaling_program_hits_requested_sizes():
+    program = scaling_program([10, 17, 25], seed=3)
+    sizes = [block.num_nodes for block in program]
+    assert sizes == [10, 17, 25]
+    with pytest.raises(WorkloadError):
+        scaling_program([3])
+
+
+def test_generators_are_deterministic():
+    from repro.dfg import dfg_to_dict
+
+    assert dfg_to_dict(regular_kernel(4, name="x")) == dfg_to_dict(
+        regular_kernel(4, name="x")
+    )
+    assert dfg_to_dict(figure1_dfg()) == dfg_to_dict(figure1_dfg())

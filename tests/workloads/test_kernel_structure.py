@@ -1,0 +1,76 @@
+"""Structural realism checks of the synthetic benchmark kernels."""
+
+import pytest
+
+from repro.analysis import operator_mix
+from repro.isa import OpCategory
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return {
+        name: load_workload(name)
+        for name in ("conven00", "fbital00", "viterb00", "autcor00", "fft00",
+                     "adpcm_decoder", "adpcm_coder")
+    }
+
+
+def _critical_mix(program):
+    return operator_mix(program.largest_block.dfg)
+
+
+def test_conven00_is_pure_logic(kernels):
+    mix = _critical_mix(kernels["conven00"])
+    assert mix[OpCategory.LOGIC] == 1.0
+
+
+def test_autcor00_is_mac_dominated(kernels):
+    mix = _critical_mix(kernels["autcor00"])
+    assert mix[OpCategory.MULTIPLY] >= 0.4
+    assert mix[OpCategory.ARITH] >= 0.4
+
+
+def test_fft00_has_complex_multiplies(kernels):
+    mix = _critical_mix(kernels["fft00"])
+    assert mix[OpCategory.MULTIPLY] >= 0.35
+    assert mix[OpCategory.ARITH] >= 0.35
+    assert mix.get(OpCategory.SHIFT, 0) > 0
+
+
+def test_viterb00_uses_compare_select(kernels):
+    mix = _critical_mix(kernels["viterb00"])
+    assert mix[OpCategory.COMPARE] >= 0.3  # the MIN selects
+    assert mix[OpCategory.ARITH] >= 0.4
+
+
+def test_adpcm_kernels_have_table_lookup_barriers(kernels):
+    for name in ("adpcm_decoder", "adpcm_coder"):
+        dfg = kernels[name].largest_block.dfg
+        assert any(node.forbidden for node in dfg.nodes), name
+        mix = _critical_mix(kernels[name])
+        assert mix.get(OpCategory.SHIFT, 0) > 0
+        assert mix.get(OpCategory.COMPARE, 0) > 0
+
+
+def test_adpcm_decoder_samples_are_structurally_identical(kernels):
+    from repro.reuse import are_isomorphic
+
+    dfg = kernels["adpcm_decoder"].largest_block.dfg
+    sample0 = [n.index for n in dfg.nodes if n.name.startswith("s0_")]
+    sample1 = [n.index for n in dfg.nodes if n.name.startswith("s1_")]
+    assert len(sample0) == len(sample1) == 41
+    assert are_isomorphic(dfg, sample0, dfg, sample1)
+
+
+def test_kernels_have_live_out_state(kernels):
+    """Every kernel must write back some state (accumulators, predictors)."""
+    for name, program in kernels.items():
+        dfg = program.largest_block.dfg
+        assert any(node.live_out for node in dfg.nodes), name
+
+
+def test_prologue_blocks_execute_once(kernels):
+    for program in kernels.values():
+        prologue = [b for b in program if b.attrs.get("role") == "prologue"]
+        assert prologue and prologue[0].frequency == 1.0
