@@ -1,0 +1,1 @@
+"""Benchmark harness package (makes ``from .conftest import run_once`` resolvable)."""

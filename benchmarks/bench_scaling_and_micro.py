@@ -7,15 +7,32 @@
   incremental I/O toggles, convexity checks, gain evaluation sweeps and the
   exhaustive enumeration — the pieces the paper's O(n^2) complexity claim
   rests on.
+* ``test_parallel_*`` measures the process-pool experiment engine
+  (``run_parallel``) against its serial path and asserts the result rows are
+  identical; the wall-clock speedup assertion is gated on the machine
+  actually having multiple cores.
+* ``test_gain_cache_*`` measures the cached K-L inner loop against the
+  uncached one on the same block and asserts the cuts are identical.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
+
 import pytest
 
 from repro.baselines import best_single_cut, run_greedy, run_isegen, run_iterative
-from repro.core import GainEvaluator, IOState, PartitionState, bipartition
+from repro.core import (
+    GainEvaluator,
+    IOState,
+    ISEGenConfig,
+    PartitionState,
+    bipartition,
+)
 from repro.dfg import is_convex_mask, mask_of, random_dfg
+from repro.experiments import run_ablation
 from repro.hwmodel import ISEConstraints
 from repro.workloads import regular_program
 
@@ -103,3 +120,74 @@ def test_micro_exhaustive_best_cut(benchmark):
     dfg = random_dfg(22, seed=21, live_out_fraction=0.3)
     cut = run_once(benchmark, best_single_cut, dfg, _MICRO_CONSTRAINTS)
     benchmark.extra_info["merit"] = 0 if cut is None else cut.merit
+
+
+# ----------------------------------------------------------------------
+# The cached K-L inner loop vs the uncached one
+# ----------------------------------------------------------------------
+_CACHE_DFG = random_dfg(150, seed=29, live_out_fraction=0.2)
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["cache_on", "cache_off"])
+def test_gain_cache_bipartition(benchmark, cached):
+    benchmark.group = "gain cache (150-node block)"
+    config = ISEGenConfig(use_gain_cache=cached)
+    result = run_once(benchmark, bipartition, _CACHE_DFG, _MICRO_CONSTRAINTS, config)
+    benchmark.extra_info["merit"] = result.merit
+    benchmark.extra_info["gain_evals"] = sum(t.gain_evals for t in result.passes)
+    benchmark.extra_info["gain_cache_hits"] = sum(
+        t.gain_cache_hits for t in result.passes
+    )
+    reference = bipartition(
+        _CACHE_DFG, _MICRO_CONSTRAINTS, ISEGenConfig(use_gain_cache=not cached)
+    )
+    assert result.members == reference.members
+    assert result.merit == reference.merit
+
+
+# ----------------------------------------------------------------------
+# The parallel experiment engine vs the serial path
+# ----------------------------------------------------------------------
+_PARALLEL_WORKERS = 4
+#: One benchmark x 8 ablation variants: eight balanced, independent cells,
+#: each heavy enough (~200ms) that process-pool startup is noise.
+_PARALLEL_KWARGS = dict(benchmarks=("fft00",))
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_parallel_engine_speedup(benchmark):
+    """``run_parallel`` with 4 workers vs the serial path on the ablation
+    harness: identical rows always; >= 2x wall-clock when the hardware has
+    the cores to show it (the pool cannot beat serial on a 1-core box).
+    Set ``ISEGEN_RELAX_PARALLEL_ASSERT`` to keep the measurement but drop
+    the assertion on noisy shared machines (CI runners)."""
+    benchmark.group = "parallel engine"
+    started = time.perf_counter()
+    serial = run_ablation(workers=1, **_PARALLEL_KWARGS)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = run_once(benchmark, run_ablation, workers=_PARALLEL_WORKERS, **_PARALLEL_KWARGS)
+    pooled_seconds = time.perf_counter() - started
+
+    assert pooled.rows == serial.rows, "worker pool changed the result rows"
+    speedup = serial_seconds / pooled_seconds if pooled_seconds else float("inf")
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = _usable_cpus()
+    if _usable_cpus() >= _PARALLEL_WORKERS and not os.environ.get(
+        "ISEGEN_RELAX_PARALLEL_ASSERT"
+    ):
+        # Spawn platforms (macOS/Windows) pay per-worker interpreter startup
+        # and package re-import that fork gets for free; hold them to a
+        # softer floor so a healthy checkout doesn't fail on timing noise.
+        floor = 2.0 if multiprocessing.get_start_method() == "fork" else 1.5
+        assert speedup >= floor, (
+            f"expected >= {floor}x from {_PARALLEL_WORKERS} workers, "
+            f"got {speedup:.2f}x"
+        )

@@ -36,6 +36,13 @@ from .reuse import reuse_aware_speedup
 from .workloads import available_workloads, load_workload, workload_spec
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-inputs", type=int, default=4, help="register-file read ports (default 4)"
@@ -96,33 +103,33 @@ def _save_and_print(tables, args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    return _save_and_print([run_figure1()], args)
+    return _save_and_print([run_figure1(workers=args.workers)], args)
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
-    speedup, runtime = run_figure4()
+    speedup, runtime = run_figure4(workers=args.workers)
     return _save_and_print([speedup, runtime], args)
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
-    table = run_figure6(quick_genetic=not args.full_genetic)
+    table = run_figure6(quick_genetic=not args.full_genetic, workers=args.workers)
     return _save_and_print([table], args)
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
-    return _save_and_print([run_figure7()], args)
+    return _save_and_print([run_figure7(workers=args.workers)], args)
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    return _save_and_print([run_ablation()], args)
+    return _save_and_print([run_ablation(workers=args.workers)], args)
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
-    return _save_and_print([run_scaling()], args)
+    return _save_and_print([run_scaling(workers=args.workers)], args)
 
 
 def _cmd_codesize_energy(args: argparse.Namespace) -> int:
-    return _save_and_print([run_codesize_energy()], args)
+    return _save_and_print([run_codesize_energy(workers=args.workers)], args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument(
             "--output", help="directory to save the result tables (JSON + CSV)"
+        )
+        sub.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            help="processes to fan the experiment cells out over "
+            "(1 = serial, identical rows either way; default 1)",
         )
         if name == "figure6":
             sub.add_argument(

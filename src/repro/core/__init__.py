@@ -4,6 +4,7 @@ from .config import GainWeights, ISEGenConfig
 from .iostate import IOState
 from .state import PartitionState
 from .gain import GainBreakdown, GainEvaluator
+from .gain_cache import CachedGainEvaluator
 from .kernighan_lin import BipartitionResult, PassTrace, bipartition
 from .isegen import ISEGen, KernighanLinCutFinder, generate_block_cuts
 from .application import ApplicationISEDriver, BlockCutFinder
@@ -16,6 +17,7 @@ __all__ = [
     "PartitionState",
     "GainBreakdown",
     "GainEvaluator",
+    "CachedGainEvaluator",
     "BipartitionResult",
     "PassTrace",
     "bipartition",

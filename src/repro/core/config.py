@@ -82,6 +82,13 @@ class ISEGenConfig:
     #: recomputation instead of the incremental estimate (slower, used by the
     #: tests that validate the estimate).
     exact_candidate_merit: bool = False
+    #: Memoize per-node gain components across the inner loop, invalidating
+    #: only the entries a committed toggle can affect (see
+    #: :mod:`repro.core.gain_cache`).  Results are identical with or without
+    #: the cache; the flag exists for the equivalence tests and benchmarks.
+    #: Ignored (treated as False) when ``exact_candidate_merit`` is set, as
+    #: the exact probe mutates the state behind the cache's back.
+    use_gain_cache: bool = True
     #: How the working cut ``C`` evolves across improvement passes.  The
     #: paper's pseudocode never resets ``C`` inside the outer loop (it keeps
     #: toggling the same configuration, so consecutive passes sweep the

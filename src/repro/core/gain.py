@@ -84,6 +84,14 @@ class GainEvaluator:
         dfg = state.dfg
         self._dist_up = upward_barrier_distances(dfg)
         self._dist_down = downward_barrier_distances(dfg)
+        #: Gain evaluations that computed (part of) a breakdown from scratch.
+        self.full_evals = 0
+        #: Gain evaluations served entirely from a cache (subclasses only).
+        self.cache_hits = 0
+
+    def note_commit(self, index: int) -> None:
+        """Hook called by the K-L loop after a committed toggle of *index*;
+        the uncached evaluator has no state to invalidate."""
 
     # ------------------------------------------------------------------
     # Individual components
@@ -133,6 +141,7 @@ class GainEvaluator:
     # Aggregate
     # ------------------------------------------------------------------
     def breakdown(self, index: int) -> GainBreakdown:
+        self.full_evals += 1
         return GainBreakdown(
             merit=self.merit_component(index),
             io_penalty=self.io_penalty_component(index),

@@ -1,0 +1,257 @@
+"""Incremental gain caching for the Kernighan-Lin inner loop.
+
+``bipartition`` evaluates the gain of every unmarked node before each
+committed toggle, so one improvement pass over an ``n``-node block performs
+O(n^2) full gain evaluations even though a single toggle of node ``u`` can
+only change a small part of most candidates' gains.  :class:`GainCache` /
+:class:`CachedGainEvaluator` exploit that structure: every per-node quantity
+that survives a toggle is memoized, and a committed toggle of ``u``
+invalidates exactly the entries it can affect.
+
+What a toggle of ``u`` can change, per gain component of a candidate ``v``:
+
+* **I/O addendum** ``(dI, dO)`` of ``v`` — only when ``u`` is ``v`` itself, a
+  parent, a child, or a *sibling* (sharing a producer value or an external
+  input with ``v``); this is exactly the update neighbourhood of the paper's
+  Figure 3 addendum rules.  The cut's base ``(I, O)`` totals are global but
+  O(1) to read, so the penalty is assembled fresh from the cached addendum.
+* **Convexity affinity** (neighbours of ``v`` inside the cut) — only when
+  ``u`` is a direct neighbour of ``v``.
+* **Convexity feasibility** of toggling ``v`` — only when ``u`` is an
+  ancestor or descendant of ``v``, *provided* the set of violation witnesses
+  (``PartitionState.violation_mask``) did not change; when the witness set
+  changes every cached answer is dropped (the subsequent recomputation is
+  O(1) per node for non-convex cuts thanks to the witness fast path in
+  :meth:`PartitionState.convex_if_toggled`).
+* **Merit estimate** — the global software-latency sum, cut size, and
+  hardware critical path are O(1) reads; the only cacheable per-node part is
+  ``incoming(v)``, the longest cut path reaching a parent of ``v``, which
+  changes only when a parent's membership or ``path_end`` changes.  Removal
+  estimates use the state's top-2 path statistics and need no cache.
+* **Independent-cuts credit** and the **directional-growth** term are O(1)
+  reads of maintained state (component delays) and static data (barrier
+  proximities) respectively.
+
+The cache also snapshots ``PartitionState.toggle_count``; if the state is
+mutated behind the cache's back (e.g. the exact-merit probe's
+toggle/measure/untoggle), everything is conservatively flushed, so cached
+results always equal a fresh :class:`GainEvaluator`'s.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dfg import mask_of
+from .config import GainWeights
+from .gain import GainBreakdown, GainEvaluator
+from .state import PartitionState
+
+
+def _io_affected_masks(dfg) -> list[int]:
+    """``mask[u]`` = nodes whose I/O addendum a toggle of ``u`` can change:
+    ``u`` itself, parents, children, and siblings through a shared producer
+    value or a shared external input."""
+    n = dfg.num_nodes
+    ext_consumers = {
+        name: mask_of(dfg.consumers_of_external(name))
+        for name in dfg.external_inputs
+    }
+    masks = []
+    for u in range(n):
+        mask = 1 << u
+        mask |= mask_of(dfg.preds(u)) | mask_of(dfg.succs(u))
+        for p in dfg.preds(u):
+            mask |= mask_of(dfg.succs(p))
+        for name in dfg.external_operands(u):
+            mask |= ext_consumers[name]
+        masks.append(mask)
+    return masks
+
+
+class CachedGainEvaluator(GainEvaluator):
+    """Drop-in :class:`GainEvaluator` with per-node memoization.
+
+    The K-L loop must call :meth:`note_commit` after every committed toggle
+    of the underlying state; gains then stay exactly equal to a fresh
+    evaluator's while only the affected entries are ever recomputed.
+    """
+
+    def __init__(self, state: PartitionState, weights: GainWeights | None = None):
+        super().__init__(state, weights, exact_merit=False)
+        dfg = state.dfg
+        model = state.latency_model
+        n = dfg.num_nodes
+        # Static per-node data.
+        self._sw_cycles = [model.node_software_cycles(dfg, i) for i in range(n)]
+        self._hw_delays = [model.node_hardware_delay(dfg, i) for i in range(n)]
+        self._proximity = [self.barrier_proximity(i) for i in range(n)]
+        self._io_affected = _io_affected_masks(dfg)
+        self._succ_masks = [mask_of(dfg.succs(i)) for i in range(n)]
+        # Cached per-node entries (None = unknown).
+        self._dio: list[tuple[int, int] | None] = [None] * n
+        self._nbr: list[int | None] = [None] * n
+        self._cvx: list[bool | None] = [None] * n
+        self._incoming: list[float | None] = [None] * n
+        # State snapshot backing the invalidation rules.
+        self._seen_toggles = state.toggle_count
+        self._seen_violation = state.violation_mask
+        self._seen_path_end = dict(state._path_end)
+
+    def rebind(self, state: PartitionState) -> None:
+        """Point the evaluator at *state*, reusing the static per-DFG tables
+        (software cycles, barrier proximities, invalidation masks), which are
+        the expensive part of construction.  Counters restart; cached entries
+        survive only when *state* is the same object the cache already
+        tracks and nothing mutated it since."""
+        if state.dfg is not self.state.dfg:
+            raise ValueError("rebind requires a state over the same DFG")
+        in_sync = state is self.state and state.toggle_count == self._seen_toggles
+        self.state = state
+        self.full_evals = 0
+        self.cache_hits = 0
+        if not in_sync:
+            self._flush()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        n = self.state.dfg.num_nodes
+        self._dio = [None] * n
+        self._nbr = [None] * n
+        self._cvx = [None] * n
+        self._incoming = [None] * n
+        self._seen_toggles = self.state.toggle_count
+        self._seen_violation = self.state.violation_mask
+        self._seen_path_end = dict(self.state._path_end)
+
+    @staticmethod
+    def _clear(entries: list, mask: int) -> None:
+        while mask:
+            low = mask & -mask
+            entries[low.bit_length() - 1] = None
+            mask ^= low
+
+    def note_commit(self, index: int) -> None:
+        """Invalidate every entry a committed toggle of *index* can affect."""
+        state = self.state
+        if state.toggle_count != self._seen_toggles + 1:
+            self._flush()
+            return
+        dfg = state.dfg
+        bit = 1 << index
+        self._clear(self._dio, self._io_affected[index])
+        self._clear(self._nbr, self._io_affected[index])
+        if state.violation_mask != self._seen_violation:
+            # The witness set moved: convexity feasibility may flip anywhere.
+            self._cvx = [None] * dfg.num_nodes
+            self._seen_violation = state.violation_mask
+        else:
+            self._clear(
+                self._cvx,
+                bit | dfg.ancestors_mask(index) | dfg.descendants_mask(index),
+            )
+        stale = self._succ_masks[index]
+        new_path_end = state._path_end
+        for node, delay in new_path_end.items():
+            if self._seen_path_end.get(node) != delay:
+                stale |= self._succ_masks[node]
+        for node in self._seen_path_end:
+            if node not in new_path_end:
+                stale |= self._succ_masks[node]
+        self._clear(self._incoming, stale)
+        self._seen_path_end = dict(new_path_end)
+        self._seen_toggles = state.toggle_count
+
+    # ------------------------------------------------------------------
+    # Cached evaluation
+    # ------------------------------------------------------------------
+    def breakdown(self, index: int) -> GainBreakdown:
+        state = self.state
+        if state.toggle_count != self._seen_toggles:
+            self._flush()
+        missed = False
+        dio = self._dio[index]
+        if dio is None:
+            dio = state.io.addendum(index)
+            self._dio[index] = dio
+            missed = True
+        nbr = self._nbr[index]
+        if nbr is None:
+            nbr = state.neighbors_in_cut(index)
+            self._nbr[index] = nbr
+            missed = True
+        in_cut = state.in_cut(index)
+        violations = state.violation_mask
+        if violations and (in_cut or violations & ~(1 << index)):
+            # O(1) global fast path: a non-convex cut rejects every removal,
+            # and an addition only heals the cut if the toggled node is the
+            # unique violation witness.  No cache entry is involved.
+            cvx = False
+        else:
+            cvx = self._cvx[index]
+            if cvx is None:
+                cvx = state.convex_if_toggled(index)
+                self._cvx[index] = cvx
+                missed = True
+        new_in = state.io.num_inputs + dio[0]
+        new_out = state.io.num_outputs + dio[1]
+        constraints = state.constraints
+        io_penalty = -float(
+            max(0, new_in - constraints.max_inputs)
+            + max(0, new_out - constraints.max_outputs)
+        )
+        proximity = self._proximity[index]
+        if in_cut:
+            convexity = -float(nbr)
+            large_cut = -proximity
+            independent = float(state.other_components_delay(index))
+        else:
+            convexity = float(nbr)
+            large_cut = proximity
+            independent = 0.0
+
+        merit = 0.0
+        if cvx:
+            merit, merit_missed = self._merit_estimate(index, in_cut)
+            missed = missed or merit_missed
+
+        if missed:
+            self.full_evals += 1
+        else:
+            self.cache_hits += 1
+        return GainBreakdown(
+            merit=merit,
+            io_penalty=io_penalty,
+            convexity=convexity,
+            large_cut=large_cut,
+            independent=independent,
+        )
+
+    def _merit_estimate(self, index: int, in_cut: bool) -> tuple[float, bool]:
+        """Mirror of :meth:`PartitionState.estimate_merit_if_toggled` reading
+        the cached ``incoming`` delay; returns ``(merit, cache_missed)``."""
+        state = self.state
+        model = state.latency_model
+        sw = self._sw_cycles[index]
+        new_sw = state._sw_latency + (-sw if in_cut else sw)
+        new_size = state.cut_size + (-1 if in_cut else 1)
+        if new_size == 0:
+            return 0.0, False
+        missed = False
+        if in_cut:
+            delay = state.estimate_hw_delay_if_toggled(index)
+        else:
+            incoming = self._incoming[index]
+            if incoming is None:
+                incoming = 0.0
+                for pred in state.dfg.preds(index):
+                    if state.in_cut(pred):
+                        incoming = max(incoming, state._path_end[pred])
+                self._incoming[index] = incoming
+                missed = True
+            delay = max(state._hw_delay, incoming + self._hw_delays[index])
+        cycles = math.ceil(delay * model.cycles_per_mac - 1e-9)
+        hw_cycles = max(model.min_hardware_cycles, cycles)
+        return float(new_sw - hw_cycles), missed

@@ -44,6 +44,7 @@ from ..dfg import Cut, DataFlowGraph
 from ..hwmodel import ISEConstraints, LatencyModel
 from .config import ISEGenConfig
 from .gain import GainEvaluator
+from .gain_cache import CachedGainEvaluator
 from .state import PartitionState
 
 
@@ -56,6 +57,10 @@ class PassTrace:
     shadow_updates: int = 0
     best_merit: int = 0
     improved: bool = False
+    #: Candidate gains computed (at least partially) from scratch this pass.
+    gain_evals: int = 0
+    #: Candidate gains served entirely from the :class:`GainCache`.
+    gain_cache_hits: int = 0
 
 
 @dataclass
@@ -148,6 +153,8 @@ def bipartition(
     # the partition back and forth); the reset variant restarts it from the
     # best legal cut at every pass.
     persistent_state = new_state(current_members)
+    use_cache = config.use_gain_cache and not config.exact_candidate_merit
+    cached_evaluator: CachedGainEvaluator | None = None
     for pass_index in range(config.max_passes):
         if config.reset_working_cut:
             state = new_state(current_members)
@@ -155,9 +162,18 @@ def bipartition(
             state = persistent_state
         # BC — the legal shadow cut; starts each pass at the current best.
         shadow = new_state(current_members)
-        evaluator = GainEvaluator(
-            state, config.weights, exact_merit=config.exact_candidate_merit
-        )
+        if use_cache:
+            # One cache per bipartition: the static per-DFG tables are
+            # reused across passes, only the dynamic entries reset.
+            if cached_evaluator is None:
+                cached_evaluator = CachedGainEvaluator(state, config.weights)
+            else:
+                cached_evaluator.rebind(state)
+            evaluator: GainEvaluator = cached_evaluator
+        else:
+            evaluator = GainEvaluator(
+                state, config.weights, exact_merit=config.exact_candidate_merit
+            )
         trace = PassTrace(pass_index=pass_index, best_merit=current_merit)
         unmarked = [
             index for index in range(dfg.num_nodes) if state.is_allowed(index)
@@ -171,6 +187,7 @@ def bipartition(
                 break
             best_node, _gain = picked
             state.toggle(best_node)
+            evaluator.note_commit(best_node)
             unmarked.remove(best_node)
             trace.toggles += 1
             improved_here = False
@@ -199,6 +216,8 @@ def bipartition(
                     break
         trace.best_merit = best_merit
         trace.improved = best_merit > current_merit
+        trace.gain_evals = evaluator.full_evals
+        trace.gain_cache_hits = evaluator.cache_hits
         passes.append(trace)
         if trace.improved:
             current_members = best_members

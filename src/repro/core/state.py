@@ -58,12 +58,20 @@ class PartitionState:
         self._desc_union = 0
         self._anc_union = 0
         self._hw_delay = 0.0
+        #: Nodes outside the cut that witness a convexity violation
+        #: (``desc_union & anc_union & ~cut``); empty iff the cut is convex.
+        self._violation_mask = 0
         #: Longest hardware path (normalized delay) ending at each cut node.
         self._path_end: dict[int, float] = {}
+        #: ``(top delay, multiplicity of top delay, second-best delay)`` over
+        #: ``_path_end`` — lets removal estimates run in O(1).
+        self._top_path: tuple[float, int, float] = (0.0, 0, 0.0)
         #: Weakly-connected component id of each cut node.
         self._component_of: dict[int, int] = {}
         #: Critical-path delay of every component.
         self._component_delay: list[float] = []
+        #: Total committed toggles (lets caches detect untracked mutation).
+        self.toggle_count = 0
 
         for index in initial_members:
             self.toggle(index)
@@ -108,6 +116,8 @@ class PartitionState:
             self._sw_latency -= sw
             self._recompute_closure_unions()
         del node
+        self._violation_mask = self._desc_union & self._anc_union & ~self.cut_mask
+        self.toggle_count += 1
         self._recompute_paths_and_components()
 
     def _recompute_closure_unions(self) -> None:
@@ -169,7 +179,20 @@ class PartitionState:
             cid = roots[root]
             component_of[index] = cid
             component_delay[cid] = max(component_delay[cid], path_end[index])
+        top1 = 0.0
+        count1 = 0
+        top2 = 0.0
+        for value in path_end.values():
+            if value > top1:
+                top2 = top1
+                top1 = value
+                count1 = 1
+            elif value == top1:
+                count1 += 1
+            elif value > top2:
+                top2 = value
         self._path_end = path_end
+        self._top_path = (top1, count1, top2)
         self._component_of = component_of
         self._component_delay = component_delay
         self._hw_delay = best
@@ -206,7 +229,12 @@ class PartitionState:
         return self._sw_latency - self.hardware_latency
 
     def is_convex(self) -> bool:
-        return (self._desc_union & self._anc_union & ~self.cut_mask) == 0
+        return self._violation_mask == 0
+
+    @property
+    def violation_mask(self) -> int:
+        """Bitmask of non-cut nodes witnessing a convexity violation."""
+        return self._violation_mask
 
     def io_violation(self) -> int:
         return max(0, self.num_inputs - self.constraints.max_inputs) + max(
@@ -253,6 +281,12 @@ class PartitionState:
         as non-convex)."""
         bit = 1 << index
         if not self.in_cut(index):
+            # Every current violation witness other than *index* itself stays
+            # a witness after the addition (the closure unions only grow), so
+            # the answer is an O(1) "no" unless the cut is convex or *index*
+            # is the unique witness.
+            if self._violation_mask & ~bit:
+                return False
             desc = self._desc_union | self.dfg.descendants_mask(index)
             anc = self._anc_union | self.dfg.ancestors_mask(index)
             cut = self.cut_mask | bit
@@ -280,13 +314,12 @@ class PartitionState:
                 if self.in_cut(pred):
                     incoming = max(incoming, self._path_end[pred])
             return max(self._hw_delay, incoming + hw)
-        remaining = [
-            delay for node, delay in self._path_end.items() if node != index
-        ]
-        if not remaining:
+        top1, count1, top2 = self._top_path
+        if self.cut_size <= 1:
             return 0.0
-        estimate = max(remaining)
-        return min(self._hw_delay, estimate)
+        if count1 > 1 or self._path_end[index] < top1:
+            return top1
+        return top2
 
     def estimate_merit_if_toggled(self, index: int) -> int:
         """Estimated merit M(C') of the cut after a hypothetical toggle."""

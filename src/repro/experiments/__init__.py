@@ -1,6 +1,14 @@
 """Experiment harnesses regenerating every figure of the paper's evaluation."""
 
-from .runner import ExperimentTable, print_tables, save_tables, timed_run
+from .runner import (
+    ExperimentTable,
+    ParallelJob,
+    job,
+    print_tables,
+    run_parallel,
+    save_tables,
+    timed_run,
+)
 from .figure1 import run_figure1
 from .figure4 import (
     FIGURE4_ALGORITHMS,
@@ -15,7 +23,10 @@ from .codesize_energy import run_codesize_energy
 
 __all__ = [
     "ExperimentTable",
+    "ParallelJob",
+    "job",
     "print_tables",
+    "run_parallel",
     "save_tables",
     "timed_run",
     "run_figure1",

@@ -23,7 +23,7 @@ from dataclasses import replace
 from ..core import ISEGen, ISEGenConfig
 from ..hwmodel import ISEConstraints
 from ..workloads import load_workload
-from .runner import ExperimentTable
+from .runner import ExperimentTable, job, run_parallel
 
 #: Benchmarks used by default: one small, one medium, one multiply-heavy.
 DEFAULT_ABLATION_BENCHMARKS = ("autcor00", "viterb00", "adpcm_decoder", "fft00")
@@ -50,11 +50,24 @@ def ablation_configs(base: ISEGenConfig | None = None) -> dict[str, ISEGenConfig
     return configs
 
 
+def _ablation_cell(
+    benchmark: str,
+    label: str,
+    config: ISEGenConfig,
+    constraints: ISEConstraints,
+) -> tuple[str, str, float, int]:
+    """One (benchmark, variant) run: ``(benchmark, label, speedup, num_ises)``."""
+    program = load_workload(benchmark)
+    result = ISEGen(constraints=constraints, config=config).generate(program)
+    return benchmark, label, result.speedup, result.num_ises
+
+
 def run_ablation(
     *,
     benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
     constraints: ISEConstraints | None = None,
     base_config: ISEGenConfig | None = None,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Run every ablation variant on every benchmark."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
@@ -67,23 +80,24 @@ def run_ablation(
             f"{constraints.io}, N_ISE {constraints.max_ises})"
         ),
     )
+    jobs = [
+        job(_ablation_cell, benchmark, label, config, constraints)
+        for benchmark in benchmarks
+        for label, config in configs.items()
+    ]
     baselines: dict[str, float] = {}
-    for benchmark in benchmarks:
-        program = load_workload(benchmark)
-        for label, config in configs.items():
-            result = ISEGen(constraints=constraints, config=config).generate(program)
-            speedup = result.speedup
-            if label == "default":
-                baselines[benchmark] = speedup
-            table.add_row(
-                benchmark=benchmark,
-                variant=label,
-                speedup=round(speedup, 4),
-                relative_to_default=round(
-                    speedup / baselines[benchmark], 4
-                ) if baselines.get(benchmark) else None,
-                num_ises=result.num_ises,
-            )
+    for benchmark, label, speedup, num_ises in run_parallel(jobs, workers=workers):
+        if label == "default":
+            baselines[benchmark] = speedup
+        table.add_row(
+            benchmark=benchmark,
+            variant=label,
+            speedup=round(speedup, 4),
+            relative_to_default=round(
+                speedup / baselines[benchmark], 4
+            ) if baselines.get(benchmark) else None,
+            num_ises=num_ises,
+        )
     return table
 
 

@@ -21,10 +21,53 @@ from ..codegen import instruction_count, rewrite_with_cuts
 from ..core import ISEGen, ISEGenConfig
 from ..hwmodel import EnergyModel, ISEConstraints
 from ..workloads import PAPER_BENCHMARKS, load_workload
-from .runner import ExperimentTable
+from .runner import ExperimentTable, job, run_parallel
 
 #: Benchmarks used by default (the full Figure-4 suite).
 DEFAULT_BENCHMARKS: tuple[str, ...] = PAPER_BENCHMARKS
+
+
+def _codesize_energy_cell(
+    benchmark: str,
+    constraints: ISEConstraints,
+    isegen_config: ISEGenConfig | None,
+    energy_model: EnergyModel | None,
+) -> dict:
+    """Code-size / energy impact of ISEGEN's cuts on one benchmark."""
+    energy = energy_model or EnergyModel()
+    program = load_workload(benchmark)
+    result = ISEGen(constraints=constraints, config=isegen_config).generate(program)
+    critical = program.largest_block
+    cuts = [
+        ise.cut.members
+        for ise in result.ises
+        if ise.block_name == critical.name
+    ]
+    before_instructions = instruction_count(critical.dfg)
+    before_energy = energy.software_energy(critical.dfg).total
+    if cuts:
+        rewritten = rewrite_with_cuts(critical.dfg, cuts)
+        after_instructions = instruction_count(rewritten)
+        after_energy = energy.block_energy_with_cuts(critical.dfg, cuts).total
+    else:
+        after_instructions = before_instructions
+        after_energy = before_energy
+    return {
+        "benchmark": benchmark,
+        "speedup": round(result.speedup, 4),
+        "instructions_before": before_instructions,
+        "instructions_after": after_instructions,
+        "code_size_reduction": round(
+            (before_instructions - after_instructions) / before_instructions, 4
+        )
+        if before_instructions
+        else 0.0,
+        "energy_before": round(before_energy, 2),
+        "energy_after": round(after_energy, 2),
+        "energy_reduction": round((before_energy - after_energy) / before_energy, 4)
+        if before_energy
+        else 0.0,
+    }
 
 
 def run_codesize_energy(
@@ -33,10 +76,10 @@ def run_codesize_energy(
     constraints: ISEConstraints | None = None,
     isegen_config: ISEGenConfig | None = None,
     energy_model: EnergyModel | None = None,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Measure code-size and energy reduction of ISEGEN's cuts per benchmark."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
-    energy = energy_model or EnergyModel()
     table = ExperimentTable(
         name="codesize_energy",
         description=(
@@ -45,42 +88,12 @@ def run_codesize_energy(
             f"{constraints.io}, N_ISE {constraints.max_ises}"
         ),
     )
-    for benchmark in benchmarks:
-        program = load_workload(benchmark)
-        result = ISEGen(constraints=constraints, config=isegen_config).generate(program)
-        critical = program.largest_block
-        cuts = [
-            ise.cut.members
-            for ise in result.ises
-            if ise.block_name == critical.name
-        ]
-        before_instructions = instruction_count(critical.dfg)
-        before_energy = energy.software_energy(critical.dfg).total
-        if cuts:
-            rewritten = rewrite_with_cuts(critical.dfg, cuts)
-            after_instructions = instruction_count(rewritten)
-            after_energy = energy.block_energy_with_cuts(critical.dfg, cuts).total
-        else:
-            after_instructions = before_instructions
-            after_energy = before_energy
-        table.add_row(
-            benchmark=benchmark,
-            speedup=round(result.speedup, 4),
-            instructions_before=before_instructions,
-            instructions_after=after_instructions,
-            code_size_reduction=round(
-                (before_instructions - after_instructions) / before_instructions, 4
-            )
-            if before_instructions
-            else 0.0,
-            energy_before=round(before_energy, 2),
-            energy_after=round(after_energy, 2),
-            energy_reduction=round(
-                (before_energy - after_energy) / before_energy, 4
-            )
-            if before_energy
-            else 0.0,
-        )
+    jobs = [
+        job(_codesize_energy_cell, benchmark, constraints, isegen_config, energy_model)
+        for benchmark in benchmarks
+    ]
+    for row in run_parallel(jobs, workers=workers):
+        table.add_row(**row)
     return table
 
 

@@ -21,7 +21,48 @@ from ..hwmodel import ISEConstraints
 from ..merit import MeritFunction
 from ..reuse import cut_instances
 from ..workloads import figure1_dfg, figure1_large_template, figure1_small_template
-from .runner import ExperimentTable
+from .runner import ExperimentTable, job, run_parallel
+
+#: The four selection strategies of the comparison, in row order.
+_SELECTIONS = (
+    ("large_template", "largest ISE (tailed cluster)"),
+    ("small_template", "reusable ISE (small cluster)"),
+    ("greedy", "greedy connected baseline"),
+    ("isegen", "ISEGEN selection"),
+)
+
+
+def _figure1_cell(
+    kind: str,
+    label: str,
+    constraints: ISEConstraints,
+    instances_of_small: int,
+    large_clusters: int,
+) -> dict:
+    """Evaluate one selection strategy on the Figure-1 DFG (one table row)."""
+    dfg = figure1_dfg(
+        instances_of_small=instances_of_small,
+        large_clusters=large_clusters,
+    )
+    if kind == "large_template":
+        members = figure1_large_template(dfg)
+    elif kind == "small_template":
+        members = figure1_small_template(dfg)
+    elif kind == "greedy":
+        members, _merit = best_connected_cluster(dfg, constraints)
+    else:
+        members = bipartition(dfg, constraints, ISEGenConfig()).members
+    members = frozenset(members)
+    instances = cut_instances(dfg, members) if members else []
+    merit = MeritFunction().merit(dfg, members) if members else 0
+    return {
+        "selection": label,
+        "size": len(members),
+        "merit": merit,
+        "instances": len(instances),
+        "saved_per_execution": merit * len(instances),
+        "covered_nodes": len(members) * len(instances),
+    }
 
 
 def run_figure1(
@@ -29,6 +70,7 @@ def run_figure1(
     constraints: ISEConstraints | None = None,
     instances_of_small: int = 6,
     large_clusters: int = 3,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Regenerate the Figure-1 comparison.
 
@@ -42,7 +84,6 @@ def run_figure1(
         instances_of_small=instances_of_small,
         large_clusters=large_clusters,
     )
-    merit_function = MeritFunction()
     table = ExperimentTable(
         name="figure1_reuse_motivation",
         description=(
@@ -55,26 +96,12 @@ def run_figure1(
             "constraints": constraints.label(),
         },
     )
-
-    def add_entry(label: str, members) -> None:
-        members = frozenset(members)
-        instances = cut_instances(dfg, members) if members else []
-        merit = merit_function.merit(dfg, members) if members else 0
-        table.add_row(
-            selection=label,
-            size=len(members),
-            merit=merit,
-            instances=len(instances),
-            saved_per_execution=merit * len(instances),
-            covered_nodes=len(members) * len(instances),
-        )
-
-    add_entry("largest ISE (tailed cluster)", figure1_large_template(dfg))
-    add_entry("reusable ISE (small cluster)", figure1_small_template(dfg))
-    largest_members, _merit = best_connected_cluster(dfg, constraints)
-    add_entry("greedy connected baseline", largest_members)
-    isegen_result = bipartition(dfg, constraints, ISEGenConfig())
-    add_entry("ISEGEN selection", isegen_result.members)
+    jobs = [
+        job(_figure1_cell, kind, label, constraints, instances_of_small, large_clusters)
+        for kind, label in _SELECTIONS
+    ]
+    for row in run_parallel(jobs, workers=workers):
+        table.add_row(**row)
     return table
 
 

@@ -23,7 +23,7 @@ from ..baselines import run_exact, run_genetic, run_isegen, run_iterative
 from ..hwmodel import ISEConstraints
 from ..reuse import reuse_aware_speedup
 from ..workloads import PAPER_BENCHMARKS, load_workload, workload_spec
-from .runner import ExperimentTable, timed_run
+from .runner import ExperimentTable, job, run_parallel, timed_run
 
 #: The four algorithms of Figure 4, in the paper's legend order.
 FIGURE4_ALGORITHMS = ("Exact", "Iterative", "Genetic", "ISEGEN")
@@ -36,12 +36,46 @@ _RUNNERS = {
 }
 
 
+def _figure4_cell(
+    benchmark: str,
+    algorithm: str,
+    constraints: ISEConstraints,
+    with_reuse: bool,
+) -> tuple[dict, dict]:
+    """One (benchmark, algorithm) point: ``(speedup_row, runtime_row)``."""
+    spec = workload_spec(benchmark)
+    program = load_workload(benchmark)
+    label = f"{benchmark}({spec.critical_block_size})"
+    result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
+    speedup = None if result is None else round(result.speedup, 4)
+    reuse_speedup = None
+    if result is not None and with_reuse:
+        reuse_speedup = round(reuse_aware_speedup(program, result).reuse_speedup, 4)
+    speedup_row = {
+        "benchmark": label,
+        "algorithm": algorithm,
+        "speedup": speedup,
+        "num_ises": None if result is None else result.num_ises,
+        "feasible": result is not None,
+    }
+    if with_reuse:
+        speedup_row["reuse_speedup"] = reuse_speedup
+    runtime_row = {
+        "benchmark": label,
+        "algorithm": algorithm,
+        "runtime_us": round(elapsed * 1e6, 1),
+        "feasible": result is not None,
+    }
+    return speedup_row, runtime_row
+
+
 def run_figure4(
     *,
     benchmarks: Sequence[str] = PAPER_BENCHMARKS,
     algorithms: Sequence[str] = FIGURE4_ALGORITHMS,
     constraints: ISEConstraints | None = None,
     with_reuse: bool = False,
+    workers: int = 1,
 ) -> tuple[ExperimentTable, ExperimentTable]:
     """Regenerate Figure 4.
 
@@ -65,34 +99,14 @@ def run_figure4(
             "ISE-generation runtime in microseconds per algorithm (Figure 4, right)"
         ),
     )
-    for benchmark in benchmarks:
-        spec = workload_spec(benchmark)
-        program = load_workload(benchmark)
-        label = f"{benchmark}({spec.critical_block_size})"
-        for algorithm in algorithms:
-            result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
-            speedup = None if result is None else round(result.speedup, 4)
-            reuse_speedup = None
-            if result is not None and with_reuse:
-                reuse_speedup = round(
-                    reuse_aware_speedup(program, result).reuse_speedup, 4
-                )
-            row = {
-                "benchmark": label,
-                "algorithm": algorithm,
-                "speedup": speedup,
-                "num_ises": None if result is None else result.num_ises,
-                "feasible": result is not None,
-            }
-            if with_reuse:
-                row["reuse_speedup"] = reuse_speedup
-            speedup_table.add_row(**row)
-            runtime_table.add_row(
-                benchmark=label,
-                algorithm=algorithm,
-                runtime_us=round(elapsed * 1e6, 1),
-                feasible=result is not None,
-            )
+    jobs = [
+        job(_figure4_cell, benchmark, algorithm, constraints, with_reuse)
+        for benchmark in benchmarks
+        for algorithm in algorithms
+    ]
+    for speedup_row, runtime_row in run_parallel(jobs, workers=workers):
+        speedup_table.add_row(**speedup_row)
+        runtime_table.add_row(**runtime_row)
     speedup_table.meta = {"constraints": constraints.label()}
     runtime_table.meta = {"constraints": constraints.label()}
     return speedup_table, runtime_table

@@ -25,10 +25,45 @@ from ..core import ISEGen, ISEGenConfig
 from ..hwmodel import ISEConstraints, PAPER_IO_SWEEP
 from ..reuse import reuse_aware_speedup
 from ..workloads import load_workload
-from .runner import ExperimentTable
+from .runner import ExperimentTable, job, run_parallel
 
 #: N_ISE values of the two panels of Figure 6.
 FIGURE6_NISE = (1, 4)
+
+
+def _figure6_cell(
+    workload: str,
+    nise: int,
+    max_inputs: int,
+    max_outputs: int,
+    algorithm: str,
+    isegen_config: ISEGenConfig,
+    genetic_config: GeneticConfig,
+) -> dict:
+    """One (N_ISE, I/O, algorithm) sweep point of Figure 6 (one row)."""
+    program = load_workload(workload)
+    constraints = ISEConstraints(
+        max_inputs=max_inputs, max_outputs=max_outputs, max_ises=nise
+    )
+    if algorithm == "ISEGEN":
+        result = ISEGen(constraints=constraints, config=isegen_config).generate(
+            program
+        )
+    else:
+        result = GeneticGenerator(
+            constraints=constraints, config=genetic_config
+        ).generate(program)
+    reuse = reuse_aware_speedup(program, result)
+    return {
+        "nise": nise,
+        "io": f"({max_inputs},{max_outputs})",
+        "algorithm": algorithm,
+        "speedup": round(reuse.reuse_speedup, 4),
+        "single_use_speedup": round(reuse.single_use_speedup, 4),
+        "num_ises": result.num_ises,
+        "largest_cut": max((len(i.cut) for i in result.ises), default=0),
+        "runtime_s": round(result.runtime_seconds, 2),
+    }
 
 
 def run_figure6(
@@ -39,6 +74,7 @@ def run_figure6(
     isegen_config: ISEGenConfig | None = None,
     quick_genetic: bool = True,
     workload: str = "aes",
+    workers: int = 1,
 ) -> ExperimentTable:
     """Regenerate Figure 6 (both panels) as one row table.
 
@@ -46,7 +82,6 @@ def run_figure6(
     block (the full configuration takes tens of minutes in pure Python while
     changing the outcome only marginally); pass ``False`` for the full run.
     """
-    program = load_workload(workload)
     if genetic_config is None:
         genetic_config = GeneticConfig.quick() if quick_genetic else GeneticConfig()
     isegen_config = isegen_config or ISEGenConfig()
@@ -58,39 +93,23 @@ def run_figure6(
         ),
         meta={"workload": workload, "quick_genetic": quick_genetic},
     )
-    for nise in nise_values:
-        for max_inputs, max_outputs in io_sweep:
-            constraints = ISEConstraints(
-                max_inputs=max_inputs, max_outputs=max_outputs, max_ises=nise
-            )
-            isegen_result = ISEGen(
-                constraints=constraints, config=isegen_config
-            ).generate(program)
-            isegen_reuse = reuse_aware_speedup(program, isegen_result)
-            genetic_result = GeneticGenerator(
-                constraints=constraints, config=genetic_config
-            ).generate(program)
-            genetic_reuse = reuse_aware_speedup(program, genetic_result)
-            table.add_row(
-                nise=nise,
-                io=f"({max_inputs},{max_outputs})",
-                algorithm="ISEGEN",
-                speedup=round(isegen_reuse.reuse_speedup, 4),
-                single_use_speedup=round(isegen_reuse.single_use_speedup, 4),
-                num_ises=isegen_result.num_ises,
-                largest_cut=max((len(i.cut) for i in isegen_result.ises), default=0),
-                runtime_s=round(isegen_result.runtime_seconds, 2),
-            )
-            table.add_row(
-                nise=nise,
-                io=f"({max_inputs},{max_outputs})",
-                algorithm="Genetic",
-                speedup=round(genetic_reuse.reuse_speedup, 4),
-                single_use_speedup=round(genetic_reuse.single_use_speedup, 4),
-                num_ises=genetic_result.num_ises,
-                largest_cut=max((len(i.cut) for i in genetic_result.ises), default=0),
-                runtime_s=round(genetic_result.runtime_seconds, 2),
-            )
+    jobs = [
+        job(
+            _figure6_cell,
+            workload,
+            nise,
+            max_inputs,
+            max_outputs,
+            algorithm,
+            isegen_config,
+            genetic_config,
+        )
+        for nise in nise_values
+        for max_inputs, max_outputs in io_sweep
+        for algorithm in ("ISEGEN", "Genetic")
+    ]
+    for row in run_parallel(jobs, workers=workers):
+        table.add_row(**row)
     return table
 
 

@@ -6,6 +6,14 @@ Every harness in this package produces a list of flat row dictionaries
 * printed as a text table (the library has no plotting dependency),
 * serialized to JSON/CSV for external plotting, and
 * compared against the paper's reported trends in ``EXPERIMENTS.md``.
+
+Each harness decomposes its figure into independent *cells* — one
+(program, configuration) point each — and executes them through
+:func:`run_parallel`, which fans the cells out over a process pool when
+``workers > 1`` and degenerates to the plain serial loop when
+``workers == 1``.  Cell results are always assembled in submission order, so
+the produced tables are row-for-row identical regardless of the worker
+count (timing columns aside, which are nondeterministic by nature).
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import csv
 import json
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -90,6 +99,55 @@ class ExperimentTable:
     def series(self, key_column: str, value_column: str) -> dict:
         """Extract ``{key: value}`` pairs, e.g. benchmark -> speedup."""
         return {row[key_column]: row[value_column] for row in self.rows}
+
+
+@dataclass(frozen=True)
+class ParallelJob:
+    """One independent experiment cell: a picklable callable plus arguments.
+
+    The callable must be a module-level function (process pools pickle it by
+    qualified name) and should build its own inputs — workloads, DFGs — from
+    the arguments rather than closing over live objects.
+    """
+
+    func: Callable
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def __call__(self):
+        return self.func(*self.args, **self.kwargs)
+
+
+def job(func: Callable, *args, **kwargs) -> ParallelJob:
+    """Convenience constructor: ``job(f, a, b, k=v)`` == ``ParallelJob(f, (a, b), {"k": v})``."""
+    return ParallelJob(func, args, kwargs)
+
+
+def _execute(item: ParallelJob):
+    return item()
+
+
+def run_parallel(
+    jobs: Sequence[ParallelJob],
+    workers: int = 1,
+) -> list:
+    """Execute *jobs* and return their results in submission order.
+
+    ``workers == 1`` runs every job in-process, sequentially, in order —
+    bit-identical to the historical serial harness loops.  ``workers > 1``
+    fans the jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and reassembles the results in submission order, so the output is
+    independent of scheduling.  Exceptions raised by a job propagate to the
+    caller in both modes (for the pool, at result-collection time).
+    """
+    jobs = list(jobs)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(jobs) <= 1:
+        return [item() for item in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = [pool.submit(_execute, item) for item in jobs]
+        return [future.result() for future in futures]
 
 
 def timed_run(

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 from ..baselines import run_genetic, run_greedy, run_isegen, run_iterative
 from ..hwmodel import ISEConstraints
 from ..workloads import regular_program
-from .runner import ExperimentTable, timed_run
+from .runner import ExperimentTable, job, run_parallel, timed_run
 
 #: Cluster counts used by default (block sizes are 5x the cluster count).
 DEFAULT_CLUSTER_COUNTS = (2, 4, 8, 16, 32)
@@ -27,12 +27,33 @@ _RUNNERS = {
 }
 
 
+def _scaling_cell(
+    clusters: int,
+    algorithm: str,
+    constraints: ISEConstraints,
+    cross_link: bool,
+) -> dict:
+    """One (block size, algorithm) runtime measurement (one row)."""
+    program = regular_program(
+        clusters, cross_link=cross_link, name=f"regular{clusters}"
+    )
+    result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
+    return {
+        "block_size": program.critical_block_size(),
+        "algorithm": algorithm,
+        "runtime_us": round(elapsed * 1e6, 1),
+        "speedup": None if result is None else round(result.speedup, 4),
+        "feasible": result is not None,
+    }
+
+
 def run_scaling(
     *,
     cluster_counts: Sequence[int] = DEFAULT_CLUSTER_COUNTS,
     algorithms: Sequence[str] = ("Iterative", "Genetic", "ISEGEN", "Greedy"),
     constraints: ISEConstraints | None = None,
     cross_link: bool = True,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Measure generation runtime versus block size for each algorithm."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=2)
@@ -43,20 +64,13 @@ def run_scaling(
             "synthetic kernel (supports the Figure 4 runtime panel)"
         ),
     )
-    for clusters in cluster_counts:
-        program = regular_program(
-            clusters, cross_link=cross_link, name=f"regular{clusters}"
-        )
-        block_size = program.critical_block_size()
-        for algorithm in algorithms:
-            result, elapsed = timed_run(_RUNNERS[algorithm], program, constraints)
-            table.add_row(
-                block_size=block_size,
-                algorithm=algorithm,
-                runtime_us=round(elapsed * 1e6, 1),
-                speedup=None if result is None else round(result.speedup, 4),
-                feasible=result is not None,
-            )
+    jobs = [
+        job(_scaling_cell, clusters, algorithm, constraints, cross_link)
+        for clusters in cluster_counts
+        for algorithm in algorithms
+    ]
+    for row in run_parallel(jobs, workers=workers):
+        table.add_row(**row)
     return table
 
 

@@ -1,0 +1,84 @@
+"""The parallel experiment engine: ordering, determinism, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_ablation, run_figure1, run_parallel, run_scaling
+from repro.experiments.runner import ParallelJob, job
+
+
+def _identity_cell(value):
+    return value
+
+
+def _square_cell(value, offset=0):
+    return value * value + offset
+
+
+def _failing_cell():
+    raise ValueError("cell exploded")
+
+
+def test_job_helper_builds_parallel_jobs():
+    item = job(_square_cell, 3, offset=1)
+    assert item == ParallelJob(_square_cell, (3,), {"offset": 1})
+    assert item() == 10
+
+
+def test_run_parallel_serial_preserves_order():
+    jobs = [job(_identity_cell, i) for i in range(20)]
+    assert run_parallel(jobs, workers=1) == list(range(20))
+
+
+def test_run_parallel_pool_preserves_submission_order():
+    jobs = [job(_square_cell, i) for i in range(25)]
+    assert run_parallel(jobs, workers=4) == [i * i for i in range(25)]
+
+
+def test_run_parallel_rejects_invalid_worker_count():
+    with pytest.raises(ValueError):
+        run_parallel([job(_identity_cell, 1)], workers=0)
+
+
+def test_run_parallel_empty_jobs():
+    assert run_parallel([], workers=1) == []
+    assert run_parallel([], workers=4) == []
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_run_parallel_propagates_cell_exceptions(workers):
+    jobs = [job(_identity_cell, 0), job(_failing_cell)]
+    with pytest.raises(ValueError, match="cell exploded"):
+        run_parallel(jobs, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Determinism of the migrated harnesses: a worker pool must produce
+# row-for-row identical tables (timing columns aside, which are wall-clock).
+# ----------------------------------------------------------------------
+def _strip_timing(rows):
+    return [
+        {k: v for k, v in row.items() if k not in ("runtime_us", "runtime_s")}
+        for row in rows
+    ]
+
+
+def test_figure1_rows_identical_across_worker_counts():
+    serial = run_figure1(workers=1)
+    pooled = run_figure1(workers=4)
+    assert serial.rows == pooled.rows
+    assert serial.columns() == pooled.columns()
+
+
+def test_ablation_rows_identical_across_worker_counts():
+    serial = run_ablation(benchmarks=("autcor00",), workers=1)
+    pooled = run_ablation(benchmarks=("autcor00",), workers=3)
+    assert serial.rows == pooled.rows
+
+
+def test_scaling_rows_identical_across_worker_counts():
+    kwargs = dict(cluster_counts=(2, 4), algorithms=("ISEGEN", "Greedy"))
+    serial = run_scaling(workers=1, **kwargs)
+    pooled = run_scaling(workers=4, **kwargs)
+    assert _strip_timing(serial.rows) == _strip_timing(pooled.rows)

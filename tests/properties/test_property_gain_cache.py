@@ -1,0 +1,38 @@
+"""Property: cached gain evaluation equals fresh evaluation on any DFG.
+
+The :class:`CachedGainEvaluator` invalidation rules (neighbour/sibling sets
+for I/O, ancestor/descendant sets for convexity, path-end diffs for the merit
+estimate) are exactly the sets a committed toggle can affect — so along *any*
+toggle trajectory on *any* valid graph, every cached breakdown must equal
+what a freshly constructed :class:`GainEvaluator` computes.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import CachedGainEvaluator, GainEvaluator, PartitionState
+from repro.hwmodel import ISEConstraints
+
+from .strategies import toggle_sequences
+
+CONSTRAINTS = ISEConstraints(max_inputs=3, max_outputs=2, max_ises=2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(toggle_sequences(max_nodes=12, max_toggles=20))
+def test_cached_gain_equals_fresh_gain_along_any_trajectory(case):
+    dfg, sequence = case
+    state = PartitionState(dfg, CONSTRAINTS)
+    cached = CachedGainEvaluator(state)
+    allowed = [i for i in range(dfg.num_nodes) if state.is_allowed(i)]
+    for raw in sequence:
+        fresh = GainEvaluator(state)
+        for index in allowed:
+            assert cached.breakdown(index) == fresh.breakdown(index)
+        target = allowed[raw % len(allowed)] if allowed else None
+        if target is None:
+            break
+        state.toggle(target)
+        cached.note_commit(target)
+    fresh = GainEvaluator(state)
+    for index in allowed:
+        assert cached.breakdown(index) == fresh.breakdown(index)
