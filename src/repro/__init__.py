@@ -19,7 +19,11 @@ The package is organized bottom-up:
   reconstructions;
 * :mod:`repro.codegen`, :mod:`repro.analysis` — AFU RTL, block rewriting,
   statistics;
-* :mod:`repro.experiments` — harnesses regenerating every evaluation figure.
+* :mod:`repro.experiments` — harnesses regenerating every evaluation figure;
+* :mod:`repro.parallel` — the picklable-job process-pool primitives;
+* :mod:`repro.sweep` — the distributed sweep subsystem: content-addressed
+  result store, pluggable executor backends (serial / process pool /
+  shared-filesystem work queue) and resumable multi-machine sharding.
 
 Quick start::
 

@@ -8,7 +8,13 @@
 * ``isegen run <workload>`` — run one ISE-generation algorithm and print the
   generated cuts;
 * ``isegen figure1|figure4|figure6|figure7|ablation|scaling`` — regenerate
-  the corresponding experiment and optionally save the row tables.
+  the corresponding experiment and optionally save the row tables;
+* ``isegen sweep submit|worker|status|collect|run`` — the distributed sweep
+  subsystem: content-addressed result store + shared-directory work queue,
+  so figure sweeps shard over multiple worker processes/machines and resume
+  across runs (see :mod:`repro.sweep`);
+* ``isegen bench record|compare`` — benchmark regression tracking over
+  ``pytest-benchmark --benchmark-json`` artifacts.
 """
 
 from __future__ import annotations
@@ -82,7 +88,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     program = load_workload(args.workload)
     constraints = _constraints_from(args)
-    result = run_algorithm(args.algorithm, program, constraints)
+    kwargs = {}
+    if args.block_workers > 1:
+        if args.algorithm != "ISEGEN":
+            print(
+                f"note: --block-workers applies to ISEGEN only; running "
+                f"{args.algorithm} serially",
+                file=sys.stderr,
+            )
+        else:
+            kwargs["block_workers"] = args.block_workers
+    result = run_algorithm(args.algorithm, program, constraints, **kwargs)
     print(result_report(result))
     if args.reuse:
         reuse = reuse_aware_speedup(program, result)
@@ -132,6 +148,157 @@ def _cmd_codesize_energy(args: argparse.Namespace) -> int:
     return _save_and_print([run_codesize_energy(workers=args.workers)], args)
 
 
+# ----------------------------------------------------------------------
+# Distributed sweeps
+# ----------------------------------------------------------------------
+def _sweep_directory(args: argparse.Namespace):
+    from .sweep import SweepDirectory
+    from .sweep.filequeue import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS
+
+    lease = getattr(args, "lease", None)
+    max_attempts = getattr(args, "max_attempts", None)
+    return SweepDirectory(
+        args.dir,
+        lease_seconds=DEFAULT_LEASE_SECONDS if lease is None else lease,
+        max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts,
+    )
+
+
+def _sweep_options(args: argparse.Namespace) -> dict:
+    options: dict = {}
+    if getattr(args, "full_genetic", False):
+        options["quick_genetic"] = False
+    return options
+
+
+def _cmd_sweep_submit(args: argparse.Namespace) -> int:
+    from .sweep import submit
+
+    report = submit(_sweep_directory(args), args.sweep, options=_sweep_options(args))
+    print(report.summary())
+    if report.enqueued or report.already_queued:
+        print(
+            f"run `isegen sweep worker --dir {args.dir}` (any number of "
+            "processes/machines sharing the directory) to execute the cells"
+        )
+    return 0
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from .sweep import worker_loop
+
+    directory = _sweep_directory(args)
+    parked_before = set(directory.queue.failed_keys())
+    report = worker_loop(
+        directory,
+        poll_interval=args.poll,
+        max_tasks=args.max_tasks,
+        exit_when_idle=not args.keep_alive,
+    )
+    print(report.summary())
+    # Exit code reflects terminal state, not transient attempts: a cell that
+    # failed once but succeeded on retry is a success; only cells newly
+    # parked as permanently failed during this run report failure (records
+    # left by earlier runs don't re-fail every subsequent worker).
+    parked = set(directory.queue.failed_keys()) - parked_before
+    if parked:
+        print(
+            f"{len(parked)} cell(s) parked as permanently failed "
+            f"(see {directory.queue.failed_dir})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_sweep_retry(args: argparse.Namespace) -> int:
+    from .sweep import retry
+
+    cleared, report = retry(_sweep_directory(args), args.sweep)
+    print(f"cleared {cleared} failure record(s)")
+    print(report.summary())
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .sweep import status
+
+    directory = _sweep_directory(args)
+    names = [args.sweep] if args.sweep else directory.manifests()
+    if not names:
+        print(f"no sweeps submitted under {args.dir}")
+        return 0
+    for name in names:
+        print(status(directory, name).summary())
+    return 0
+
+
+def _cmd_sweep_collect(args: argparse.Namespace) -> int:
+    from .sweep import MissingCellsError, collect
+
+    directory = _sweep_directory(args)
+    try:
+        tables = collect(directory, args.sweep)
+    except MissingCellsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return _save_and_print(tables, args)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from .sweep import ProcessPoolBackend, SerialBackend, run_cached
+
+    backend = (
+        ProcessPoolBackend(args.workers) if args.workers > 1 else SerialBackend()
+    )
+    directory = _sweep_directory(args)
+    tables, executor = run_cached(
+        directory, args.sweep, backend=backend, options=_sweep_options(args)
+    )
+    code = _save_and_print(tables, args)
+    total = executor.hits + executor.misses
+    rate = executor.hits / total if total else 0.0
+    print(
+        f"cells: {total} — {executor.hits} cached ({rate:.0%} hits), "
+        f"{executor.misses} executed via {backend.name}"
+    )
+    return code
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from .sweep import BenchmarkTracker
+
+    entry = BenchmarkTracker(args.dir).record(args.json, commit=args.commit)
+    print(
+        f"recorded {len(entry['benchmarks'])} benchmark(s) for commit "
+        f"{entry['commit']}"
+    )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .sweep import BenchmarkTracker, compare_rows, load_benchmark_rows
+
+    if args.baseline and args.current:
+        comparison = compare_rows(
+            load_benchmark_rows(args.baseline),
+            load_benchmark_rows(args.current),
+            max_slowdown=args.max_slowdown,
+        )
+    elif args.baseline or args.current:
+        print("error: pass two JSON files, or neither (store mode)", file=sys.stderr)
+        return 2
+    else:
+        comparison = BenchmarkTracker(args.dir).compare_latest(
+            max_slowdown=args.max_slowdown
+        )
+        if comparison is None:
+            print("fewer than two recorded runs; nothing to compare")
+            return 0
+    print(comparison.summary())
+    return 0 if comparison.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isegen",
@@ -157,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument(
         "--reuse", action="store_true", help="also report reuse-aware speedup"
+    )
+    sub.add_argument(
+        "--block-workers",
+        type=_positive_int,
+        default=1,
+        help="fan the per-basic-block cut searches of the multi-ISE driver "
+        "out over this many processes (ISEGEN only; identical ISEs either "
+        "way; default 1)",
     )
     _add_constraint_arguments(sub)
     sub.set_defaults(handler=_cmd_run)
@@ -192,7 +367,160 @@ def build_parser() -> argparse.ArgumentParser:
                 help="use the full genetic configuration instead of the quick one",
             )
         sub.set_defaults(handler=handler)
+
+    _add_sweep_parsers(subparsers)
+    _add_bench_parsers(subparsers)
     return parser
+
+
+def _add_sweep_parsers(subparsers) -> None:
+    from .sweep import available_sweeps
+    from .sweep.filequeue import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="distributed, resumable experiment sweeps (store + work queue)",
+    )
+    commands = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_dir(sub) -> None:
+        sub.add_argument(
+            "--dir",
+            required=True,
+            help="sweep directory (store + queue + manifests); share it "
+            "between machines to shard the sweep",
+        )
+
+    sub = commands.add_parser(
+        "submit", help="enumerate a sweep's cells and queue the missing ones"
+    )
+    sub.add_argument("sweep", choices=available_sweeps())
+    add_dir(sub)
+    sub.add_argument(
+        "--full-genetic",
+        action="store_true",
+        help="figure6 only: full genetic configuration instead of the quick one",
+    )
+    sub.set_defaults(handler=_cmd_sweep_submit)
+
+    sub = commands.add_parser(
+        "worker", help="claim and execute queued cells until the queue drains"
+    )
+    add_dir(sub)
+    sub.add_argument(
+        "--poll", type=float, default=0.2, help="queue poll interval in seconds"
+    )
+    sub.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help="claim lease in seconds; expired leases are requeued so cells "
+        f"owned by crashed workers get re-executed (default {DEFAULT_LEASE_SECONDS:g})",
+    )
+    sub.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help="attempts before a failing cell is parked as failed "
+        f"(default {DEFAULT_MAX_ATTEMPTS})",
+    )
+    sub.add_argument(
+        "--max-tasks",
+        type=_positive_int,
+        default=None,
+        help="exit after executing this many cells (default: until idle)",
+    )
+    sub.add_argument(
+        "--keep-alive",
+        action="store_true",
+        help="keep polling for new submissions instead of exiting when idle",
+    )
+    sub.set_defaults(handler=_cmd_sweep_worker)
+
+    sub = commands.add_parser(
+        "retry",
+        help="clear a sweep's permanently-failed cells and re-queue them",
+    )
+    sub.add_argument("sweep", choices=available_sweeps())
+    add_dir(sub)
+    sub.set_defaults(handler=_cmd_sweep_retry)
+
+    sub = commands.add_parser("status", help="progress of submitted sweeps")
+    sub.add_argument("sweep", nargs="?", help="sweep name (default: all)")
+    add_dir(sub)
+    sub.set_defaults(handler=_cmd_sweep_status)
+
+    sub = commands.add_parser(
+        "collect",
+        help="assemble the result tables from the store (no execution)",
+    )
+    sub.add_argument("sweep", choices=available_sweeps())
+    add_dir(sub)
+    sub.add_argument(
+        "--output", help="directory to save the result tables (JSON + CSV)"
+    )
+    sub.set_defaults(handler=_cmd_sweep_collect)
+
+    sub = commands.add_parser(
+        "run",
+        help="run a sweep in-process through the store (cache-aware "
+        "serial/process-pool execution)",
+    )
+    sub.add_argument("sweep", choices=available_sweeps())
+    add_dir(sub)
+    sub.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="processes for cache misses (1 = serial; default 1)",
+    )
+    sub.add_argument(
+        "--full-genetic",
+        action="store_true",
+        help="figure6 only: full genetic configuration instead of the quick one",
+    )
+    sub.add_argument(
+        "--output", help="directory to save the result tables (JSON + CSV)"
+    )
+    sub.set_defaults(handler=_cmd_sweep_run)
+
+
+def _add_bench_parsers(subparsers) -> None:
+    bench = subparsers.add_parser(
+        "bench", help="benchmark regression tracking (pytest-benchmark JSON)"
+    )
+    commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    sub = commands.add_parser(
+        "record", help="record a --benchmark-json artifact for one commit"
+    )
+    sub.add_argument("json", help="pytest-benchmark JSON artifact")
+    sub.add_argument(
+        "--dir", default=".benchtrack", help="tracker directory (default .benchtrack)"
+    )
+    sub.add_argument(
+        "--commit", help="commit id (default: $GITHUB_SHA or a local timestamp)"
+    )
+    sub.set_defaults(handler=_cmd_bench_record)
+
+    sub = commands.add_parser(
+        "compare",
+        help="flag slowdowns beyond the threshold (two JSON files, or the "
+        "two most recent recorded runs)",
+    )
+    sub.add_argument("baseline", nargs="?", help="baseline benchmark JSON")
+    sub.add_argument("current", nargs="?", help="current benchmark JSON")
+    sub.add_argument(
+        "--dir", default=".benchtrack", help="tracker directory (default .benchtrack)"
+    )
+    sub.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.3,
+        help="mean-time ratio above which a benchmark counts as regressed "
+        "(default 1.3 = +30%%)",
+    )
+    sub.set_defaults(handler=_cmd_bench_compare)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

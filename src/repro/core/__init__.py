@@ -1,6 +1,6 @@
 """ISEGEN core: the Kernighan-Lin based ISE identification engine."""
 
-from .config import GainWeights, ISEGenConfig
+from .config import GainWeights, ISEGenConfig, canonical_state, fingerprint
 from .iostate import IOState
 from .state import PartitionState
 from .gain import GainBreakdown, GainEvaluator
@@ -13,6 +13,8 @@ from .result import GeneratedISE, ISEGenerationResult, name_ises
 __all__ = [
     "GainWeights",
     "ISEGenConfig",
+    "canonical_state",
+    "fingerprint",
     "IOState",
     "PartitionState",
     "GainBreakdown",

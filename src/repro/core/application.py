@@ -27,6 +27,7 @@ from ..dfg import Cut, DataFlowGraph, critical_path_delay
 from ..errors import ISEGenError
 from ..hwmodel import ISEConstraints, LatencyModel
 from ..merit import MeritFunction, application_speedup
+from ..parallel import job, run_parallel
 from ..program import Program, single_block_program
 from .result import GeneratedISE, ISEGenerationResult, name_ises
 
@@ -60,6 +61,17 @@ class _BlockState:
     exhausted: bool = False
 
 
+def _block_best_cut(
+    finder: "BlockCutFinder",
+    dfg: DataFlowGraph,
+    allowed: frozenset[int],
+    constraints: ISEConstraints,
+    latency_model: LatencyModel,
+) -> frozenset[int] | None:
+    """Picklable cell for the cross-block fan-out: one block's best cut."""
+    return finder.best_cut(dfg, allowed, constraints, latency_model)
+
+
 class ApplicationISEDriver:
     """Runs Problem 2 with any :class:`BlockCutFinder` strategy."""
 
@@ -68,10 +80,14 @@ class ApplicationISEDriver:
         finder: BlockCutFinder,
         constraints: ISEConstraints | None = None,
         latency_model: LatencyModel | None = None,
+        block_workers: int = 1,
     ):
+        if block_workers < 1:
+            raise ISEGenError(f"block_workers must be >= 1, got {block_workers}")
         self.finder = finder
         self.constraints = constraints or ISEConstraints.paper_default()
         self.latency_model = latency_model or LatencyModel()
+        self.block_workers = block_workers
         self._merit = MeritFunction(self.latency_model)
 
     # ------------------------------------------------------------------
@@ -124,6 +140,28 @@ class ApplicationISEDriver:
                 )
             )
 
+        # Cache of the best cut per (block, remaining-set snapshot).  A cut
+        # found in one block never changes another block's search space, so
+        # with ``block_workers > 1`` the per-block searches are prefetched in
+        # parallel up front; the sequential selection loop below then only
+        # recomputes the (single) block whose node pool a committed ISE just
+        # shrank.  The selection itself is unchanged, so the generated ISEs
+        # are identical to the serial driver's for any worker count.
+        cut_cache: dict[int, tuple[frozenset[int], frozenset[int] | None]] = {}
+
+        def cut_for(position: int, state: _BlockState) -> frozenset[int] | None:
+            snapshot = frozenset(state.remaining)
+            entry = cut_cache.get(position)
+            if entry is None or entry[0] != snapshot:
+                members = self.finder.best_cut(
+                    state.dfg, snapshot, self.constraints, self.latency_model
+                )
+                cut_cache[position] = (snapshot, members)
+            return cut_cache[position][1]
+
+        if self.block_workers > 1:
+            self._prefetch_cuts(states, cut_cache)
+
         ises: list[GeneratedISE] = []
         while len(ises) < self.constraints.max_ises:
             candidates = [
@@ -134,13 +172,8 @@ class ApplicationISEDriver:
             if not candidates:
                 break
             candidates.sort(key=lambda entry: (-entry[0], entry[1]))
-            _potential, _position, state = candidates[0]
-            members = self.finder.best_cut(
-                state.dfg,
-                frozenset(state.remaining),
-                self.constraints,
-                self.latency_model,
-            )
+            _potential, position, state = candidates[0]
+            members = cut_for(position, state)
             if not members or len(members) < self.constraints.min_cut_size:
                 state.exhausted = True
                 continue
@@ -178,6 +211,40 @@ class ApplicationISEDriver:
         )
         # Keep the runtime attribution to the search itself, not the report.
         return result
+
+    def _prefetch_cuts(
+        self,
+        states: list[_BlockState],
+        cut_cache: dict[int, tuple[frozenset[int], frozenset[int] | None]],
+    ) -> None:
+        """Fan the initial per-block cut searches out over a process pool.
+
+        Blocks are independent until a cut is committed, so the first search
+        of every block with positive potential can run concurrently.  The
+        finder and DFGs ride to the workers by pickle; each worker returns
+        only the cut members, keeping the result traffic tiny.
+        """
+        targets = [
+            (position, state)
+            for position, state in enumerate(states)
+            if state.remaining and self.block_potential(state) > 0
+        ]
+        if len(targets) < 2:
+            return
+        jobs = [
+            job(
+                _block_best_cut,
+                self.finder,
+                state.dfg,
+                frozenset(state.remaining),
+                self.constraints,
+                self.latency_model,
+            )
+            for _position, state in targets
+        ]
+        results = run_parallel(jobs, workers=min(self.block_workers, len(jobs)))
+        for (position, state), members in zip(targets, results):
+            cut_cache[position] = (frozenset(state.remaining), members)
 
     def generate_for_dfg(
         self, dfg: DataFlowGraph, frequency: float = 1.0

@@ -11,9 +11,85 @@ weights (and every other knob of the algorithm) live here so that
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 from ..errors import ISEGenError
+
+
+# ----------------------------------------------------------------------
+# Stable fingerprints of configuration values
+# ----------------------------------------------------------------------
+# The distributed sweep subsystem (:mod:`repro.sweep`) keys every experiment
+# cell by a content hash of its arguments — mostly the frozen configuration
+# dataclasses defined in this package (ISEGenConfig, GainWeights,
+# ISEConstraints, GeneticConfig, ...).  The helpers below turn any such value
+# into a canonical JSON document and hash it, with two stability guarantees:
+#
+# * the fingerprint is identical across processes and machines (no reliance
+#   on PYTHONHASHSEED, object identity, or dict creation order);
+# * two configs of *different* types with identical field values hash
+#   differently (the qualified class name is part of the document).
+
+
+def canonical_state(value):
+    """Recursively convert *value* into a canonical JSON-serializable form.
+
+    Supported inputs: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    dataclass instances, mappings with string-convertible keys, sequences,
+    and (frozen)sets.  Sets are sorted by their canonical encoding; floats
+    are encoded via ``repr`` so that e.g. ``0.1`` survives the round trip
+    exactly.  Unsupported types raise :class:`~repro.errors.ISEGenError`
+    rather than silently hashing an unstable ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: canonical_state(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        # Keys are canonicalized (not str()-coerced) so 1 and "1" stay
+        # distinct, and pairs sort by the key's JSON encoding alone — dict
+        # keys are unique, so no tie ever falls through to the values.
+        items = [
+            [
+                json.dumps(canonical_state(key), sort_keys=True),
+                canonical_state(item),
+            ]
+            for key, item in value.items()
+        ]
+        return {"__mapping__": sorted(items, key=lambda pair: pair[0])}
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                (json.dumps(canonical_state(item), sort_keys=True) for item in value)
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_state(item) for item in value]
+    raise ISEGenError(
+        f"cannot build a stable fingerprint for {type(value).__name__!r} values"
+    )
+
+
+def fingerprint(*values, salt: str = "") -> str:
+    """A stable SHA-256 hex digest of *values* (see :func:`canonical_state`)."""
+    document = json.dumps(
+        {"salt": salt, "values": [canonical_state(value) for value in values]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

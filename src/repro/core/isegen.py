@@ -61,6 +61,7 @@ class ISEGen:
         constraints: ISEConstraints | None = None,
         config: ISEGenConfig | None = None,
         latency_model: LatencyModel | None = None,
+        block_workers: int = 1,
     ):
         self.constraints = constraints or ISEConstraints.paper_default()
         self.config = config or ISEGenConfig()
@@ -69,6 +70,7 @@ class ISEGen:
             KernighanLinCutFinder(self.config),
             self.constraints,
             self.latency_model,
+            block_workers=block_workers,
         )
 
     def generate(self, program: Program) -> ISEGenerationResult:

@@ -68,6 +68,7 @@ def run_ablation(
     constraints: ISEConstraints | None = None,
     base_config: ISEGenConfig | None = None,
     workers: int = 1,
+    executor=None,
 ) -> ExperimentTable:
     """Run every ablation variant on every benchmark."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
@@ -85,8 +86,9 @@ def run_ablation(
         for benchmark in benchmarks
         for label, config in configs.items()
     ]
+    execute = executor if executor is not None else run_parallel
     baselines: dict[str, float] = {}
-    for benchmark, label, speedup, num_ises in run_parallel(jobs, workers=workers):
+    for benchmark, label, speedup, num_ises in execute(jobs, workers=workers):
         if label == "default":
             baselines[benchmark] = speedup
         table.add_row(

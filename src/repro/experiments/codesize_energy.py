@@ -77,6 +77,7 @@ def run_codesize_energy(
     isegen_config: ISEGenConfig | None = None,
     energy_model: EnergyModel | None = None,
     workers: int = 1,
+    executor=None,
 ) -> ExperimentTable:
     """Measure code-size and energy reduction of ISEGEN's cuts per benchmark."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
@@ -92,7 +93,8 @@ def run_codesize_energy(
         job(_codesize_energy_cell, benchmark, constraints, isegen_config, energy_model)
         for benchmark in benchmarks
     ]
-    for row in run_parallel(jobs, workers=workers):
+    execute = executor if executor is not None else run_parallel
+    for row in execute(jobs, workers=workers):
         table.add_row(**row)
     return table
 

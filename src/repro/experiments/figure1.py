@@ -71,6 +71,7 @@ def run_figure1(
     instances_of_small: int = 6,
     large_clusters: int = 3,
     workers: int = 1,
+    executor=None,
 ) -> ExperimentTable:
     """Regenerate the Figure-1 comparison.
 
@@ -100,7 +101,8 @@ def run_figure1(
         job(_figure1_cell, kind, label, constraints, instances_of_small, large_clusters)
         for kind, label in _SELECTIONS
     ]
-    for row in run_parallel(jobs, workers=workers):
+    execute = executor if executor is not None else run_parallel
+    for row in execute(jobs, workers=workers):
         table.add_row(**row)
     return table
 

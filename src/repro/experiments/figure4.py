@@ -76,6 +76,7 @@ def run_figure4(
     constraints: ISEConstraints | None = None,
     with_reuse: bool = False,
     workers: int = 1,
+    executor=None,
 ) -> tuple[ExperimentTable, ExperimentTable]:
     """Regenerate Figure 4.
 
@@ -104,7 +105,8 @@ def run_figure4(
         for benchmark in benchmarks
         for algorithm in algorithms
     ]
-    for speedup_row, runtime_row in run_parallel(jobs, workers=workers):
+    execute = executor if executor is not None else run_parallel
+    for speedup_row, runtime_row in execute(jobs, workers=workers):
         speedup_table.add_row(**speedup_row)
         runtime_table.add_row(**runtime_row)
     speedup_table.meta = {"constraints": constraints.label()}

@@ -75,6 +75,7 @@ def run_figure6(
     quick_genetic: bool = True,
     workload: str = "aes",
     workers: int = 1,
+    executor=None,
 ) -> ExperimentTable:
     """Regenerate Figure 6 (both panels) as one row table.
 
@@ -108,7 +109,8 @@ def run_figure6(
         for max_inputs, max_outputs in io_sweep
         for algorithm in ("ISEGEN", "Genetic")
     ]
-    for row in run_parallel(jobs, workers=workers):
+    execute = executor if executor is not None else run_parallel
+    for row in execute(jobs, workers=workers):
         table.add_row(**row)
     return table
 

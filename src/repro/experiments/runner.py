@@ -22,7 +22,6 @@ import csv
 import json
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,7 +29,19 @@ from ..codegen import format_table
 from ..core import ISEGenerationResult
 from ..errors import BaselineInfeasibleError
 from ..hwmodel import ISEConstraints
+from ..parallel import ParallelJob, job, run_parallel
 from ..program import Program
+
+__all__ = [
+    "ExperimentTable",
+    "ParallelJob",
+    "job",
+    "run_parallel",
+    "timed_run",
+    "save_tables",
+    "print_tables",
+    "meta_from_constraints",
+]
 
 
 @dataclass
@@ -99,55 +110,6 @@ class ExperimentTable:
     def series(self, key_column: str, value_column: str) -> dict:
         """Extract ``{key: value}`` pairs, e.g. benchmark -> speedup."""
         return {row[key_column]: row[value_column] for row in self.rows}
-
-
-@dataclass(frozen=True)
-class ParallelJob:
-    """One independent experiment cell: a picklable callable plus arguments.
-
-    The callable must be a module-level function (process pools pickle it by
-    qualified name) and should build its own inputs — workloads, DFGs — from
-    the arguments rather than closing over live objects.
-    """
-
-    func: Callable
-    args: tuple = ()
-    kwargs: Mapping = field(default_factory=dict)
-
-    def __call__(self):
-        return self.func(*self.args, **self.kwargs)
-
-
-def job(func: Callable, *args, **kwargs) -> ParallelJob:
-    """Convenience constructor: ``job(f, a, b, k=v)`` == ``ParallelJob(f, (a, b), {"k": v})``."""
-    return ParallelJob(func, args, kwargs)
-
-
-def _execute(item: ParallelJob):
-    return item()
-
-
-def run_parallel(
-    jobs: Sequence[ParallelJob],
-    workers: int = 1,
-) -> list:
-    """Execute *jobs* and return their results in submission order.
-
-    ``workers == 1`` runs every job in-process, sequentially, in order —
-    bit-identical to the historical serial harness loops.  ``workers > 1``
-    fans the jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-    and reassembles the results in submission order, so the output is
-    independent of scheduling.  Exceptions raised by a job propagate to the
-    caller in both modes (for the pool, at result-collection time).
-    """
-    jobs = list(jobs)
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(jobs) <= 1:
-        return [item() for item in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        futures = [pool.submit(_execute, item) for item in jobs]
-        return [future.result() for future in futures]
 
 
 def timed_run(

@@ -54,6 +54,7 @@ def run_scaling(
     constraints: ISEConstraints | None = None,
     cross_link: bool = True,
     workers: int = 1,
+    executor=None,
 ) -> ExperimentTable:
     """Measure generation runtime versus block size for each algorithm."""
     constraints = constraints or ISEConstraints(max_inputs=4, max_outputs=2, max_ises=2)
@@ -69,7 +70,8 @@ def run_scaling(
         for clusters in cluster_counts
         for algorithm in algorithms
     ]
-    for row in run_parallel(jobs, workers=workers):
+    execute = executor if executor is not None else run_parallel
+    for row in execute(jobs, workers=workers):
         table.add_row(**row)
     return table
 

@@ -1,0 +1,85 @@
+"""Process-level parallel execution primitives.
+
+This module is the lowest layer of the execution stack: a picklable job
+description (:class:`ParallelJob`) and a submission-ordered process-pool
+runner (:func:`run_parallel`).  It deliberately depends on nothing but the
+standard library so that both the experiment harnesses
+(:mod:`repro.experiments.runner` re-exports these names) and the core
+multi-ISE driver (:mod:`repro.core.application`) can fan work out without
+import cycles.  The distributed sweep subsystem (:mod:`repro.sweep`) builds
+its serial and process-pool backends on the same primitives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParallelJob:
+    """One independent unit of work: a picklable callable plus arguments.
+
+    The callable must be a module-level function (process pools pickle it by
+    qualified name) and should build its own inputs — workloads, DFGs — from
+    the arguments rather than closing over live objects.
+    """
+
+    func: Callable
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def __call__(self):
+        return self.func(*self.args, **self.kwargs)
+
+
+def job(func: Callable, *args, **kwargs) -> ParallelJob:
+    """Convenience constructor: ``job(f, a, b, k=v)`` == ``ParallelJob(f, (a, b), {"k": v})``."""
+    return ParallelJob(func, args, kwargs)
+
+
+def _execute(item: ParallelJob):
+    return item()
+
+
+def run_parallel(
+    jobs: Sequence[ParallelJob],
+    workers: int = 1,
+) -> list:
+    """Execute *jobs* and return their results in submission order.
+
+    ``workers == 1`` runs every job in-process, sequentially, in order —
+    bit-identical to the historical serial harness loops.  ``workers > 1``
+    fans the jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and reassembles the results in submission order, so the output is
+    independent of scheduling.
+
+    Failure semantics match the serial loop in both modes: as soon as a
+    failure surfaces, jobs that have not started yet are cancelled rather
+    than run to completion behind it, and the earliest-submitted failed
+    job's exception propagates to the caller.  Jobs already executing in a
+    worker at that moment cannot be interrupted — they finish but their
+    results are discarded.
+    """
+    jobs = list(jobs)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(jobs) <= 1:
+        return [item() for item in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = [pool.submit(_execute, item) for item in jobs]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        failure = None
+        for future in futures:
+            if future.done() and not future.cancelled():
+                error = future.exception()
+                if error is not None:
+                    failure = error
+                    break
+        if failure is not None:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise failure
+        return [future.result() for future in futures]

@@ -1,0 +1,86 @@
+"""Distributed sweep subsystem.
+
+Turns the in-process experiment harnesses into a durable, addressable,
+resumable execution service:
+
+* :mod:`repro.sweep.hashing` — content addresses for experiment cells;
+* :mod:`repro.sweep.store` — the content-addressed JSON result store;
+* :mod:`repro.sweep.filequeue` — shared-directory claim/lease work queue;
+* :mod:`repro.sweep.backends` — serial / process-pool / file-queue executors;
+* :mod:`repro.sweep.orchestrator` — submit / worker / status / collect;
+* :mod:`repro.sweep.registry` — the named sweeps (one per harness);
+* :mod:`repro.sweep.benchtrack` — benchmark regression tracking.
+"""
+
+from .hashing import CODE_VERSION, SweepError, cell_key, sweep_salt
+from .store import ResultStore, StoreStats
+from .filequeue import CellTask, FileQueue, worker_identity
+from .backends import (
+    ExecutorBackend,
+    FileQueueBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from .orchestrator import (
+    CachedExecutor,
+    MissingCellsError,
+    SubmitReport,
+    SweepDirectory,
+    SweepStatus,
+    WorkerReport,
+    collect,
+    make_queue_backend,
+    retry,
+    run_cached,
+    status,
+    submit,
+    worker_loop,
+)
+from .registry import SWEEPS, SweepSpec, available_sweeps, sweep_spec
+from .benchtrack import (
+    DEFAULT_MAX_SLOWDOWN,
+    BenchmarkTracker,
+    Comparison,
+    Regression,
+    compare_rows,
+    load_benchmark_rows,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "SweepError",
+    "cell_key",
+    "sweep_salt",
+    "ResultStore",
+    "StoreStats",
+    "CellTask",
+    "FileQueue",
+    "worker_identity",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "FileQueueBackend",
+    "CachedExecutor",
+    "MissingCellsError",
+    "SweepDirectory",
+    "SubmitReport",
+    "SweepStatus",
+    "WorkerReport",
+    "submit",
+    "retry",
+    "worker_loop",
+    "status",
+    "collect",
+    "run_cached",
+    "make_queue_backend",
+    "SWEEPS",
+    "SweepSpec",
+    "available_sweeps",
+    "sweep_spec",
+    "BenchmarkTracker",
+    "Comparison",
+    "Regression",
+    "compare_rows",
+    "load_benchmark_rows",
+    "DEFAULT_MAX_SLOWDOWN",
+]

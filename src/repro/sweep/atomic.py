@@ -1,0 +1,30 @@
+"""Atomic file publication, shared by every writer in the sweep package.
+
+All queue/store/manifest writes follow the same discipline: write a
+``.{name}.{pid}.tmp`` sibling, then :func:`os.replace` it over the target.
+``os.replace`` within one directory is atomic on POSIX filesystems, so
+readers (and racing writers on a shared filesystem) observe either the old
+file or the complete new one — never a torn record.  Keeping the dance in
+one place means a future durability tweak (fsync-before-replace for NFS,
+crash-leftover tmp cleanup) lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_bytes(target: Path, payload: bytes) -> None:
+    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    tmp.write_bytes(payload)
+    os.replace(tmp, target)
+
+
+def atomic_write_text(target: Path, payload: str) -> None:
+    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    tmp.write_text(payload)
+    os.replace(tmp, target)
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]

@@ -1,0 +1,158 @@
+"""Pluggable executor backends for the sweep subsystem.
+
+A backend's single job: given the *missing* cells of a sweep (content key +
+:class:`~repro.parallel.ParallelJob` pairs), execute them and persist each
+result into the :class:`~repro.sweep.store.ResultStore` **as it completes**
+— never batched at the end — so a killed sweep keeps everything that
+finished and resumes from the first truly missing cell.
+
+* :class:`SerialBackend` — in-process, in submission order; the reference
+  semantics (and the ``workers=1`` bit-identical guarantee).
+* :class:`ProcessPoolBackend` — fans cells over a local
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the distributed-sweep
+  equivalent of ``run_parallel(jobs, workers=N)``.
+* :class:`FileQueueBackend` — enqueues cells onto a shared-directory
+  :class:`~repro.sweep.filequeue.FileQueue` for ``repro sweep worker``
+  processes (any number, any machine with the same filesystem) and
+  optionally blocks until every cell's result appears in the store.
+
+Backends only ever see cache *misses*; hit bookkeeping happens one layer up
+in :class:`~repro.sweep.orchestrator.CachedExecutor`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from ..parallel import _execute
+from .filequeue import CellTask, FileQueue
+from .hashing import SweepError
+from .store import ResultStore
+
+
+class ExecutorBackend(abc.ABC):
+    """Strategy interface: execute missing cells and persist their results."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
+        """Execute every task and ``store.put`` its result under its key."""
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process sequential execution (the reference semantics)."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
+        for task in tasks:
+            store.put(task.key, task.cell(), meta={"backend": self.name})
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Local process-pool execution, results persisted as they complete."""
+
+    name = "process-pool"
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        if self.workers == 1 or len(tasks) == 1:
+            SerialBackend().run(tasks, store)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+            futures = {
+                pool.submit(_execute, task.cell): task for task in tasks
+            }
+            # Persist each result the moment it lands — a killed sweep keeps
+            # everything that finished, and the resume touches only the rest.
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    result = future.result()
+                except Exception:
+                    for outstanding in futures:
+                        outstanding.cancel()
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
+                store.put(task.key, result, meta={"backend": self.name})
+
+
+class FileQueueBackend(ExecutorBackend):
+    """Distributed execution through a shared-filesystem work queue.
+
+    ``wait=False`` turns :meth:`run` into pure submission (used by
+    ``repro sweep submit``): cells are enqueued and the call returns
+    immediately.  With ``wait=True`` the call blocks, polling the store,
+    until every cell has a result — the work itself is done by however many
+    ``repro sweep worker`` processes share the queue directory.
+    """
+
+    name = "file-queue"
+
+    def __init__(
+        self,
+        queue: FileQueue,
+        *,
+        wait: bool = True,
+        poll_interval: float = 0.2,
+        timeout: float | None = None,
+    ):
+        self.queue = queue
+        self.wait = wait
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+
+    def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
+        tasks = [task for task in tasks if not store.contains(task.key)]
+        for task in tasks:
+            self.queue.enqueue(task)
+        if not self.wait:
+            return
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        outstanding = {task.key for task in tasks}
+        # Throttle the recovery scan like worker_loop does: it stats every
+        # lease and claimed task (expensive on shared/NFS queues), and leases
+        # cannot expire faster than a fraction of the lease period anyway.
+        scan_interval = max(self.poll_interval, self.queue.lease_seconds / 4)
+        last_scan = float("-inf")
+        while outstanding:
+            now = time.monotonic()
+            if now - last_scan >= scan_interval:
+                self.queue.requeue_expired()
+                last_scan = now
+            outstanding = {key for key in outstanding if not store.contains(key)}
+            if not outstanding:
+                break
+            failed = outstanding & set(self.queue.failed_keys())
+            if failed:
+                first = sorted(failed)[0]
+                detail = self.queue.failure(first).get("error", "unknown error")
+                raise SweepError(
+                    f"{len(failed)} sweep cell(s) failed permanently; "
+                    f"first: {first[:12]}… ({detail})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise SweepError(
+                    f"timed out waiting for {len(outstanding)} queued cell(s); "
+                    "are any `sweep worker` processes running?"
+                )
+            time.sleep(self.poll_interval)
+
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "FileQueueBackend",
+]

@@ -1,0 +1,194 @@
+"""Benchmark regression tracking on top of the result store.
+
+``pytest-benchmark --benchmark-json=...`` artifacts are recorded per commit
+into the same content-addressed :class:`~repro.sweep.store.ResultStore` the
+sweeps use (key = hash of commit id + benchmark fullname), with a small
+append-only ``runs.json`` index preserving recording order.  A compare step
+then flags any benchmark whose mean time grew by more than a threshold
+(default 30%) relative to the previous recorded run — the CI wiring lives
+in ``.github/workflows/ci.yml``.
+
+CLI::
+
+    repro bench record  results.json --dir .benchtrack [--commit SHA]
+    repro bench compare --dir .benchtrack [--max-slowdown 1.3]
+    repro bench compare baseline.json current.json   # store-less mode
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.config import fingerprint
+from .atomic import atomic_write_text
+from .hashing import SweepError
+from .store import ResultStore
+
+#: Flag regressions beyond this current/baseline mean-time ratio.
+DEFAULT_MAX_SLOWDOWN = 1.3
+
+
+def load_benchmark_rows(path: str | Path) -> dict[str, dict]:
+    """``fullname -> {"mean": s, "min": s, ...}`` from a pytest-benchmark JSON."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SweepError(f"no benchmark JSON at {path}") from None
+    rows: dict[str, dict] = {}
+    for bench in document.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if not name or "mean" not in stats:
+            continue
+        rows[name] = {
+            "mean": stats["mean"],
+            "min": stats.get("min"),
+            "stddev": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+            "group": bench.get("group"),
+        }
+    return rows
+
+
+@dataclass
+class Regression:
+    """One benchmark that got slower than the threshold allows."""
+
+    name: str
+    baseline_mean: float
+    current_mean: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_mean / self.baseline_mean
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.baseline_mean * 1e3:.2f} ms -> "
+            f"{self.current_mean * 1e3:.2f} ms ({self.ratio:.2f}x)"
+        )
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing two benchmark runs."""
+
+    regressions: list[Regression]
+    compared: int
+    added: list[str]
+    removed: list[str]
+    max_slowdown: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"compared {self.compared} benchmark(s) at threshold "
+            f"{self.max_slowdown:.2f}x: "
+            + ("no regressions" if self.ok else f"{len(self.regressions)} REGRESSION(S)")
+        ]
+        lines.extend("  " + item.describe() for item in self.regressions)
+        if self.added:
+            lines.append(f"  new (no baseline): {', '.join(sorted(self.added))}")
+        if self.removed:
+            lines.append(f"  missing from current: {', '.join(sorted(self.removed))}")
+        return "\n".join(lines)
+
+
+def compare_rows(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    *,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> Comparison:
+    regressions = [
+        Regression(name, baseline[name]["mean"], row["mean"])
+        for name, row in sorted(current.items())
+        if name in baseline
+        and baseline[name]["mean"] > 0
+        and row["mean"] / baseline[name]["mean"] > max_slowdown
+    ]
+    return Comparison(
+        regressions=regressions,
+        compared=len(set(baseline) & set(current)),
+        added=sorted(set(current) - set(baseline)),
+        removed=sorted(set(baseline) - set(current)),
+        max_slowdown=max_slowdown,
+    )
+
+
+class BenchmarkTracker:
+    """Commit-addressed benchmark history in a sweep-style result store."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.root / "store")
+        self.index_path = self.root / "runs.json"
+
+    def runs(self) -> list[dict]:
+        try:
+            return json.loads(self.index_path.read_text())
+        except FileNotFoundError:
+            return []
+
+    def _row_key(self, commit: str, name: str) -> str:
+        return fingerprint(commit, name, salt="benchtrack-v1")
+
+    def record(self, json_path: str | Path, commit: str | None = None) -> dict:
+        """Store one benchmark artifact; returns the recorded run entry."""
+        rows = load_benchmark_rows(json_path)
+        if not rows:
+            raise SweepError(f"benchmark JSON {json_path} contains no timed rows")
+        commit = commit or os.environ.get("GITHUB_SHA") or f"local-{int(time.time())}"
+        for name, row in rows.items():
+            self.store.put(
+                self._row_key(commit, name),
+                row,
+                meta={"commit": commit, "benchmark": name},
+            )
+        entry = {
+            "commit": commit,
+            "recorded_at": time.time(),
+            "benchmarks": sorted(rows),
+        }
+        runs = [run for run in self.runs() if run["commit"] != commit]
+        runs.append(entry)
+        atomic_write_text(self.index_path, json.dumps(runs, indent=1))
+        return entry
+
+    def rows_for(self, run: dict) -> dict[str, dict]:
+        return {
+            name: self.store.peek(self._row_key(run["commit"], name))
+            for name in run["benchmarks"]
+            if self.store.contains(self._row_key(run["commit"], name))
+        }
+
+    def compare_latest(
+        self, *, max_slowdown: float = DEFAULT_MAX_SLOWDOWN
+    ) -> Comparison | None:
+        """Compare the two most recent runs; ``None`` with <2 runs recorded."""
+        runs = self.runs()
+        if len(runs) < 2:
+            return None
+        return compare_rows(
+            self.rows_for(runs[-2]),
+            self.rows_for(runs[-1]),
+            max_slowdown=max_slowdown,
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_SLOWDOWN",
+    "Regression",
+    "Comparison",
+    "BenchmarkTracker",
+    "compare_rows",
+    "load_benchmark_rows",
+]

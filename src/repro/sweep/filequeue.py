@@ -1,0 +1,325 @@
+"""Directory-based work queue with claim leases.
+
+The distributed backend shares work between ``repro sweep worker``
+processes — possibly on different machines — through nothing but a common
+(network) filesystem.  The protocol relies on a single primitive that is
+atomic on POSIX filesystems: :func:`os.replace` within one directory tree.
+
+Layout (under the queue root)::
+
+    pending/<key>.task    picklable CellTask waiting to be claimed
+    claimed/<key>.task    task currently owned by a worker
+    leases/<key>.json     {"worker": ..., "expires": unix_ts, "attempt": n}
+    failed/<key>.json     terminal failure record (attempts exhausted)
+
+*Claiming* renames ``pending/<key>.task`` to ``claimed/<key>.task``; of any
+number of racing workers exactly one rename succeeds, the rest get
+``FileNotFoundError`` and move on.  The winner then writes a lease with an
+expiry deadline.  *Completing* deletes the claimed task and its lease.
+
+A worker that dies mid-cell leaves a claimed task with an expiring lease.
+Any other worker (or ``repro sweep status``) calls
+:meth:`FileQueue.requeue_expired`, which moves expired claims back into
+``pending/`` so the cell is re-executed elsewhere — that is the whole
+crash-recovery story, no coordinator process required.  Two edge cases are
+covered explicitly: a worker killed *between* claiming and writing its
+lease leaves a lease-less claimed task, which is requeued after one lease
+period measured from the claim (the claimed file's mtime); and a worker
+that lost its lease mid-cell has its late failure report ignored (the
+release is ownership-checked) so it cannot clobber the new claimant.  A
+cell that *fails* (raises) is retried up to ``max_attempts`` times and
+then parked under ``failed/`` with the error text, so a poisoned cell
+cannot wedge the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..parallel import ParallelJob
+from .atomic import atomic_write_bytes, atomic_write_text
+from .hashing import SweepError
+
+#: Default lease duration; generous relative to the slowest AES cell.
+DEFAULT_LEASE_SECONDS = 300.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def worker_identity() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class CellTask:
+    """One queued cell: its content address plus the job to run."""
+
+    key: str
+    cell: ParallelJob
+    attempt: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class FileQueue:
+    """Claim/lease work queue over a shared directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        self.root = Path(root)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+        for directory in (
+            self.pending_dir,
+            self.claimed_dir,
+            self.leases_dir,
+            self.failed_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, task: CellTask) -> bool:
+        """Add *task* unless the key is already pending/claimed/failed."""
+        target = self.pending_dir / f"{task.key}.task"
+        if (
+            target.exists()
+            or (self.claimed_dir / f"{task.key}.task").exists()
+            or (self.failed_dir / f"{task.key}.json").exists()
+        ):
+            return False
+        atomic_write_bytes(
+            target, pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker: str | None = None) -> CellTask | None:
+        """Atomically take one pending task, or ``None`` when empty.
+
+        Tasks are claimed in sorted-key order so workers tend to spread over
+        the queue front; correctness never depends on the order.
+        """
+        worker = worker or worker_identity()
+        for path in sorted(self.pending_dir.glob("*.task")):
+            claimed = self.claimed_dir / path.name
+            try:
+                os.replace(path, claimed)
+            except FileNotFoundError:
+                continue  # lost the race for this task; try the next one
+            try:
+                # os.replace preserves the (possibly old) enqueue-time mtime;
+                # stamp the claim moment immediately so the orphan scan in
+                # requeue_expired() cannot mistake this fresh claim for a
+                # lease-less leftover of a dead worker.
+                os.utime(claimed)
+                blob = claimed.read_bytes()
+            except FileNotFoundError:
+                continue  # a racing requeue took it back; move on
+            try:
+                task: CellTask = pickle.loads(blob)
+            except Exception as error:
+                self._fail_file(claimed, f"unpicklable task: {error!r}")
+                continue
+            task.attempt += 1
+            if task.attempt > self.max_attempts:
+                # The cell keeps losing its lease (e.g. it crashes every
+                # worker that claims it) — park it instead of crash-looping.
+                self._fail_file(
+                    claimed,
+                    f"exceeded {self.max_attempts} attempts (lease expiries "
+                    "or failures)",
+                    attempt=task.attempt,
+                )
+                continue
+            # Persist the bumped attempt counter so it survives a
+            # lease-expiry round trip through pending/.
+            atomic_write_bytes(
+                claimed, pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self._write_lease(task, worker)
+            return task
+        return None
+
+    def complete(self, task: CellTask) -> None:
+        """Mark a claimed task done: drop the task file and its lease."""
+        (self.claimed_dir / f"{task.key}.task").unlink(missing_ok=True)
+        (self.leases_dir / f"{task.key}.json").unlink(missing_ok=True)
+
+    def release_failed(
+        self, task: CellTask, error: str, worker: str | None = None
+    ) -> bool:
+        """Handle a cell that raised.
+
+        Requeues the task for another attempt, or — once ``max_attempts`` is
+        reached — parks it under ``failed/``.  Returns ``True`` when the task
+        was requeued, ``False`` otherwise.
+
+        Pass *worker* (the id the task was claimed with) to make the release
+        ownership-checked: if the lease has meanwhile expired and the cell
+        was reclaimed by another worker, the stale failure report is ignored
+        instead of clobbering the new claimant's claim and rolling the
+        attempt counter back — otherwise a poison cell slower than the lease
+        would retry forever.
+        """
+        lease_path = self.leases_dir / f"{task.key}.json"
+        if worker is not None:
+            try:
+                lease = json.loads(lease_path.read_text())
+            except (OSError, ValueError):
+                return False  # lease gone: the cell was requeued/completed
+            if (
+                lease.get("worker") != worker
+                or lease.get("attempt") != task.attempt
+            ):
+                return False  # someone else owns the cell now
+        claimed = self.claimed_dir / f"{task.key}.task"
+        lease_path.unlink(missing_ok=True)
+        if task.attempt >= self.max_attempts:
+            self._fail_file(claimed, error, attempt=task.attempt)
+            return False
+        # Drop the claimed file *before* publishing to pending/: once the
+        # pending copy exists another worker may instantly re-claim it
+        # (recreating claimed/<key>.task), and a late unlink here would
+        # delete that fresh claim out from under the new owner.  The task is
+        # re-serialized from memory, so nothing is lost — and if we die
+        # between the unlink and the publish, `sweep submit` re-enqueues the
+        # cell (it is in neither store, queue, nor failed/).
+        claimed.unlink(missing_ok=True)
+        # Re-serialize so the bumped attempt counter survives the requeue.
+        atomic_write_bytes(
+            self.pending_dir / f"{task.key}.task",
+            pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Lease management
+    # ------------------------------------------------------------------
+    def _write_lease(self, task: CellTask, worker: str) -> None:
+        lease = {
+            "key": task.key,
+            "worker": worker,
+            "claimed_at": time.time(),
+            "expires": time.time() + self.lease_seconds,
+            "attempt": task.attempt,
+        }
+        atomic_write_text(self.leases_dir / f"{task.key}.json", json.dumps(lease))
+
+    def renew_lease(self, task: CellTask, worker: str | None = None) -> None:
+        """Extend the lease of a long-running cell (heartbeat)."""
+        self._write_lease(task, worker or worker_identity())
+
+    def requeue_expired(self, now: float | None = None) -> list[str]:
+        """Return expired claims to ``pending/`` (crashed-worker recovery)."""
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        for lease_path in sorted(self.leases_dir.glob("*.json")):
+            try:
+                lease = json.loads(lease_path.read_text())
+            except (OSError, ValueError):
+                continue  # being rewritten or already gone
+            if lease.get("expires", 0.0) > now:
+                continue
+            key = lease.get("key", lease_path.stem)
+            claimed = self.claimed_dir / f"{key}.task"
+            try:
+                os.replace(claimed, self.pending_dir / f"{key}.task")
+            except FileNotFoundError:
+                pass  # completed (or requeued by someone else) meanwhile
+            else:
+                requeued.append(key)
+            lease_path.unlink(missing_ok=True)
+        # Orphaned claims: a worker died in the window between claiming a
+        # task and writing its lease (or between dropping the lease and
+        # requeueing in release_failed), leaving a claimed task no lease
+        # points at.  claim() rewrites the task file on claim, so its mtime
+        # marks the claim moment; after a full lease period without a lease
+        # appearing, the claimant is considered dead.  The rare race with a
+        # claimant that is alive but has not written its lease yet merely
+        # duplicates one cell — harmless, store writes are idempotent.
+        for path in sorted(self.claimed_dir.glob("*.task")):
+            key = path.stem
+            if (self.leases_dir / f"{key}.json").exists():
+                continue
+            try:
+                claimed_at = path.stat().st_mtime
+            except FileNotFoundError:
+                continue  # completed meanwhile
+            if claimed_at + self.lease_seconds > now:
+                continue
+            try:
+                os.replace(path, self.pending_dir / path.name)
+            except FileNotFoundError:
+                pass
+            else:
+                requeued.append(key)
+        return requeued
+
+    def _fail_file(self, claimed: Path, error: str, attempt: int = 0) -> None:
+        record = {
+            "key": claimed.stem,
+            "error": error,
+            "attempt": attempt,
+            "failed_at": time.time(),
+        }
+        atomic_write_text(
+            self.failed_dir / f"{claimed.stem}.json", json.dumps(record, indent=1)
+        )
+        claimed.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_keys(self) -> list[str]:
+        return sorted(path.stem for path in self.pending_dir.glob("*.task"))
+
+    def claimed_keys(self) -> list[str]:
+        return sorted(path.stem for path in self.claimed_dir.glob("*.task"))
+
+    def failed_keys(self) -> list[str]:
+        return sorted(path.stem for path in self.failed_dir.glob("*.json"))
+
+    def failure(self, key: str) -> dict:
+        try:
+            return json.loads((self.failed_dir / f"{key}.json").read_text())
+        except FileNotFoundError:
+            raise SweepError(f"no failure record for {key}") from None
+
+    def clear_failure(self, key: str) -> bool:
+        """Drop a terminal failure record so the cell may be enqueued again
+        (used by ``sweep retry`` after the underlying cause is fixed)."""
+        try:
+            (self.failed_dir / f"{key}.json").unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def is_idle(self) -> bool:
+        """True when nothing is pending or claimed."""
+        return not self.pending_keys() and not self.claimed_keys()
+
+
+__all__ = [
+    "CellTask",
+    "FileQueue",
+    "worker_identity",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+]

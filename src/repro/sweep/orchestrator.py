@@ -1,0 +1,480 @@
+"""Sweep orchestration: submit / worker / status / collect.
+
+A *sweep* is one named experiment harness (``figure6``, ``ablation``, ...)
+whose cells are executed through the content-addressed
+:class:`~repro.sweep.store.ResultStore` instead of directly.  Everything
+lives under one **sweep directory** that may be shared between machines::
+
+    <sweep_dir>/
+        store/        content-addressed result records (the cache)
+        queue/        FileQueue work directories (pending/claimed/leases/failed)
+        manifests/    <name>.json — ordered cell keys + options per sweep
+
+The lifecycle mirrors a batch scheduler:
+
+* :func:`submit` enumerates the sweep's cells, writes the manifest
+  (submission-ordered keys — the row order of the final table), and
+  enqueues every cell whose result is not already stored;
+* any number of :func:`worker_loop` processes (``repro sweep worker``)
+  claim cells from the queue, execute them, and write results back;
+* :func:`status` reports done/pending/claimed/failed counts;
+* :func:`collect` replays the harness against the store (no execution) and
+  assembles the exact tables the serial harness would have produced.
+
+The bridge into the harnesses is :class:`CachedExecutor`, a
+``run_parallel``-compatible callable: every ``run_*`` function accepts an
+``executor`` argument and routes its cells through it, so the same harness
+code serves the serial path, the local pool, and the distributed queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..parallel import ParallelJob
+from .atomic import atomic_write_text
+from .backends import ExecutorBackend, FileQueueBackend
+from .filequeue import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    CellTask,
+    FileQueue,
+    worker_identity,
+)
+from .hashing import SweepError, cell_key, qualified_name, sweep_salt
+from .registry import sweep_spec
+from .store import ResultStore
+
+
+class MissingCellsError(SweepError):
+    """Raised when results are requested for cells that were never run."""
+
+    def __init__(self, missing: Sequence[str], total: int):
+        self.missing = list(missing)
+        self.total = total
+        super().__init__(
+            f"{len(self.missing)} of {total} sweep cell(s) have no stored "
+            "result yet; run `sweep worker` (or `sweep run`) to compute them"
+        )
+
+
+class SweepSubmitted(Exception):
+    """Internal control flow: aborts table assembly during ``submit``."""
+
+    def __init__(self, keys: list[str], cells: list[ParallelJob]):
+        self.keys = keys
+        self.cells = cells
+        super().__init__(f"sweep submitted with {len(keys)} cells")
+
+
+class CachedExecutor:
+    """``run_parallel``-compatible adapter over store + backend.
+
+    Looks every cell up in the store first; only misses reach the backend.
+    Results are returned in submission order, so tables built through this
+    adapter are row-for-row identical to the plain serial harness.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        backend: ExecutorBackend | None = None,
+        *,
+        salt: str | None = None,
+    ):
+        self.store = store
+        self.backend = backend
+        self.salt = salt if salt is not None else sweep_salt()
+        self.hits = 0
+        self.misses = 0
+        self.keys: list[str] = []  # submission-ordered, across calls
+
+    def __call__(self, jobs: Sequence[ParallelJob], workers: int = 1) -> list:
+        jobs = list(jobs)
+        keys = [cell_key(cell, self.salt) for cell in jobs]
+        self.keys.extend(keys)
+        results: dict[str, object] = {}
+        missing: list[CellTask] = []
+        seen_missing: set[str] = set()
+        for key, cell in zip(keys, jobs):
+            if key in results or key in seen_missing:
+                continue
+            found, value = self.store.lookup(key)
+            if found:
+                self.hits += 1
+                results[key] = value
+            else:
+                self.misses += 1
+                seen_missing.add(key)
+                missing.append(
+                    CellTask(key, cell, meta={"func": qualified_name(cell.func)})
+                )
+        if missing:
+            if self.backend is None:
+                raise MissingCellsError([task.key for task in missing], len(jobs))
+            self.backend.run(missing, self.store)
+            for task in missing:
+                results[task.key] = self.store.peek(task.key)
+        return [results[key] for key in keys]
+
+
+class _SubmitExecutor(CachedExecutor):
+    """Captures the cell list during ``submit`` instead of executing it."""
+
+    def __call__(self, jobs: Sequence[ParallelJob], workers: int = 1) -> list:
+        jobs = list(jobs)
+        raise SweepSubmitted([cell_key(cell, self.salt) for cell in jobs], jobs)
+
+
+# ----------------------------------------------------------------------
+# The sweep directory
+# ----------------------------------------------------------------------
+@dataclass
+class SweepDirectory:
+    """Paths + handles of one (possibly shared) sweep directory."""
+
+    root: Path
+    lease_seconds: float = DEFAULT_LEASE_SECONDS
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    store: ResultStore = field(init=False)
+    queue: FileQueue = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.store = ResultStore(self.root / "store")
+        self.queue = FileQueue(
+            self.root / "queue",
+            lease_seconds=self.lease_seconds,
+            max_attempts=self.max_attempts,
+        )
+        (self.root / "manifests").mkdir(parents=True, exist_ok=True)
+
+    def manifest_path(self, name: str) -> Path:
+        return self.root / "manifests" / f"{name}.json"
+
+    def load_manifest(self, name: str) -> dict:
+        try:
+            return json.loads(self.manifest_path(name).read_text())
+        except FileNotFoundError:
+            raise SweepError(
+                f"no manifest for sweep {name!r} under {self.root} — "
+                "run `sweep submit` first"
+            ) from None
+
+    def manifests(self) -> list[str]:
+        return sorted(
+            path.stem for path in (self.root / "manifests").glob("*.json")
+        )
+
+
+@dataclass
+class SubmitReport:
+    """Outcome of one ``submit`` call."""
+
+    name: str
+    total: int
+    cached: int
+    enqueued: int
+    already_queued: int
+    failed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        text = (
+            f"sweep {self.name!r}: {self.total} cells — {self.cached} cached "
+            f"({self.hit_rate:.0%} hits), {self.enqueued} enqueued, "
+            f"{self.already_queued} already in queue"
+        )
+        if self.failed:
+            text += (
+                f", {self.failed} parked as permanently failed "
+                "(`sweep retry` re-queues them)"
+            )
+        return text
+
+
+def submit(
+    directory: SweepDirectory,
+    name: str,
+    *,
+    options: dict | None = None,
+    salt: str | None = None,
+) -> SubmitReport:
+    """Enumerate the cells of sweep *name*, record its manifest, and queue
+    every cell whose result is not already in the store."""
+    spec = sweep_spec(name)
+    options = spec.normalize_options(options or {})
+    executor = _SubmitExecutor(directory.store, salt=salt)
+    try:
+        spec.build(executor, **options)
+    except SweepSubmitted as submitted:
+        keys, cells = submitted.keys, submitted.cells
+    else:
+        raise SweepError(
+            f"sweep {name!r} never routed its cells through the executor"
+        )
+    manifest = {
+        "sweep": name,
+        "salt": executor.salt,
+        "options": options,
+        "created_at": time.time(),
+        "keys": keys,
+        "funcs": sorted({qualified_name(cell.func) for cell in cells}),
+    }
+    atomic_write_text(directory.manifest_path(name), json.dumps(manifest, indent=1))
+
+    cached = enqueued = already_queued = failed = 0
+    failed_keys = set(directory.queue.failed_keys())
+    seen: set[str] = set()
+    for key, cell in zip(keys, cells):
+        if key in seen:
+            continue
+        seen.add(key)
+        if directory.store.contains(key):
+            cached += 1
+        elif key in failed_keys:
+            # Terminal failures stay parked until an operator intervenes
+            # (`sweep retry` clears the records and re-submits).
+            failed += 1
+        elif directory.queue.enqueue(
+            CellTask(key, cell, meta={"func": qualified_name(cell.func)})
+        ):
+            enqueued += 1
+        else:
+            already_queued += 1
+    return SubmitReport(
+        name=name,
+        total=len(seen),
+        cached=cached,
+        enqueued=enqueued,
+        already_queued=already_queued,
+        failed=failed,
+    )
+
+
+def retry(directory: SweepDirectory, name: str) -> tuple[int, SubmitReport]:
+    """Clear the sweep's terminal failure records and re-submit it.
+
+    A cell that exhausted its attempts stays parked under ``failed/`` —
+    ``submit`` will not silently re-queue it, because a poison cell would
+    just fail again.  Once the underlying cause is fixed (transient OOM, a
+    code bug — remember to bump the salt if results changed), ``retry``
+    drops the failure records of this sweep's cells and re-submits, which
+    re-enqueues exactly the cleared (and any otherwise missing) cells.
+    Returns ``(cleared_count, submit_report)``.
+    """
+    manifest = directory.load_manifest(name)
+    cleared = sum(
+        1 for key in set(manifest["keys"]) if directory.queue.clear_failure(key)
+    )
+    return cleared, submit(directory, name, options=manifest["options"])
+
+
+# ----------------------------------------------------------------------
+# Workers
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerReport:
+    worker: str
+    executed: int = 0
+    failed: int = 0
+    requeued_leases: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker}: executed {self.executed} cell(s), "
+            f"{self.failed} failed, recovered {self.requeued_leases} "
+            "expired lease(s)"
+        )
+
+
+def worker_loop(
+    directory: SweepDirectory,
+    *,
+    poll_interval: float = 0.2,
+    max_tasks: int | None = None,
+    exit_when_idle: bool = True,
+    worker: str | None = None,
+    on_task=None,
+) -> WorkerReport:
+    """Claim and execute queued cells until the queue is idle.
+
+    Multiple worker processes — on any machines sharing the sweep
+    directory — run this loop concurrently; the claim protocol guarantees
+    each cell executes once (unless a lease expires, in which case the cell
+    is re-run by a surviving worker and the idempotent store write keeps the
+    outcome unchanged).  While a cell runs, a background thread renews its
+    lease at half-period, so cells slower than the lease are not stolen
+    from a live worker.  ``exit_when_idle=False`` keeps the worker polling
+    for future submissions (a daemon worker); ``max_tasks`` bounds the
+    number of executed cells (used by tests to simulate crashes).
+    """
+    worker = worker or worker_identity()
+    report = WorkerReport(worker=worker)
+    queue, store = directory.queue, directory.store
+    # The recovery scan stats every lease and claimed task — O(queue size)
+    # filesystem metadata reads, painful on the shared/NFS deployments the
+    # queue targets.  Throttle it to a fraction of the lease period (leases
+    # cannot expire faster than that) instead of scanning before every claim.
+    scan_interval = max(poll_interval, queue.lease_seconds / 4)
+    last_scan = float("-inf")
+    while True:
+        now = time.monotonic()
+        if now - last_scan >= scan_interval:
+            report.requeued_leases += len(queue.requeue_expired())
+            last_scan = now
+        task = queue.claim(worker)
+        if task is None:
+            if exit_when_idle and queue.is_idle():
+                return report
+            time.sleep(poll_interval)
+            continue
+        # Renew the lease at half-period while the cell runs, so a cell
+        # slower than the lease (full-genetic AES takes tens of minutes) is
+        # not requeued — and eventually parked as failed — by peers while a
+        # healthy worker is still computing it.  The heartbeat thread only
+        # does file I/O, so it gets scheduled even against a CPU-bound cell.
+        stop_heartbeat = threading.Event()
+
+        def _heartbeat(beat_task=task):
+            while not stop_heartbeat.wait(queue.lease_seconds / 2):
+                queue.renew_lease(beat_task, worker)
+
+        heartbeat = threading.Thread(target=_heartbeat, daemon=True)
+        heartbeat.start()
+        try:
+            result = task.cell()
+        except Exception as error:  # noqa: BLE001 — worker must survive bad cells
+            stop_heartbeat.set()
+            heartbeat.join()
+            queue.release_failed(task, f"{type(error).__name__}: {error}", worker)
+            report.failed += 1
+        else:
+            stop_heartbeat.set()
+            heartbeat.join()
+            store.put(
+                task.key,
+                result,
+                meta={"worker": worker, "attempt": task.attempt, **task.meta},
+            )
+            queue.complete(task)
+            report.executed += 1
+            if on_task is not None:
+                on_task(task)
+        if max_tasks is not None and report.executed + report.failed >= max_tasks:
+            return report
+
+
+# ----------------------------------------------------------------------
+# Status / collect / in-process runs
+# ----------------------------------------------------------------------
+@dataclass
+class SweepStatus:
+    name: str
+    total: int
+    done: int
+    pending: int
+    claimed: int
+    failed: int
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+    def summary(self) -> str:
+        state = "complete" if self.complete else f"{self.done}/{self.total} done"
+        return (
+            f"sweep {self.name!r}: {state} — {self.pending} pending, "
+            f"{self.claimed} claimed, {self.failed} failed"
+        )
+
+
+def status(directory: SweepDirectory, name: str) -> SweepStatus:
+    manifest = directory.load_manifest(name)
+    keys = set(manifest["keys"])
+    directory.queue.requeue_expired()
+    done = sum(1 for key in keys if directory.store.contains(key))
+    return SweepStatus(
+        name=name,
+        total=len(keys),
+        done=done,
+        pending=len(keys & set(directory.queue.pending_keys())),
+        claimed=len(keys & set(directory.queue.claimed_keys())),
+        failed=len(keys & set(directory.queue.failed_keys())),
+    )
+
+
+def collect(directory: SweepDirectory, name: str):
+    """Assemble the sweep's tables purely from stored results.
+
+    Raises :class:`MissingCellsError` while cells are still outstanding.
+    Because the harness itself replays over the cached rows, the output is
+    row-for-row identical to a serial ``run_*`` invocation (timing columns
+    carry the values measured when each cell actually ran).
+    """
+    manifest = directory.load_manifest(name)
+    spec = sweep_spec(name)
+    executor = CachedExecutor(
+        directory.store, backend=None, salt=manifest["salt"]
+    )
+    tables = spec.build(executor, **spec.normalize_options(manifest["options"]))
+    return tables
+
+
+def run_cached(
+    directory: SweepDirectory,
+    name: str,
+    *,
+    backend: ExecutorBackend,
+    options: dict | None = None,
+    salt: str | None = None,
+):
+    """In-process cached sweep: compute misses via *backend*, reuse hits.
+
+    Returns ``(tables, executor)`` — the executor carries hit/miss counts.
+    """
+    spec = sweep_spec(name)
+    executor = CachedExecutor(directory.store, backend=backend, salt=salt)
+    tables = spec.build(executor, **spec.normalize_options(options or {}))
+    return tables, executor
+
+
+def make_queue_backend(
+    directory: SweepDirectory,
+    *,
+    wait: bool = True,
+    poll_interval: float = 0.2,
+    timeout: float | None = None,
+) -> FileQueueBackend:
+    return FileQueueBackend(
+        directory.queue, wait=wait, poll_interval=poll_interval, timeout=timeout
+    )
+
+
+__all__ = [
+    "CachedExecutor",
+    "MissingCellsError",
+    "SweepDirectory",
+    "SubmitReport",
+    "SweepStatus",
+    "WorkerReport",
+    "submit",
+    "retry",
+    "worker_loop",
+    "status",
+    "collect",
+    "run_cached",
+    "make_queue_backend",
+]

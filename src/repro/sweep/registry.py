@@ -1,0 +1,124 @@
+"""Registry of sweepable experiments.
+
+Every experiment harness of :mod:`repro.experiments` is registered here so
+the sweep CLI can address it by name (``repro sweep submit figure6``).  A
+:class:`SweepSpec` wraps the harness's ``run_*`` function behind a uniform
+``build(executor, **options) -> list[ExperimentTable]`` interface and pins
+the set of options that may appear in a sweep manifest — options are part
+of the cell content hash (through the job arguments), so the same
+name+options always maps to the same cell keys, on every machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..experiments import (
+    run_ablation,
+    run_codesize_energy,
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+    run_scaling,
+)
+from ..experiments.figure6 import FIGURE6_NISE
+from ..hwmodel import PAPER_IO_SWEEP
+from .hashing import SweepError
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One named sweep: harness entry point plus its allowed options."""
+
+    name: str
+    description: str
+    builder: Callable
+    #: Allowed option names with their defaults (everything JSON-scalar so
+    #: manifests round-trip exactly).
+    option_defaults: Mapping = field(default_factory=dict)
+
+    def normalize_options(self, options: Mapping) -> dict:
+        unknown = set(options) - set(self.option_defaults)
+        if unknown:
+            raise SweepError(
+                f"sweep {self.name!r} does not accept option(s) "
+                f"{sorted(unknown)}; allowed: {sorted(self.option_defaults)}"
+            )
+        merged = dict(self.option_defaults)
+        merged.update(options)
+        return merged
+
+    def build(self, executor, **options) -> list:
+        """Run the harness through *executor*, returning its table list."""
+        tables = self.builder(executor=executor, **options)
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        return list(tables)
+
+
+SWEEPS: dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in (
+        SweepSpec(
+            "figure1",
+            "motivational reuse example (Figure 1)",
+            run_figure1,
+        ),
+        SweepSpec(
+            "figure4",
+            "benchmark speedup and runtime comparison (Figure 4)",
+            run_figure4,  # returns a (speedup, runtime) pair; build() listifies
+        ),
+        SweepSpec(
+            "figure6",
+            "AES speedup sweep, ISEGEN vs Genetic (Figure 6)",
+            run_figure6,
+            option_defaults={
+                "quick_genetic": True,
+                "workload": "aes",
+                # JSON lists (not tuples) so manifests round-trip exactly.
+                "io_sweep": [list(pair) for pair in PAPER_IO_SWEEP],
+                "nise_values": list(FIGURE6_NISE),
+            },
+        ),
+        SweepSpec(
+            "figure7",
+            "AES cut reusability (Figure 7)",
+            run_figure7,
+            option_defaults={"workload": "aes"},
+        ),
+        SweepSpec(
+            "ablation",
+            "gain-component ablation study",
+            run_ablation,
+        ),
+        SweepSpec(
+            "scaling",
+            "runtime scaling with block size",
+            run_scaling,
+        ),
+        SweepSpec(
+            "codesize-energy",
+            "code-size and energy impact of the generated ISEs",
+            run_codesize_energy,
+        ),
+    )
+}
+
+
+def sweep_spec(name: str) -> SweepSpec:
+    try:
+        return SWEEPS[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown sweep {name!r}; available: {sorted(SWEEPS)}"
+        ) from None
+
+
+def available_sweeps() -> list[str]:
+    return sorted(SWEEPS)
+
+
+__all__ = ["SweepSpec", "SWEEPS", "sweep_spec", "available_sweeps"]

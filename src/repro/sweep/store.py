@@ -1,0 +1,138 @@
+"""Content-addressed result store.
+
+One directory, one JSON record per computed experiment cell, addressed by
+the cell's content hash (:func:`repro.sweep.hashing.cell_key`).  Records are
+sharded into 256 two-hex-digit subdirectories (``store/ab/<key>.json``) so
+directory listings stay fast even for large sweeps, and every write goes
+through a same-directory temp file + :func:`os.replace` so readers — and
+concurrent writers on a shared filesystem — never observe a half-written
+record.  Writing the same key twice is idempotent: cell results are pure
+functions of the key, so last-writer-wins is safe.
+
+The store doubles as the cache that makes sweeps resumable: before running
+a cell, the executors ask :meth:`ResultStore.get`; hits skip execution
+entirely.  Hit/miss counters live on the store instance so orchestration
+code can report cache effectiveness (``re-submitting a finished sweep
+reports 100% hits``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from .atomic import atomic_write_text
+from .hashing import SweepError, decode_result, encode_result
+
+_RECORD_SUFFIX = ".json"
+
+
+@dataclass
+class StoreStats:
+    """Cache accounting of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """Durable ``key -> result row(s)`` mapping backed by a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise SweepError(f"malformed result key {key!r}")
+        return self.root / key[:2] / f"{key}{_RECORD_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    __contains__ = contains
+
+    def lookup(self, key: str):
+        """Cache-accounted fetch: ``(True, result)`` or ``(False, None)``."""
+        try:
+            record = json.loads(self.path_for(key).read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, decode_result(record["result"])
+
+    def get(self, key: str):
+        found, result = self.lookup(key)
+        if not found:
+            raise KeyError(key)
+        return result
+
+    def peek(self, key: str):
+        """Like :meth:`get` but without touching the hit/miss counters
+        (used internally after a backend has just produced the value)."""
+        return decode_result(self.record(key)["result"])
+
+    def record(self, key: str) -> dict:
+        """The full stored record (result plus provenance metadata)."""
+        try:
+            return json.loads(self.path_for(key).read_text())
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(self.root.iterdir()) if self.root.is_dir() else []:
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob(f"*{_RECORD_SUFFIX}")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, result, *, meta: dict | None = None) -> Path:
+        """Atomically persist *result* under *key* (idempotent)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "stored_at": time.time(),
+            "meta": meta or {},
+            "result": encode_result(result),
+        }
+        atomic_write_text(path, json.dumps(record, indent=1))
+        self.stats.writes += 1
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Remove one record; returns whether it existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+
+__all__ = ["ResultStore", "StoreStats"]

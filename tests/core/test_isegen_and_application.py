@@ -126,3 +126,48 @@ def test_result_summary_mentions_algorithm(single_block, paper_constraints):
     text = result.summary()
     assert "ISEGEN" in text
     assert "speedup" in text
+
+
+# ----------------------------------------------------------------------
+# Cross-block fan-out (block_workers)
+# ----------------------------------------------------------------------
+def _four_block_program() -> Program:
+    program = Program("four_blocks")
+    for index, frequency in enumerate((1000.0, 400.0, 50.0, 10.0)):
+        program.add_dfg(
+            random_dfg(24, seed=40 + index, name=f"block{index}"),
+            frequency=frequency,
+        )
+    return program
+
+
+def _ise_signature(result: ISEGenerationResult):
+    return [
+        (ise.block_name, frozenset(ise.cut.members), ise.merit)
+        for ise in result.ises
+    ]
+
+
+def test_block_workers_produce_identical_ises(paper_constraints):
+    serial = ISEGen(constraints=paper_constraints).generate(_four_block_program())
+    fanned = ISEGen(constraints=paper_constraints, block_workers=3).generate(
+        _four_block_program()
+    )
+    assert _ise_signature(serial) == _ise_signature(fanned)
+    assert serial.speedup == fanned.speedup
+
+
+def test_block_workers_rejects_invalid_count(paper_constraints):
+    with pytest.raises(ISEGenError):
+        ApplicationISEDriver(
+            KernighanLinCutFinder(), paper_constraints, block_workers=0
+        )
+
+
+def test_run_algorithm_forwards_block_workers(paper_constraints):
+    from repro.baselines import run_algorithm
+
+    program = _four_block_program()
+    serial = run_algorithm("ISEGEN", program, paper_constraints)
+    fanned = run_algorithm("ISEGEN", program, paper_constraints, block_workers=2)
+    assert _ise_signature(serial) == _ise_signature(fanned)

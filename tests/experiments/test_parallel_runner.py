@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import run_ablation, run_figure1, run_parallel, run_scaling
 from repro.experiments.runner import ParallelJob, job
+
+
+def _slow_failing_cell(message, delay):
+    time.sleep(delay)
+    raise ValueError(message)
+
+
+def _slow_touch_cell(directory, index, delay=0.2):
+    time.sleep(delay)
+    Path(directory, f"{index}.done").touch()
+    return index
 
 
 def _identity_cell(value):
@@ -51,6 +65,32 @@ def test_run_parallel_propagates_cell_exceptions(workers):
     jobs = [job(_identity_cell, 0), job(_failing_cell)]
     with pytest.raises(ValueError, match="cell exploded"):
         run_parallel(jobs, workers=workers)
+
+
+def test_run_parallel_cancels_queued_jobs_on_first_failure(tmp_path):
+    """A failing early cell must not leave the pool grinding through the
+    rest of the sweep: queued jobs are cancelled, only the handful already
+    in flight may complete."""
+    jobs = [job(_failing_cell)] + [
+        job(_slow_touch_cell, str(tmp_path), index) for index in range(30)
+    ]
+    with pytest.raises(ValueError, match="cell exploded"):
+        run_parallel(jobs, workers=2)
+    # Only the jobs already handed to a worker when the failure surfaced may
+    # finish; the 20+ still queued must be cancelled.  (No wall-clock
+    # assertion — shared CI runners make those flaky.)
+    completed = len(list(tmp_path.glob("*.done")))
+    assert completed < 15, f"{completed} queued jobs ran behind the failure"
+
+
+def test_run_parallel_propagates_earliest_submitted_failure():
+    jobs = [
+        job(_failing_cell),
+        job(_slow_failing_cell, "late failure", 0.3),
+        job(_identity_cell, 1),
+    ]
+    with pytest.raises(ValueError, match="cell exploded"):
+        run_parallel(jobs, workers=3)
 
 
 # ----------------------------------------------------------------------

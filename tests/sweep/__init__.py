@@ -1,0 +1,2 @@
+"""Tests of the distributed sweep subsystem (package so module names do
+not collide with same-named test files in sibling directories)."""

@@ -1,0 +1,131 @@
+"""The shared-directory claim/lease work queue."""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel import job
+from repro.sweep import CellTask, FileQueue
+
+
+def _cell(value):
+    return value * 2
+
+
+def _task(key_byte: str, value: int = 1) -> CellTask:
+    return CellTask(key_byte * 64, job(_cell, value))
+
+
+def test_enqueue_claim_complete_cycle(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    assert queue.enqueue(_task("a"))
+    assert queue.pending_keys() == ["a" * 64]
+    task = queue.claim("worker-1")
+    assert task is not None and task.key == "a" * 64
+    assert task.attempt == 1
+    assert queue.pending_keys() == []
+    assert queue.claimed_keys() == ["a" * 64]
+    assert task.cell() == 2
+    queue.complete(task)
+    assert queue.is_idle()
+    assert list((tmp_path / "q" / "leases").iterdir()) == []
+
+
+def test_enqueue_deduplicates(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    assert queue.enqueue(_task("a"))
+    assert not queue.enqueue(_task("a"))  # already pending
+    task = queue.claim()
+    assert not queue.enqueue(_task("a"))  # already claimed
+    queue.complete(task)
+    assert queue.enqueue(_task("a"))  # gone -> may be queued again
+
+
+def test_claim_returns_none_when_empty(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    assert queue.claim() is None
+
+
+def test_each_task_claimed_exactly_once(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    for byte in "abc":
+        queue.enqueue(_task(byte))
+    claimed = [queue.claim(f"w{i}") for i in range(4)]
+    keys = [task.key for task in claimed if task is not None]
+    assert sorted(keys) == [byte * 64 for byte in "abc"]
+    assert claimed[3] is None
+
+
+def test_lease_expiry_requeues_crashed_workers_task(tmp_path):
+    queue = FileQueue(tmp_path / "q", lease_seconds=0.05)
+    queue.enqueue(_task("a"))
+    task = queue.claim("doomed-worker")
+    assert task is not None
+    # The worker "crashes" here: never completes, never renews.
+    assert queue.requeue_expired(now=time.time() - 1) == []  # not yet expired
+    time.sleep(0.06)
+    assert queue.requeue_expired() == ["a" * 64]
+    assert queue.pending_keys() == ["a" * 64]
+    assert queue.claimed_keys() == []
+    # A surviving worker picks it up; the attempt counter survived the trip.
+    retry = queue.claim("survivor")
+    assert retry is not None and retry.attempt == 2
+
+
+def test_renew_lease_keeps_task_claimed(tmp_path):
+    queue = FileQueue(tmp_path / "q", lease_seconds=0.05)
+    queue.enqueue(_task("a"))
+    task = queue.claim("steady")
+    time.sleep(0.06)
+    queue.renew_lease(task, "steady")
+    assert queue.requeue_expired() == []
+    assert queue.claimed_keys() == ["a" * 64]
+
+
+def test_failed_cell_retries_then_parks(tmp_path):
+    queue = FileQueue(tmp_path / "q", max_attempts=2)
+    queue.enqueue(_task("a"))
+    first = queue.claim()
+    assert queue.release_failed(first, "ValueError: boom")  # attempt 1 -> requeue
+    second = queue.claim()
+    assert second.attempt == 2
+    assert not queue.release_failed(second, "ValueError: boom")  # parked
+    assert queue.claim() is None
+    assert queue.failed_keys() == ["a" * 64]
+    assert "boom" in queue.failure("a" * 64)["error"]
+    # A parked key cannot be re-enqueued until the failure is cleared.
+    assert not queue.enqueue(_task("a"))
+
+
+def test_orphaned_claim_without_lease_is_recovered(tmp_path):
+    """A worker killed between claiming a task and writing its lease leaves
+    a lease-less claimed task; after a grace of one lease period it must be
+    requeued, not wedge the sweep forever."""
+    queue = FileQueue(tmp_path / "q", lease_seconds=0.05)
+    queue.enqueue(_task("a"))
+    task = queue.claim("doomed")
+    (tmp_path / "q" / "leases" / f"{task.key}.json").unlink()  # never written
+    assert queue.requeue_expired() == []  # within the grace period
+    time.sleep(0.06)
+    assert queue.requeue_expired() == ["a" * 64]
+    assert queue.pending_keys() == ["a" * 64]
+    assert queue.claim("survivor") is not None
+
+
+def test_stale_release_failed_does_not_clobber_new_claimant(tmp_path):
+    """A worker that lost its lease mid-cell must not requeue the task over
+    the new claimant or roll the attempt counter back."""
+    queue = FileQueue(tmp_path / "q", lease_seconds=0.05)
+    queue.enqueue(_task("a"))
+    stale = queue.claim("worker-a")
+    time.sleep(0.06)
+    assert queue.requeue_expired() == ["a" * 64]
+    fresh = queue.claim("worker-b")
+    assert fresh.attempt == 2
+    # worker-a's cell finally raises; its ownership check fails.
+    assert not queue.release_failed(stale, "ValueError: late boom", "worker-a")
+    assert queue.claimed_keys() == ["a" * 64]  # worker-b still owns the cell
+    assert queue.pending_keys() == []
+    # worker-b's own failure report is honoured and keeps the counter.
+    assert queue.release_failed(fresh, "ValueError: boom", "worker-b")
+    assert queue.claim("worker-c").attempt == 3

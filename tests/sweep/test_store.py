@@ -1,0 +1,83 @@
+"""The content-addressed result store: records, accounting, atomicity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import ResultStore, SweepError
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    row = {"benchmark": "aes", "speedup": 1.25, "pair": (4, 2)}
+    store.put(KEY_A, row)
+    assert store.contains(KEY_A)
+    assert store.get(KEY_A) == row
+    assert isinstance(store.get(KEY_A)["pair"], tuple)
+
+
+def test_get_missing_raises(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with pytest.raises(KeyError):
+        store.get(KEY_A)
+    assert not store.contains(KEY_A)
+
+
+def test_malformed_key_rejected(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with pytest.raises(SweepError):
+        store.put("ab", {"too": "short"})
+
+
+def test_records_are_sharded_and_listable(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(KEY_A, 1)
+    store.put(KEY_B, 2)
+    assert (tmp_path / "store" / "aa" / f"{KEY_A}.json").is_file()
+    assert sorted(store.keys()) == sorted([KEY_A, KEY_B])
+    assert len(store) == 2
+
+
+def test_put_is_idempotent_and_leaves_no_temp_files(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(KEY_A, {"v": 1})
+    store.put(KEY_A, {"v": 1})
+    shard = tmp_path / "store" / "aa"
+    assert [p.name for p in shard.iterdir()] == [f"{KEY_A}.json"]
+
+
+def test_record_carries_provenance_meta(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(KEY_A, {"v": 1}, meta={"worker": "host-1"})
+    record = store.record(KEY_A)
+    assert record["meta"]["worker"] == "host-1"
+    assert record["key"] == KEY_A
+    # The on-disk record is plain JSON, readable by external tooling.
+    raw = json.loads(store.path_for(KEY_A).read_text())
+    assert raw["result"] == {"v": 1}
+
+
+def test_hit_miss_accounting(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    assert store.lookup(KEY_A) == (False, None)
+    store.put(KEY_A, 7)
+    found, value = store.lookup(KEY_A)
+    assert (found, value) == (True, 7)
+    assert (store.stats.hits, store.stats.misses, store.stats.writes) == (1, 1, 1)
+    assert store.stats.hit_rate == 0.5
+    # peek() serves the value without touching the counters.
+    assert store.peek(KEY_A) == 7
+    assert store.stats.hits == 1
+
+
+def test_discard(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(KEY_A, 1)
+    assert store.discard(KEY_A)
+    assert not store.discard(KEY_A)
+    assert not store.contains(KEY_A)

@@ -64,3 +64,102 @@ def test_parser_rejects_unknown_algorithm():
 def test_parser_requires_a_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# Distributed sweep subcommands
+# ----------------------------------------------------------------------
+def test_sweep_submit_worker_collect_cycle(tmp_path, capsys):
+    directory = str(tmp_path / "sweep")
+    assert main(["sweep", "submit", "figure1", "--dir", directory]) == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out and "4 enqueued" in out
+
+    assert main(["sweep", "status", "--dir", directory]) == 0
+    assert "0/4 done" in capsys.readouterr().out
+
+    # Collect before any worker ran: a clean error, not a traceback.
+    assert main(["sweep", "collect", "figure1", "--dir", directory]) == 1
+    assert "no stored result" in capsys.readouterr().err
+
+    assert main(["sweep", "worker", "--dir", directory, "--poll", "0.01"]) == 0
+    assert "executed 4 cell(s)" in capsys.readouterr().out
+
+    output = tmp_path / "tables"
+    code = main(
+        ["sweep", "collect", "figure1", "--dir", directory, "--output", str(output)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "figure1_reuse_motivation" in out
+    assert (output / "figure1_reuse_motivation.json").exists()
+
+    # Re-submission is a pure cache hit.
+    assert main(["sweep", "submit", "figure1", "--dir", directory]) == 0
+    assert "100% hits" in capsys.readouterr().out
+
+
+def test_sweep_run_reports_cache_hits(tmp_path, capsys):
+    directory = str(tmp_path / "sweep")
+    assert main(["sweep", "run", "figure1", "--dir", directory]) == 0
+    assert "4 executed via serial" in capsys.readouterr().out
+    assert main(["sweep", "run", "figure1", "--dir", directory]) == 0
+    assert "100% hits" in capsys.readouterr().out
+
+
+def test_sweep_status_without_submissions(tmp_path, capsys):
+    assert main(["sweep", "status", "--dir", str(tmp_path / "empty")]) == 0
+    assert "no sweeps submitted" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_sweep_name(tmp_path):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["sweep", "submit", "figure99", "--dir", str(tmp_path)]
+        )
+
+
+def test_run_block_workers_flag(capsys):
+    assert main(["run", "autcor00", "--block-workers", "2"]) == 0
+    assert "ISEGEN" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Benchmark tracking subcommands
+# ----------------------------------------------------------------------
+def _bench_artifact(path, mean):
+    import json
+
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": "t/micro", "stats": {"mean": mean, "rounds": 3}}
+                ]
+            }
+        )
+    )
+    return str(path)
+
+
+def test_bench_record_and_compare(tmp_path, capsys):
+    tracker = str(tmp_path / "track")
+    first = _bench_artifact(tmp_path / "a.json", 1.0)
+    second = _bench_artifact(tmp_path / "b.json", 1.8)
+
+    assert main(["bench", "record", first, "--dir", tracker, "--commit", "c1"]) == 0
+    assert main(["bench", "compare", "--dir", tracker]) == 0
+    assert "fewer than two" in capsys.readouterr().out
+
+    assert main(["bench", "record", second, "--dir", tracker, "--commit", "c2"]) == 0
+    assert main(["bench", "compare", "--dir", tracker]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_compare_two_files(tmp_path, capsys):
+    baseline = _bench_artifact(tmp_path / "a.json", 1.0)
+    current = _bench_artifact(tmp_path / "b.json", 1.1)
+    assert main(["bench", "compare", baseline, current]) == 0
+    assert "no regressions" in capsys.readouterr().out
+    slow = _bench_artifact(tmp_path / "c.json", 2.0)
+    assert main(["bench", "compare", baseline, slow]) == 1
