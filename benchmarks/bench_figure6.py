@@ -46,11 +46,21 @@ def test_figure6_isegen(benchmark, io):
     assert reuse.reuse_speedup >= 1.0
 
 
+@pytest.mark.parametrize(
+    "evaluator", ["bitset", "reference"], ids=["bitset", "reference"]
+)
 @pytest.mark.parametrize("io", IO_POINTS, ids=lambda io: f"io{io[0]}_{io[1]}")
-def test_figure6_genetic(benchmark, io):
+def test_figure6_genetic(benchmark, io, evaluator):
+    """The GA on the memoizing bitset evaluator vs the from-scratch
+    frozenset reference — same cuts, different wall-clock (the Figure-6
+    genetic speedup recorded in PERFORMANCE.md)."""
     constraints = ISEConstraints(max_inputs=io[0], max_outputs=io[1], max_ises=1)
     benchmark.group = f"figure6 AES {constraints.io}"
-    generator = GeneticGenerator(constraints, GeneticConfig.quick())
+    generator = GeneticGenerator(
+        constraints,
+        GeneticConfig.quick(),
+        reference_evaluator=evaluator == "reference",
+    )
     result, reuse = run_once(benchmark, _generate_and_score, generator)
     benchmark.extra_info["speedup_with_reuse"] = round(reuse.reuse_speedup, 4)
     benchmark.extra_info["speedup_single_use"] = round(reuse.single_use_speedup, 4)

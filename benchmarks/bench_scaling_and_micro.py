@@ -24,14 +24,17 @@ import time
 import pytest
 
 from repro.baselines import best_single_cut, run_greedy, run_isegen, run_iterative
+from repro.baselines.genetic import GeneticConfig, GeneticSearch
 from repro.core import (
+    BitsetCutEvaluator,
     GainEvaluator,
     IOState,
     ISEGenConfig,
     PartitionState,
+    ReferenceCutEvaluator,
     bipartition,
 )
-from repro.dfg import is_convex_mask, mask_of, random_dfg
+from repro.dfg import count_io, is_convex_mask, mask_of, random_dfg
 from repro.experiments import run_ablation
 from repro.hwmodel import ISEConstraints
 from repro.workloads import regular_program
@@ -120,6 +123,81 @@ def test_micro_exhaustive_best_cut(benchmark):
     dfg = random_dfg(22, seed=21, live_out_fraction=0.3)
     cut = run_once(benchmark, best_single_cut, dfg, _MICRO_CONSTRAINTS)
     benchmark.extra_info["merit"] = 0 if cut is None else cut.merit
+
+
+# ----------------------------------------------------------------------
+# The bitset cut-evaluation layer vs the frozenset reference
+# ----------------------------------------------------------------------
+_BITSET_CUTS = [
+    frozenset(range(start, start + 14)) for start in range(0, 100, 10)
+]
+
+
+def test_micro_bitset_index_io_counts(benchmark):
+    """Mask-table I/O counting of 10 medium cuts (vs the count_io walk)."""
+    benchmark.group = "micro bitset layer"
+    index = _MICRO_DFG.bitset_index()
+    masks = [mask_of(cut) for cut in _BITSET_CUTS]
+
+    def count_all():
+        return [index.io_counts(mask) for mask in masks]
+
+    result = benchmark(count_all)
+    assert result == [count_io(_MICRO_DFG, cut) for cut in _BITSET_CUTS]
+
+
+def test_micro_bitset_index_build(benchmark):
+    """One-time mask-table precompute cost for a 120-node block."""
+    benchmark.group = "micro bitset layer"
+    from repro.dfg import BitsetIndex
+
+    benchmark(lambda: BitsetIndex(_MICRO_DFG))
+
+
+@pytest.mark.parametrize(
+    "implementation", ["bitset", "reference"], ids=["bitset", "reference"]
+)
+def test_micro_cut_evaluator_full_records(benchmark, implementation):
+    """Full merit+convexity+I/O records for 10 cuts, both implementations
+    (the bitset evaluator is queried on a fresh instance per round, so the
+    numbers measure computation, not its memo)."""
+    benchmark.group = "micro cut evaluator"
+    cls = BitsetCutEvaluator if implementation == "bitset" else ReferenceCutEvaluator
+
+    def evaluate_all():
+        evaluator = cls(_MICRO_DFG, _MICRO_CONSTRAINTS)
+        return [
+            (evaluator.merit(cut), evaluator.io_counts(cut), evaluator.is_convex(cut))
+            for cut in _BITSET_CUTS
+        ]
+
+    first = benchmark(evaluate_all)
+    other = (
+        ReferenceCutEvaluator if implementation == "bitset" else BitsetCutEvaluator
+    )(_MICRO_DFG, _MICRO_CONSTRAINTS)
+    assert first == [
+        (other.merit(cut), other.io_counts(cut), other.is_convex(cut))
+        for cut in _BITSET_CUTS
+    ]
+
+
+def test_micro_genetic_fitness_memoized(benchmark):
+    """One quick GA block search on a 120-node graph — the Figure-6 hot
+    path: memoized bitset fitness, deduped population."""
+    benchmark.group = "micro genetic fitness"
+    config = GeneticConfig(
+        population_size=20, generations=10, stagnation_limit=0, seed=7
+    )
+
+    def run_search():
+        search = GeneticSearch(_MICRO_DFG, _MICRO_CONSTRAINTS, config=config)
+        search.run()
+        return search.trace
+
+    trace = benchmark(run_search)
+    benchmark.extra_info["evaluations"] = trace.evaluations
+    benchmark.extra_info["memo_hits"] = trace.memo_hits
+    benchmark.extra_info["duplicates_skipped"] = trace.duplicates_skipped
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ import time
 from collections.abc import Collection, Iterator
 from dataclasses import dataclass, field
 
+from ..core import BitsetCutEvaluator
 from ..dfg import DataFlowGraph
 from ..errors import BaselineInfeasibleError
 from ..hwmodel import ISEConstraints, LatencyModel
@@ -86,8 +87,13 @@ class _SearchContext:
     ):
         dfg.prepare()
         self.dfg = dfg
+        self.index = dfg.bitset_index()
         self.constraints = constraints
         self.model = latency_model
+        #: The bitset evaluator specifically (not the protocol factory): the
+        #: search reads its static latency tables and un-memoized
+        #: ``merit_once``, which the reference implementation doesn't offer.
+        self.evaluator = BitsetCutEvaluator(dfg, constraints, latency_model)
         if allowed is None:
             allowed_set = {
                 i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
@@ -101,8 +107,8 @@ class _SearchContext:
         self.allowed_mask = 0
         for index in allowed_set:
             self.allowed_mask |= 1 << index
-        self.sw = [self.model.node_software_cycles(dfg, i) for i in range(dfg.num_nodes)]
-        self.hw = [self.model.node_hardware_delay(dfg, i) for i in range(dfg.num_nodes)]
+        self.sw = self.evaluator.software_cycles
+        self.hw = self.evaluator.hardware_delays
         #: Suffix sums of software latency over the search order — the
         #: admissible "everything else joins for free" merit bound.
         self.suffix_sw = [0] * (len(self.order) + 1)
@@ -112,11 +118,9 @@ class _SearchContext:
             )
 
     def merit_of(self, members: Collection[int]) -> int:
-        if not members:
-            return 0
-        software = self.model.software_latency(self.dfg, members)
-        hardware = self.model.hardware_latency(self.dfg, members)
-        return software - hardware
+        # merit_once: the search visits each feasible cut exactly once, so
+        # memoizing records here would only grow an unread dict.
+        return self.evaluator.merit_once(members)
 
 
 def _check_node_limit(context: _SearchContext, node_limit: int, algorithm: str) -> None:
@@ -200,6 +204,7 @@ def _enumerate(
     best_box: list[EnumeratedCut | None] | None,
 ) -> Iterator[EnumeratedCut]:
     dfg = context.dfg
+    index_tables = context.index
     constraints = context.constraints
     order = context.order
     num_positions = len(order)
@@ -270,8 +275,8 @@ def _enumerate(
 
         # ---- branch 1: include the node --------------------------------
         new_outputs = fixed_outputs
-        if dfg.is_effectively_live_out(node_index) or any(
-            not (included_mask >> succ & 1) for succ in dfg.succs(node_index)
+        if index_tables.live_out_mask & bit or (
+            index_tables.succ_mask[node_index] & ~included_mask
         ):
             new_outputs += 1
         new_inputs = fixed_inputs
@@ -282,20 +287,23 @@ def _enumerate(
                 counted_externals.add(external)
                 newly.append(external)
                 new_inputs += 1
-        for pred in set(dfg.preds(node_index)):
-            if not (context.allowed_mask >> pred & 1):
-                if pred not in counted_outside_producers:
-                    counted_outside_producers.add(pred)
-                    newly_outside.append(pred)
-                    new_inputs += 1
+        outside_preds = index_tables.pred_mask[node_index] & ~context.allowed_mask
+        while outside_preds:
+            low = outside_preds & -outside_preds
+            pred = low.bit_length() - 1
+            outside_preds ^= low
+            if pred not in counted_outside_producers:
+                counted_outside_producers.add(pred)
+                newly_outside.append(pred)
+                new_inputs += 1
         yield from recurse(
             position + 1,
             included_mask | bit,
             included_count + 1,
             new_inputs,
             new_outputs,
-            desc_union | dfg.descendants_mask(node_index),
-            anc_union | dfg.ancestors_mask(node_index),
+            desc_union | index_tables.desc[node_index],
+            anc_union | index_tables.anc[node_index],
             sw_sum + context.sw[node_index],
             decided_excluded_mask,
         )
@@ -308,7 +316,7 @@ def _enumerate(
         new_inputs = fixed_inputs
         # The excluded node's value becomes a cut input if any of its (already
         # decided) consumers is included.
-        if any(included_mask >> succ & 1 for succ in dfg.succs(node_index)):
+        if index_tables.succ_mask[node_index] & included_mask:
             new_inputs += 1
         yield from recurse(
             position + 1,

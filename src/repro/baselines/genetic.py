@@ -33,15 +33,14 @@ import time
 from collections.abc import Collection
 from dataclasses import dataclass
 
-from ..core import ApplicationISEDriver, BlockCutFinder, ISEGenerationResult
-from ..dfg import (
-    DataFlowGraph,
-    convex_closure,
-    count_io,
-    indices_of_mask,
-    is_convex_mask,
-    mask_of,
+from ..core import (
+    ApplicationISEDriver,
+    BlockCutFinder,
+    CutEvaluator,
+    ISEGenerationResult,
+    make_cut_evaluator,
 )
+from ..dfg import DataFlowGraph, indices_of_mask, mask_of, popcount
 from ..errors import ISEGenError
 from ..hwmodel import ISEConstraints, LatencyModel
 from ..program import Program
@@ -96,7 +95,14 @@ class GeneticTrace:
     """Diagnostics of one GA run (consumed by tests and benches)."""
 
     generations_run: int = 0
+    #: Fitness values computed from scratch — unique chromosomes only, since
+    #: duplicates are deduplicated before scoring and repeats across
+    #: generations are served from the per-mask memo.
     evaluations: int = 0
+    #: Fitness lookups answered from the per-chromosome memo.
+    memo_hits: int = 0
+    #: Chromosomes skipped by the per-generation population dedupe.
+    duplicates_skipped: int = 0
     best_fitness: float = float("-inf")
     best_feasible_merit: int = 0
     runtime_seconds: float = 0.0
@@ -113,6 +119,7 @@ class GeneticSearch:
         config: GeneticConfig | None = None,
         *,
         allowed: Collection[int] | None = None,
+        evaluator: CutEvaluator | None = None,
     ):
         dfg.prepare()
         self.dfg = dfg
@@ -128,64 +135,77 @@ class GeneticSearch:
                 i for i in allowed if not dfg.node_by_index(i).forbidden
             ]
         self.candidates = sorted(candidates)
+        self._candidate_mask = mask_of(self.candidates)
         self.rng = random.Random(self.config.seed)
         self.trace = GeneticTrace()
+        #: Merit / convexity / I/O oracle — the memoizing bitset evaluator by
+        #: default; the reference frozenset evaluator is injectable for the
+        #: equivalence tests.  Answers are bit-identical either way.
+        self.evaluator = evaluator or make_cut_evaluator(
+            dfg, constraints, self.model
+        )
+        self._fitness_memo: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Fitness
     # ------------------------------------------------------------------
-    def merit(self, members: Collection[int]) -> int:
-        if not members:
-            return 0
-        software = self.model.software_latency(self.dfg, members)
-        hardware = self.model.hardware_latency(self.dfg, members)
-        return software - hardware
+    def merit(self, members: int | Collection[int]) -> int:
+        return self.evaluator.merit(members)
 
-    def fitness(self, members: frozenset[int]) -> float:
-        """Penalty fitness: merit minus weighted constraint violations."""
-        self.trace.evaluations += 1
-        if not members:
+    def fitness(self, members: int | Collection[int]) -> float:
+        """Penalty fitness: merit minus weighted constraint violations.
+
+        Memoized per chromosome mask, so re-scoring a chromosome already
+        seen — in this or any earlier generation — costs one dictionary
+        probe and counts as a :attr:`GeneticTrace.memo_hits` instead of an
+        evaluation.
+        """
+        mask = members if isinstance(members, int) else mask_of(members)
+        if not mask:
             return 0.0
-        merit = self.merit(members)
-        num_in, num_out = count_io(self.dfg, members)
-        excess = max(0, num_in - self.constraints.max_inputs) + max(
-            0, num_out - self.constraints.max_outputs
-        )
-        mask = mask_of(members)
-        if is_convex_mask(self.dfg, mask):
-            violation_count = 0
-        else:
-            closure = convex_closure(self.dfg, members)
-            violation_count = len(closure) - len(members)
-        return (
+        cached = self._fitness_memo.get(mask)
+        if cached is not None:
+            self.trace.memo_hits += 1
+            return cached
+        self.trace.evaluations += 1
+        evaluator = self.evaluator
+        merit = evaluator.merit(mask)
+        excess = evaluator.io_violation(mask)
+        violation_count = evaluator.convexity_violation_count(mask)
+        value = (
             float(merit)
             - self.config.io_penalty * excess
             - self.config.convexity_penalty * violation_count
         )
+        self._fitness_memo[mask] = value
+        return value
 
-    def is_feasible(self, members: frozenset[int]) -> bool:
-        if not members:
+    def is_feasible(self, members: int | Collection[int]) -> bool:
+        mask = members if isinstance(members, int) else mask_of(members)
+        if not mask:
             return False
-        if len(members) < self.constraints.min_cut_size:
+        if popcount(mask) < self.constraints.min_cut_size:
             return False
-        num_in, num_out = count_io(self.dfg, members)
-        if num_in > self.constraints.max_inputs or num_out > self.constraints.max_outputs:
-            return False
-        return is_convex_mask(self.dfg, mask_of(members))
+        return self.evaluator.is_legal(mask)
 
     # ------------------------------------------------------------------
-    # Population machinery
+    # Population machinery (chromosomes are int bitset masks internally;
+    # every operator draws from the RNG exactly as the frozenset
+    # implementation did, so seeded runs are bit-identical)
     # ------------------------------------------------------------------
-    def _random_chromosome(self) -> frozenset[int]:
+    def _random_chromosome(self) -> int:
         density = self.rng.uniform(0.05, 0.5)
-        members = {i for i in self.candidates if self.rng.random() < density}
-        return frozenset(members)
+        mask = 0
+        for i in self.candidates:
+            if self.rng.random() < density:
+                mask |= 1 << i
+        return mask
 
-    def _seeded_chromosome(self) -> frozenset[int]:
+    def _seeded_chromosome(self) -> int:
         """A connected seed grown from a random node — mirrors the DAC'04
         practice of seeding the population with plausible clusters."""
         if not self.candidates:
-            return frozenset()
+            return 0
         start = self.rng.choice(self.candidates)
         members = {start}
         frontier = [start]
@@ -200,10 +220,10 @@ class GeneticSearch:
             for neighbor in neighbors[:2]:
                 members.add(neighbor)
                 frontier.append(neighbor)
-        return frozenset(members)
+        return mask_of(members)
 
-    def _tournament(self, scored: list[tuple[float, frozenset[int]]]) -> frozenset[int]:
-        best: tuple[float, frozenset[int]] | None = None
+    def _tournament(self, scored: list[tuple[float, int]]) -> int:
+        best: tuple[float, int] | None = None
         for _ in range(self.config.tournament_size):
             contender = self.rng.choice(scored)
             if best is None or contender[0] > best[0]:
@@ -211,39 +231,32 @@ class GeneticSearch:
         assert best is not None
         return best[1]
 
-    def _crossover(
-        self, left: frozenset[int], right: frozenset[int]
-    ) -> frozenset[int]:
+    def _crossover(self, left: int, right: int) -> int:
         if self.rng.random() > self.config.crossover_rate:
             return left
-        child: set[int] = set()
+        child = 0
         for index in self.candidates:
             source = left if self.rng.random() < 0.5 else right
-            if index in source:
-                child.add(index)
-        return frozenset(child)
+            if source >> index & 1:
+                child |= 1 << index
+        return child
 
-    def _mutate(self, chromosome: frozenset[int]) -> frozenset[int]:
-        members = set(chromosome)
+    def _mutate(self, chromosome: int) -> int:
         for index in self.candidates:
             if self.rng.random() < self.config.mutation_rate:
-                if index in members:
-                    members.discard(index)
-                else:
-                    members.add(index)
-        return frozenset(members)
+                chromosome ^= 1 << index
+        return chromosome
 
-    def _maybe_repair(self, chromosome: frozenset[int]) -> frozenset[int]:
+    def _maybe_repair(self, chromosome: int) -> int:
         if not chromosome:
             return chromosome
         if self.is_feasible(chromosome):
             return chromosome
         if self.rng.random() >= self.config.repair_rate:
             return chromosome
-        repaired = frozenset(convex_closure(self.dfg, chromosome))
+        repaired = mask_of(self.evaluator.convex_closure(chromosome))
         # The closure may absorb forbidden or not-allowed nodes; drop them.
-        allowed = set(self.candidates)
-        return frozenset(i for i in repaired if i in allowed)
+        return repaired & self._candidate_mask
 
     # ------------------------------------------------------------------
     # Main loop
@@ -253,17 +266,32 @@ class GeneticSearch:
         started = time.perf_counter()
         if not self.candidates:
             return None
-        population: list[frozenset[int]] = []
+        population: list[int] = []
         for position in range(self.config.population_size):
             if position % 2 == 0:
                 population.append(self._seeded_chromosome())
             else:
                 population.append(self._random_chromosome())
-        best_feasible: frozenset[int] | None = None
+        best_feasible: int | None = None
         best_feasible_merit = 0
         stagnant = 0
         for generation in range(self.config.generations):
-            scored = [(self.fitness(individual), individual) for individual in population]
+            # Dedupe before scoring: a converging population re-submits the
+            # same chromosomes many times per generation; each unique one is
+            # evaluated once and the copies reuse its score.  The scored
+            # list still carries every population slot (selection pressure
+            # is unchanged), and the stable sort keeps the original
+            # population order among equal-fitness entries — results are
+            # bit-identical to scoring every slot.
+            unique_scores: dict[int, float] = {}
+            for individual in population:
+                if individual not in unique_scores:
+                    unique_scores[individual] = self.fitness(individual)
+                else:
+                    self.trace.duplicates_skipped += 1
+            scored = [
+                (unique_scores[individual], individual) for individual in population
+            ]
             scored.sort(key=lambda item: -item[0])
             self.trace.best_fitness = max(self.trace.best_fitness, scored[0][0])
             improved = False
@@ -282,7 +310,7 @@ class GeneticSearch:
                 and stagnant >= self.config.stagnation_limit
             ):
                 break
-            next_population: list[frozenset[int]] = [
+            next_population: list[int] = [
                 individual for _score, individual in scored[: self.config.elite_count]
             ]
             while len(next_population) < self.config.population_size:
@@ -295,7 +323,9 @@ class GeneticSearch:
             population = next_population
         self.trace.best_feasible_merit = best_feasible_merit
         self.trace.runtime_seconds = time.perf_counter() - started
-        return best_feasible
+        if best_feasible is None:
+            return None
+        return frozenset(indices_of_mask(best_feasible))
 
 
 class GeneticCutFinder(BlockCutFinder):
@@ -303,8 +333,17 @@ class GeneticCutFinder(BlockCutFinder):
 
     name = "Genetic"
 
-    def __init__(self, config: GeneticConfig | None = None):
+    def __init__(
+        self,
+        config: GeneticConfig | None = None,
+        *,
+        reference_evaluator: bool = False,
+    ):
         self.config = config or GeneticConfig()
+        #: Use the from-scratch frozenset evaluator instead of the memoizing
+        #: bitset one (A/B benchmarking and equivalence tests; cuts are
+        #: identical either way).
+        self.reference_evaluator = reference_evaluator
         self.last_trace: GeneticTrace | None = None
         self.total_evaluations = 0
 
@@ -315,12 +354,18 @@ class GeneticCutFinder(BlockCutFinder):
         constraints: ISEConstraints,
         latency_model: LatencyModel,
     ) -> frozenset[int] | None:
+        evaluator = None
+        if self.reference_evaluator:
+            evaluator = make_cut_evaluator(
+                dfg, constraints, latency_model, reference=True
+            )
         search = GeneticSearch(
             dfg,
             constraints,
             latency_model,
             self.config,
             allowed=allowed,
+            evaluator=evaluator,
         )
         members = search.run()
         self.last_trace = search.trace
@@ -340,11 +385,15 @@ class GeneticGenerator:
         constraints: ISEConstraints | None = None,
         config: GeneticConfig | None = None,
         latency_model: LatencyModel | None = None,
+        *,
+        reference_evaluator: bool = False,
     ):
         self.constraints = constraints or ISEConstraints.paper_default()
         self.config = config or GeneticConfig()
         self.latency_model = latency_model or LatencyModel()
-        self.finder = GeneticCutFinder(self.config)
+        self.finder = GeneticCutFinder(
+            self.config, reference_evaluator=reference_evaluator
+        )
         self._driver = ApplicationISEDriver(
             self.finder, self.constraints, self.latency_model
         )

@@ -20,21 +20,16 @@ from __future__ import annotations
 
 from collections.abc import Collection
 
-from ..core import ApplicationISEDriver, BlockCutFinder, ISEGenerationResult
-from ..dfg import DataFlowGraph, count_io, is_convex_mask, mask_of
+from ..core import (
+    ApplicationISEDriver,
+    BlockCutFinder,
+    CutEvaluator,
+    ISEGenerationResult,
+    make_cut_evaluator,
+)
+from ..dfg import DataFlowGraph, indices_of_mask, mask_of
 from ..hwmodel import ISEConstraints, LatencyModel
 from ..program import Program
-
-
-def _feasible(
-    dfg: DataFlowGraph,
-    members: set[int],
-    constraints: ISEConstraints,
-) -> bool:
-    num_in, num_out = count_io(dfg, members)
-    if num_in > constraints.max_inputs or num_out > constraints.max_outputs:
-        return False
-    return is_convex_mask(dfg, mask_of(members))
 
 
 def grow_cluster(
@@ -43,32 +38,40 @@ def grow_cluster(
     allowed: Collection[int],
     constraints: ISEConstraints,
     latency_model: LatencyModel,
+    *,
+    evaluator: CutEvaluator | None = None,
 ) -> tuple[frozenset[int], int]:
-    """Grow a connected, feasible cluster from *seed*; return (members, merit)."""
-    allowed_set = set(allowed)
-    members: set[int] = {seed}
-    if not _feasible(dfg, members, constraints):
+    """Grow a connected, feasible cluster from *seed*; return (members, merit).
+
+    All merit / feasibility questions go through a :class:`CutEvaluator`
+    (the memoizing bitset one unless injected), so trial cuts revisited
+    while growing from different seeds are scored once.
+    """
+    evaluator = evaluator or make_cut_evaluator(dfg, constraints, latency_model)
+    index = dfg.bitset_index()
+    allowed_mask = mask_of(allowed)
+    members_mask = 1 << seed
+    if not evaluator.is_legal(members_mask):
         return frozenset(), 0
 
-    def merit(current: Collection[int]) -> int:
-        software = latency_model.software_latency(dfg, current)
-        hardware = latency_model.hardware_latency(dfg, current)
-        return software - hardware
-
-    best_merit = merit(members)
+    best_merit = evaluator.merit(members_mask)
     while True:
-        frontier: set[int] = set()
-        for index in members:
-            frontier.update(
-                n for n in dfg.neighbors(index) if n in allowed_set and n not in members
-            )
+        frontier_mask = 0
+        remaining = members_mask
+        while remaining:
+            low = remaining & -remaining
+            frontier_mask |= index.neighbor_mask[low.bit_length() - 1]
+            remaining ^= low
+        frontier_mask &= allowed_mask & ~members_mask
         best_addition: int | None = None
         best_addition_merit = best_merit
-        for candidate in sorted(frontier):
-            trial = members | {candidate}
-            if not _feasible(dfg, trial, constraints):
+        # Ascending bit order == the sorted(frontier) order of the original
+        # set-walking implementation, so tie-breaks are unchanged.
+        for candidate in indices_of_mask(frontier_mask):
+            trial = members_mask | 1 << candidate
+            if not evaluator.is_legal(trial):
                 continue
-            trial_merit = merit(trial)
+            trial_merit = evaluator.merit(trial)
             if trial_merit > best_addition_merit or (
                 trial_merit == best_addition_merit and best_addition is None
             ):
@@ -76,9 +79,9 @@ def grow_cluster(
                 best_addition_merit = trial_merit
         if best_addition is None:
             break
-        members.add(best_addition)
+        members_mask |= 1 << best_addition
         best_merit = best_addition_merit
-    return frozenset(members), best_merit
+    return frozenset(indices_of_mask(members_mask)), best_merit
 
 
 def best_connected_cluster(
@@ -87,6 +90,7 @@ def best_connected_cluster(
     *,
     latency_model: LatencyModel | None = None,
     allowed: Collection[int] | None = None,
+    evaluator: CutEvaluator | None = None,
 ) -> tuple[frozenset[int], int]:
     """Best greedy cluster over all seeds; returns (members, merit)."""
     dfg.prepare()
@@ -95,10 +99,15 @@ def best_connected_cluster(
         allowed = [
             i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
         ]
+    # One evaluator for the whole sweep: clusters grown from different seeds
+    # revisit the same trial cuts, which now hit the per-mask memo.
+    evaluator = evaluator or make_cut_evaluator(dfg, constraints, model)
     best_members: frozenset[int] = frozenset()
     best_merit = 0
     for seed in sorted(allowed):
-        members, merit = grow_cluster(dfg, seed, allowed, constraints, model)
+        members, merit = grow_cluster(
+            dfg, seed, allowed, constraints, model, evaluator=evaluator
+        )
         if merit > best_merit or (
             merit == best_merit and len(members) < len(best_members)
         ):

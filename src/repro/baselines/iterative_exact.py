@@ -10,7 +10,11 @@ nodes) but still exponential in the worst case.
 
 The baseline is exposed both as a :class:`~repro.core.BlockCutFinder`
 strategy (so it plugs into the shared application-level driver) and as the
-:func:`run_iterative` convenience entry point the experiments use.
+:func:`run_iterative` convenience entry point the experiments use.  The
+underlying enumeration runs on the shared bitset cut-evaluation layer
+(:class:`~repro.core.CutEvaluator` / :class:`~repro.dfg.BitsetIndex`), so
+its per-node cost tables and final merits come from the same oracle as
+every other algorithm's.
 """
 
 from __future__ import annotations

@@ -9,10 +9,11 @@
   generated cuts;
 * ``isegen figure1|figure4|figure6|figure7|ablation|scaling`` — regenerate
   the corresponding experiment and optionally save the row tables;
-* ``isegen sweep submit|worker|status|collect|run`` — the distributed sweep
-  subsystem: content-addressed result store + shared-directory work queue,
-  so figure sweeps shard over multiple worker processes/machines and resume
-  across runs (see :mod:`repro.sweep`);
+* ``isegen sweep submit|worker|status|gc|collect|run`` — the distributed
+  sweep subsystem: content-addressed result store + shared-directory work
+  queue, so figure sweeps shard over multiple worker processes/machines and
+  resume across runs, with ``gc`` reclaiming records stranded by
+  code-version salt bumps (see :mod:`repro.sweep`);
 * ``isegen bench record|compare`` — benchmark regression tracking over
   ``pytest-benchmark --benchmark-json`` artifacts.
 """
@@ -221,15 +222,29 @@ def _cmd_sweep_retry(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
-    from .sweep import status
+    from .sweep import status, store_report
 
     directory = _sweep_directory(args)
     names = [args.sweep] if args.sweep else directory.manifests()
     if not names:
         print(f"no sweeps submitted under {args.dir}")
-        return 0
-    for name in names:
-        print(status(directory, name).summary())
+    else:
+        for name in names:
+            print(status(directory, name).summary())
+    print(store_report(directory))
+    return 0
+
+
+def _cmd_sweep_gc(args: argparse.Namespace) -> int:
+    from .sweep import gc
+
+    report = gc(
+        _sweep_directory(args),
+        salt=args.salt,
+        include_unsalted=args.include_unsalted,
+        dry_run=args.dry_run,
+    )
+    print(report.summary())
     return 0
 
 
@@ -449,6 +464,29 @@ def _add_sweep_parsers(subparsers) -> None:
     sub.add_argument("sweep", nargs="?", help="sweep name (default: all)")
     add_dir(sub)
     sub.set_defaults(handler=_cmd_sweep_status)
+
+    sub = commands.add_parser(
+        "gc",
+        help="drop result-store records whose code-version salt is stale",
+    )
+    add_dir(sub)
+    sub.add_argument(
+        "--salt",
+        help="treat this salt as current instead of the built-in "
+        "CODE_VERSION (+ ISEGEN_SWEEP_SALT)",
+    )
+    sub.add_argument(
+        "--include-unsalted",
+        action="store_true",
+        help="also drop records written before the salt was recorded in "
+        "their metadata",
+    )
+    sub.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be reclaimed without deleting anything",
+    )
+    sub.set_defaults(handler=_cmd_sweep_gc)
 
     sub = commands.add_parser(
         "collect",

@@ -1,10 +1,16 @@
 """ISEGEN core: the Kernighan-Lin based ISE identification engine."""
 
 from .config import GainWeights, ISEGenConfig, canonical_state, fingerprint
+from .cut_evaluator import (
+    BitsetCutEvaluator,
+    CutEvaluator,
+    ReferenceCutEvaluator,
+    make_cut_evaluator,
+)
 from .iostate import IOState
 from .state import PartitionState
 from .gain import GainBreakdown, GainEvaluator
-from .gain_cache import CachedGainEvaluator
+from .gain_cache import CachedGainEvaluator, ShadowCutCache
 from .kernighan_lin import BipartitionResult, PassTrace, bipartition
 from .isegen import ISEGen, KernighanLinCutFinder, generate_block_cuts
 from .application import ApplicationISEDriver, BlockCutFinder
@@ -15,11 +21,16 @@ __all__ = [
     "ISEGenConfig",
     "canonical_state",
     "fingerprint",
+    "CutEvaluator",
+    "ReferenceCutEvaluator",
+    "BitsetCutEvaluator",
+    "make_cut_evaluator",
     "IOState",
     "PartitionState",
     "GainBreakdown",
     "GainEvaluator",
     "CachedGainEvaluator",
+    "ShadowCutCache",
     "BipartitionResult",
     "PassTrace",
     "bipartition",

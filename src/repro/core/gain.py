@@ -43,7 +43,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dfg import downward_barrier_distances, upward_barrier_distances
 from .config import GainWeights
 from .state import PartitionState
 
@@ -81,9 +80,9 @@ class GainEvaluator:
         self.state = state
         self.weights = weights or GainWeights()
         self.exact_merit = exact_merit
-        dfg = state.dfg
-        self._dist_up = upward_barrier_distances(dfg)
-        self._dist_down = downward_barrier_distances(dfg)
+        index = state.dfg.bitset_index()
+        self._dist_up = index.dist_up
+        self._dist_down = index.dist_down
         #: Gain evaluations that computed (part of) a breakdown from scratch.
         self.full_evals = 0
         #: Gain evaluations served entirely from a cache (subclasses only).
@@ -92,6 +91,13 @@ class GainEvaluator:
     def note_commit(self, index: int) -> None:
         """Hook called by the K-L loop after a committed toggle of *index*;
         the uncached evaluator has no state to invalidate."""
+
+    def cached_toggle_entries(self, index: int) -> tuple[bool | None, tuple[int, int] | None]:
+        """``(convex_if_toggled, (dI, dO))`` for *index* as far as this
+        evaluator has them cached for the current state — ``(None, None)``
+        for the uncached evaluator.  The K-L loop captures these right
+        before committing a toggle so the shadow-cut cache can reuse them."""
+        return None, None
 
     # ------------------------------------------------------------------
     # Individual components

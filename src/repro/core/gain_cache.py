@@ -48,27 +48,6 @@ from .gain import GainBreakdown, GainEvaluator
 from .state import PartitionState
 
 
-def _io_affected_masks(dfg) -> list[int]:
-    """``mask[u]`` = nodes whose I/O addendum a toggle of ``u`` can change:
-    ``u`` itself, parents, children, and siblings through a shared producer
-    value or a shared external input."""
-    n = dfg.num_nodes
-    ext_consumers = {
-        name: mask_of(dfg.consumers_of_external(name))
-        for name in dfg.external_inputs
-    }
-    masks = []
-    for u in range(n):
-        mask = 1 << u
-        mask |= mask_of(dfg.preds(u)) | mask_of(dfg.succs(u))
-        for p in dfg.preds(u):
-            mask |= mask_of(dfg.succs(p))
-        for name in dfg.external_operands(u):
-            mask |= ext_consumers[name]
-        masks.append(mask)
-    return masks
-
-
 class CachedGainEvaluator(GainEvaluator):
     """Drop-in :class:`GainEvaluator` with per-node memoization.
 
@@ -82,12 +61,14 @@ class CachedGainEvaluator(GainEvaluator):
         dfg = state.dfg
         model = state.latency_model
         n = dfg.num_nodes
-        # Static per-node data.
+        index = dfg.bitset_index()
+        # Static per-node data (graph-shaped tables come from the shared
+        # BitsetIndex; only the latency-model-dependent ones are local).
         self._sw_cycles = [model.node_software_cycles(dfg, i) for i in range(n)]
         self._hw_delays = [model.node_hardware_delay(dfg, i) for i in range(n)]
         self._proximity = [self.barrier_proximity(i) for i in range(n)]
-        self._io_affected = _io_affected_masks(dfg)
-        self._succ_masks = [mask_of(dfg.succs(i)) for i in range(n)]
+        self._io_affected = index.io_affected
+        self._succ_masks = index.succ_mask
         # Cached per-node entries (None = unknown).
         self._dio: list[tuple[int, int] | None] = [None] * n
         self._nbr: list[int | None] = [None] * n
@@ -148,9 +129,10 @@ class CachedGainEvaluator(GainEvaluator):
             self._cvx = [None] * dfg.num_nodes
             self._seen_violation = state.violation_mask
         else:
+            dfg_index = dfg.bitset_index()
             self._clear(
                 self._cvx,
-                bit | dfg.ancestors_mask(index) | dfg.descendants_mask(index),
+                bit | dfg_index.anc[index] | dfg_index.desc[index],
             )
         stale = self._succ_masks[index]
         new_path_end = state._path_end
@@ -163,6 +145,16 @@ class CachedGainEvaluator(GainEvaluator):
         self._clear(self._incoming, stale)
         self._seen_path_end = dict(new_path_end)
         self._seen_toggles = state.toggle_count
+
+    def cached_toggle_entries(
+        self, index: int
+    ) -> tuple[bool | None, tuple[int, int] | None]:
+        """Currently-valid cached ``(convex_if_toggled, (dI, dO))`` of
+        *index* (either part ``None`` when not cached).  Only meaningful
+        while the cache is in sync with its state."""
+        if self.state.toggle_count != self._seen_toggles:
+            return None, None
+        return self._cvx[index], self._dio[index]
 
     # ------------------------------------------------------------------
     # Cached evaluation
@@ -255,3 +247,156 @@ class CachedGainEvaluator(GainEvaluator):
         cycles = math.ceil(delay * model.cycles_per_mac - 1e-9)
         hw_cycles = max(model.min_hardware_cycles, cycles)
         return float(new_sw - hw_cycles), missed
+
+
+class ShadowCutCache:
+    """Cached legality oracle for the K-L shadow cut ``BC``.
+
+    ``bipartition`` projects every committed toggle of the working cut ``C``
+    onto the legal shadow cut ``BC`` — but only when the toggle keeps ``BC``
+    convex and within the I/O budget.  Historically that check
+    (``_shadow_can_toggle``) re-derived both answers per committed toggle:
+    an I/O probe that toggles the shadow's ``IOState`` forth and back (two
+    O(degree) counter sweeps) and a convexity query against the shadow's
+    closure unions.
+
+    This cache answers the same query from memoized per-node entries:
+
+    * ``(dI, dO)`` addendums, invalidated through the shared
+      ``BitsetIndex.io_affected`` neighbourhood masks on every shadow
+      commit — the same Figure-3 rule the working cut's
+      :class:`CachedGainEvaluator` uses;
+    * ``convex_if_toggled`` verdicts, invalidated through ancestor /
+      descendant masks (the shadow stays convex by construction, so the
+      witness-set fast-path complication of the working cache collapses;
+      the rare non-convex intermediate during a fallback reset flushes).
+
+    Two extra tricks keep the steady state free of fresh probes:
+
+    * **Transfer from the working cache** — when ``C`` (before the commit)
+      and ``BC`` agree on the whole cut, or at least on the toggled node's
+      I/O neighbourhood, the entries the working evaluator just computed
+      for the gain sweep are byte-for-byte the shadow's answers, so they
+      are copied instead of recomputed.
+    * **Pass-persistent shadow** — instead of rebuilding ``BC`` from
+      scratch at every pass, the K-L loop resets it to the pass seed via
+      :meth:`reset_to`, which walks a convexity-preserving toggle order
+      (:meth:`BitsetIndex.convex_reset_order`) so only the entries around
+      the actually-changed nodes are invalidated and every other memo
+      survives into the next pass.
+
+    The verdicts are bit-identical to ``_shadow_can_toggle``'s; only the
+    amount of recomputation changes.  ``cached_queries`` / ``fresh_probes``
+    feed the :class:`~repro.core.kernighan_lin.PassTrace` counters.
+    """
+
+    def __init__(self, shadow: PartitionState):
+        self.shadow = shadow
+        self.index = shadow.dfg.bitset_index()
+        n = shadow.dfg.num_nodes
+        self._dio: list[tuple[int, int] | None] = [None] * n
+        self._cvx: list[bool | None] = [None] * n
+        self._seen_violation = shadow.violation_mask
+        #: Queries answered entirely from memoized / transferred entries.
+        self.cached_queries = 0
+        #: Queries that needed a direct probe against the shadow state.
+        self.fresh_probes = 0
+
+    def begin_pass(self) -> None:
+        """Reset the per-pass counters (memoized entries survive)."""
+        self.cached_queries = 0
+        self.fresh_probes = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def can_toggle(
+        self,
+        index: int,
+        working_mask_before: int,
+        pre_entries: tuple[bool | None, tuple[int, int] | None] = (None, None),
+    ) -> bool:
+        """Would toggling *index* keep the shadow cut legal?
+
+        *working_mask_before* is the working cut ``C`` as it was when the
+        gain of *index* was evaluated (i.e. before the commit);
+        *pre_entries* are the working evaluator's cached
+        ``(convex, (dI, dO))`` for *index* at that same instant.
+        """
+        shadow = self.shadow
+        diff = working_mask_before ^ shadow.cut_mask
+        pre_cvx, pre_dio = pre_entries
+        convex = self._cvx[index]
+        if convex is None:
+            if diff == 0 and pre_cvx is not None:
+                convex = pre_cvx
+            else:
+                # O(words) derivation from the shadow's incrementally
+                # maintained closure unions — never walks the graph, so it
+                # does not count as a from-scratch probe.
+                convex = shadow.convex_if_toggled(index)
+            self._cvx[index] = convex
+        if not convex:
+            self.cached_queries += 1
+            return False
+        dio = self._dio[index]
+        if dio is None:
+            if pre_dio is not None and not (self.index.io_affected[index] & diff):
+                dio = pre_dio
+                self.cached_queries += 1
+            else:
+                # The one remaining from-scratch path: an O(degree) counter
+                # probe of the shadow's IOState.
+                dio = shadow.io.addendum(index)
+                self.fresh_probes += 1
+            self._dio[index] = dio
+        else:
+            self.cached_queries += 1
+        new_in = shadow.io.num_inputs + dio[0]
+        new_out = shadow.io.num_outputs + dio[1]
+        constraints = shadow.constraints
+        return (
+            new_in <= constraints.max_inputs and new_out <= constraints.max_outputs
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, index: int) -> None:
+        """Commit a toggle to the shadow cut, invalidating affected entries."""
+        self.shadow.toggle(index)
+        self.note_commit(index)
+
+    def note_commit(self, index: int) -> None:
+        shadow = self.shadow
+        CachedGainEvaluator._clear(self._dio, self.index.io_affected[index])
+        if shadow.violation_mask != self._seen_violation:
+            # Witness set moved (only possible during a non-convex reset
+            # fallback): every convexity verdict may flip.
+            self._cvx = [None] * shadow.dfg.num_nodes
+            self._seen_violation = shadow.violation_mask
+        else:
+            CachedGainEvaluator._clear(
+                self._cvx,
+                1 << index | self.index.anc[index] | self.index.desc[index],
+            )
+
+    def reset_to(self, members) -> None:
+        """Re-seed the shadow cut for a new pass, preserving the memo.
+
+        Walks a convexity-preserving toggle order from the current shadow
+        cut to *members* (both are legal cuts, so one always exists) and
+        invalidates only along the way.  Falls back to an arbitrary order —
+        and hence a convexity-memo flush — if the search fails.
+        """
+        target = mask_of(members)
+        current = self.shadow.cut_mask
+        if target == current:
+            return
+        order = self.index.convex_reset_order(current, target)
+        if order is None:  # pragma: no cover - defensive fallback
+            from ..dfg import indices_of_mask
+
+            order = indices_of_mask(current ^ target)
+        for index in order:
+            self.apply(index)

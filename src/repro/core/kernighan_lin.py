@@ -27,7 +27,10 @@ This double-cut reading of the pseudocode is reconstructed from the paper's
 text (the printed algorithm is partially garbled in the archived PDF); it is
 the interpretation under which the reported AES behaviour — large, highly
 reusable cuts found in a 696-node block — is reproducible.  DESIGN.md §4
-documents the reconstruction.
+documents the reconstruction and the shadow-cut cache that serves the
+``BC`` legality projections (with the gain cache on, those queries are
+answered from memoized / gain-cache-transferred entries instead of fresh
+convexity and I/O probes; see :class:`~repro.core.gain_cache.ShadowCutCache`).
 
 The function operates on a restricted node set (``allowed``) so the
 multi-cut drivers can exclude nodes already claimed by previously generated
@@ -44,7 +47,7 @@ from ..dfg import Cut, DataFlowGraph
 from ..hwmodel import ISEConstraints, LatencyModel
 from .config import ISEGenConfig
 from .gain import GainEvaluator
-from .gain_cache import CachedGainEvaluator
+from .gain_cache import CachedGainEvaluator, ShadowCutCache
 from .state import PartitionState
 
 
@@ -61,6 +64,17 @@ class PassTrace:
     gain_evals: int = 0
     #: Candidate gains served entirely from the :class:`GainCache`.
     gain_cache_hits: int = 0
+    #: Shadow-cut legality queries served without any graph walk: memoized
+    #: or gain-cache-transferred I/O addendums plus O(words) convexity reads
+    #: of the shadow's maintained closure unions.
+    shadow_cache_hits: int = 0
+    #: Shadow-cut legality queries that ran a from-scratch O(degree)
+    #: I/O-addendum probe against the shadow state (with the gain cache off
+    #: every query is such a probe).
+    shadow_fresh_probes: int = 0
+    #: Committed working-cut toggles of this pass, in order (the trajectory
+    #: the bit-identicality tests pin).
+    toggle_order: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -155,13 +169,13 @@ def bipartition(
     persistent_state = new_state(current_members)
     use_cache = config.use_gain_cache and not config.exact_candidate_merit
     cached_evaluator: CachedGainEvaluator | None = None
+    shadow_cache: ShadowCutCache | None = None
     for pass_index in range(config.max_passes):
         if config.reset_working_cut:
             state = new_state(current_members)
         else:
             state = persistent_state
         # BC — the legal shadow cut; starts each pass at the current best.
-        shadow = new_state(current_members)
         if use_cache:
             # One cache per bipartition: the static per-DFG tables are
             # reused across passes, only the dynamic entries reset.
@@ -170,7 +184,18 @@ def bipartition(
             else:
                 cached_evaluator.rebind(state)
             evaluator: GainEvaluator = cached_evaluator
+            # The shadow (and its cache) persists across passes too: it is
+            # re-seeded by toggling along a convexity-preserving path, so
+            # cached legality entries away from the re-seeded nodes survive.
+            if shadow_cache is None:
+                shadow = new_state(current_members)
+                shadow_cache = ShadowCutCache(shadow)
+            else:
+                shadow = shadow_cache.shadow
+                shadow_cache.reset_to(current_members)
+            shadow_cache.begin_pass()
         else:
+            shadow = new_state(current_members)
             evaluator = GainEvaluator(
                 state, config.weights, exact_merit=config.exact_candidate_merit
             )
@@ -186,10 +211,15 @@ def bipartition(
             if picked is None:  # pragma: no cover - unmarked is non-empty
                 break
             best_node, _gain = picked
+            # Captured before the commit: the shadow projection below reuses
+            # the entries the gain sweep just computed for this node.
+            working_mask_before = state.cut_mask
+            pre_entries = evaluator.cached_toggle_entries(best_node)
             state.toggle(best_node)
             evaluator.note_commit(best_node)
             unmarked.remove(best_node)
             trace.toggles += 1
+            trace.toggle_order.append(best_node)
             improved_here = False
             # The free cut C itself occasionally passes through legal states
             # (classic K-L prefix selection); record the best of them.
@@ -199,15 +229,24 @@ def bipartition(
                 improved_here = True
             # Project the committed toggle onto the legal shadow cut BC.
             desired_in_cut = state.in_cut(best_node)
-            if shadow.in_cut(best_node) != desired_in_cut and _shadow_can_toggle(
-                shadow, best_node
-            ):
-                shadow.toggle(best_node)
-                trace.shadow_updates += 1
-                if shadow.cut_size > 0 and shadow.merit > best_merit:
-                    best_merit = shadow.merit
-                    best_members = shadow.snapshot()
-                    improved_here = True
+            if shadow.in_cut(best_node) != desired_in_cut:
+                if shadow_cache is not None:
+                    shadow_ok = shadow_cache.can_toggle(
+                        best_node, working_mask_before, pre_entries
+                    )
+                else:
+                    shadow_ok = _shadow_can_toggle(shadow, best_node)
+                    trace.shadow_fresh_probes += 1
+                if shadow_ok:
+                    if shadow_cache is not None:
+                        shadow_cache.apply(best_node)
+                    else:
+                        shadow.toggle(best_node)
+                    trace.shadow_updates += 1
+                    if shadow.cut_size > 0 and shadow.merit > best_merit:
+                        best_merit = shadow.merit
+                        best_members = shadow.snapshot()
+                        improved_here = True
             if improved_here:
                 stalled = 0
             else:
@@ -218,6 +257,9 @@ def bipartition(
         trace.improved = best_merit > current_merit
         trace.gain_evals = evaluator.full_evals
         trace.gain_cache_hits = evaluator.cache_hits
+        if shadow_cache is not None:
+            trace.shadow_cache_hits = shadow_cache.cached_queries
+            trace.shadow_fresh_probes = shadow_cache.fresh_probes
         passes.append(trace)
         if trace.improved:
             current_members = best_members

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from collections.abc import Collection, Iterable
 
-from ..dfg import DataFlowGraph, mask_of
+from ..dfg import DataFlowGraph, mask_of, popcount
 from ..errors import ISEGenError
 from ..hwmodel import ISEConstraints, LatencyModel
 from .iostate import IOState
@@ -42,6 +42,7 @@ class PartitionState:
     ):
         dfg.prepare()
         self.dfg = dfg
+        self.index = dfg.bitset_index()
         self.constraints = constraints
         self.latency_model = latency_model or LatencyModel()
         if allowed is None:
@@ -109,8 +110,8 @@ class PartitionState:
         if entering:
             self.cut_mask |= 1 << index
             self._sw_latency += sw
-            self._desc_union |= self.dfg.descendants_mask(index)
-            self._anc_union |= self.dfg.ancestors_mask(index)
+            self._desc_union |= self.index.desc[index]
+            self._anc_union |= self.index.anc[index]
         else:
             self.cut_mask &= ~(1 << index)
             self._sw_latency -= sw
@@ -121,18 +122,7 @@ class PartitionState:
         self._recompute_paths_and_components()
 
     def _recompute_closure_unions(self) -> None:
-        desc = 0
-        anc = 0
-        mask = self.cut_mask
-        index = 0
-        while mask:
-            if mask & 1:
-                desc |= self.dfg.descendants_mask(index)
-                anc |= self.dfg.ancestors_mask(index)
-            mask >>= 1
-            index += 1
-        self._desc_union = desc
-        self._anc_union = anc
+        self._desc_union, self._anc_union = self.index.closure_masks(self.cut_mask)
 
     def _recompute_paths_and_components(self) -> None:
         """Exact critical path + weakly-connected components of the cut."""
@@ -260,7 +250,7 @@ class PartitionState:
         return total - self._component_delay[cid]
 
     def neighbors_in_cut(self, index: int) -> int:
-        return sum(1 for n in self.dfg.neighbors(index) if self.in_cut(n))
+        return popcount(self.index.neighbor_mask[index] & self.cut_mask)
 
     # ------------------------------------------------------------------
     # Hypothetical queries used by the gain function
@@ -287,15 +277,15 @@ class PartitionState:
             # is the unique witness.
             if self._violation_mask & ~bit:
                 return False
-            desc = self._desc_union | self.dfg.descendants_mask(index)
-            anc = self._anc_union | self.dfg.ancestors_mask(index)
+            desc = self._desc_union | self.index.desc[index]
+            anc = self._anc_union | self.index.anc[index]
             cut = self.cut_mask | bit
             return (desc & anc & ~cut) == 0
         if not self.is_convex():
             return False
         rest = self.cut_mask & ~bit
-        has_ancestor = (self.dfg.ancestors_mask(index) & rest) != 0
-        has_descendant = (self.dfg.descendants_mask(index) & rest) != 0
+        has_ancestor = (self.index.anc[index] & rest) != 0
+        has_descendant = (self.index.desc[index] & rest) != 0
         return not (has_ancestor and has_descendant)
 
     def estimate_hw_delay_if_toggled(self, index: int) -> float:

@@ -1,6 +1,7 @@
 """Data-flow graph substrate: graphs, cuts, convexity, I/O and topology."""
 
 from .graph import DataFlowGraph, DFGNode, indices_of_mask, mask_of, popcount
+from .bitset import BitsetIndex
 from .builder import DFGBuilder
 from .cut import Cut, CutFeasibility
 from .convexity import (
@@ -46,6 +47,7 @@ __all__ = [
     "DataFlowGraph",
     "DFGNode",
     "DFGBuilder",
+    "BitsetIndex",
     "Cut",
     "CutFeasibility",
     "mask_of",

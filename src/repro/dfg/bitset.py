@@ -1,0 +1,246 @@
+"""Bitset node-set layer: per-DFG mask tables and word-op cut queries.
+
+Every cut-evaluation question the partitioning engines ask — convexity,
+input/output port counts, neighbourhood membership — reduces to AND/OR/
+popcount operations over Python-int bitsets once the right per-node masks
+are precomputed.  :class:`BitsetIndex` gathers those tables in one place,
+built once per :class:`~repro.dfg.graph.DataFlowGraph` (and cached on it via
+:meth:`DataFlowGraph.bitset_index`), so that
+
+* the reference set-walking implementations in :mod:`repro.dfg.io_count` and
+  :mod:`repro.dfg.convexity` keep serving as the executable specification,
+* while every hot loop — the K-L inner loop, the genetic fitness function,
+  the greedy cluster growth, the exhaustive enumerations — runs on masks.
+
+Tables (all indexed by node index, externals by a dense external-value id):
+
+``anc`` / ``desc``
+    Strict ancestor / descendant closures (shared with the graph's own
+    cache; re-exposed here so consumers touch one object).
+``pred_mask`` / ``succ_mask`` / ``neighbor_mask``
+    Direct producers / consumers / both, deduplicated.
+``live_out_mask``
+    Nodes whose value must be written to a register whenever they are in
+    hardware (:meth:`DataFlowGraph.is_effectively_live_out`).
+``ext_ops_mask`` / ``ext_consumer_mask``
+    Which external input values a node consumes (bits in the external-id
+    space) and, per external value, the mask of its consumer nodes.
+``io_affected``
+    ``io_affected[u]`` = nodes whose I/O addendum a toggle of ``u`` can
+    change: ``u`` itself, parents, children, and siblings through a shared
+    producer value or external input.  This is the invalidation
+    neighbourhood of the paper's Figure 3 addendum rules, used by the
+    incremental gain and shadow-cut caches.
+``dist_up`` / ``dist_down``
+    Edge distances to the nearest upward / downward barrier (the static
+    inputs of the gain function's directional-growth component).
+"""
+
+from __future__ import annotations
+
+from .graph import DataFlowGraph, mask_of, popcount
+
+
+class BitsetIndex:
+    """Precomputed mask tables + word-op cut queries for one prepared DFG."""
+
+    __slots__ = (
+        "dfg",
+        "num_nodes",
+        "full_mask",
+        "forbidden_mask",
+        "live_out_mask",
+        "anc",
+        "desc",
+        "pred_mask",
+        "succ_mask",
+        "neighbor_mask",
+        "ext_ops_mask",
+        "ext_consumer_mask",
+        "io_affected",
+        "dist_up",
+        "dist_down",
+    )
+
+    def __init__(self, dfg: DataFlowGraph):
+        dfg.prepare()
+        self.dfg = dfg
+        n = dfg.num_nodes
+        self.num_nodes = n
+        self.full_mask = dfg.full_mask()
+        self.forbidden_mask = dfg.forbidden_mask
+        self.anc = [dfg.ancestors_mask(i) for i in range(n)]
+        self.desc = [dfg.descendants_mask(i) for i in range(n)]
+        self.pred_mask = [mask_of(dfg.preds(i)) for i in range(n)]
+        self.succ_mask = [mask_of(dfg.succs(i)) for i in range(n)]
+        self.neighbor_mask = [
+            p | s for p, s in zip(self.pred_mask, self.succ_mask)
+        ]
+        live = 0
+        for i in range(n):
+            if dfg.is_effectively_live_out(i):
+                live |= 1 << i
+        self.live_out_mask = live
+        externals = dfg.external_inputs
+        external_id = {name: eid for eid, name in enumerate(externals)}
+        self.ext_consumer_mask = [
+            mask_of(dfg.consumers_of_external(name)) for name in externals
+        ]
+        ext_ops = []
+        for i in range(n):
+            mask = 0
+            for name in dfg.external_operands(i):
+                mask |= 1 << external_id[name]
+            ext_ops.append(mask)
+        self.ext_ops_mask = ext_ops
+        affected = []
+        for u in range(n):
+            mask = 1 << u | self.pred_mask[u] | self.succ_mask[u]
+            preds = self.pred_mask[u]
+            while preds:
+                low = preds & -preds
+                mask |= self.succ_mask[low.bit_length() - 1]
+                preds ^= low
+            ext = ext_ops[u]
+            while ext:
+                low = ext & -ext
+                mask |= self.ext_consumer_mask[low.bit_length() - 1]
+                ext ^= low
+            affected.append(mask)
+        self.io_affected = affected
+        # Imported here: topology imports graph, graph lazily imports us.
+        from .topology import downward_barrier_distances, upward_barrier_distances
+
+        self.dist_up = upward_barrier_distances(dfg)
+        self.dist_down = downward_barrier_distances(dfg)
+
+    # ------------------------------------------------------------------
+    # I/O counting
+    # ------------------------------------------------------------------
+    def io_counts(self, cut_mask: int) -> tuple[int, int]:
+        """``(num_inputs, num_outputs)`` of the cut, by mask arithmetic.
+
+        Inputs are the distinct producers outside the cut feeding some cut
+        node (``union(pred_mask) & ~cut``) plus the distinct external values
+        consumed by the cut; outputs are the cut nodes that are effectively
+        live-out or have a consumer outside the cut.  Agrees exactly with
+        :func:`repro.dfg.io_count.count_io`.
+        """
+        producers = 0
+        ext = 0
+        outputs = 0
+        inverse = ~cut_mask
+        pred_mask = self.pred_mask
+        succ_mask = self.succ_mask
+        ext_ops = self.ext_ops_mask
+        live = self.live_out_mask
+        mask = cut_mask
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            mask ^= low
+            producers |= pred_mask[index]
+            ext |= ext_ops[index]
+            if live & low or succ_mask[index] & inverse:
+                outputs += 1
+        return popcount(producers & inverse) + popcount(ext), outputs
+
+    # ------------------------------------------------------------------
+    # Convexity
+    # ------------------------------------------------------------------
+    def closure_masks(self, cut_mask: int) -> tuple[int, int]:
+        """``(descendants_union, ancestors_union)`` over the cut's members."""
+        desc_union = 0
+        anc_union = 0
+        mask = cut_mask
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            mask ^= low
+            desc_union |= self.desc[index]
+            anc_union |= self.anc[index]
+        return desc_union, anc_union
+
+    def violating_mask(self, cut_mask: int) -> int:
+        desc_union, anc_union = self.closure_masks(cut_mask)
+        return desc_union & anc_union & ~cut_mask
+
+    def is_convex(self, cut_mask: int) -> bool:
+        return self.violating_mask(cut_mask) == 0
+
+    def convex_closure_mask(self, cut_mask: int) -> int:
+        """Smallest convex superset of the cut (as a mask).
+
+        Incremental fixpoint: the closure unions only ever grow, so each
+        round absorbs just the newly added witnesses' closures instead of
+        recomputing the unions over the whole cut.
+        """
+        desc_union, anc_union = self.closure_masks(cut_mask)
+        current = cut_mask
+        while True:
+            extra = desc_union & anc_union & ~current
+            if not extra:
+                return current
+            current |= extra
+            while extra:
+                low = extra & -extra
+                index = low.bit_length() - 1
+                extra ^= low
+                desc_union |= self.desc[index]
+                anc_union |= self.anc[index]
+
+    # ------------------------------------------------------------------
+    # Convexity-preserving toggle orders
+    # ------------------------------------------------------------------
+    def convex_reset_order(self, current: int, target: int) -> list[int] | None:
+        """A toggle order turning *current* into *target* with every
+        intermediate cut convex, or ``None`` when either endpoint is not
+        convex.  First peels ``current \\ target`` down to the (convex)
+        intersection, always removing a node with no remaining ancestor or
+        no remaining descendant in the cut; then grows to *target*, always
+        adding a node that introduces no convexity witness.  Both picks
+        always exist between convex endpoints, which is what lets the
+        shadow-cut cache survive pass restarts without a flush."""
+        order: list[int] = []
+        cut = current
+        shrink_target = current & target
+        while cut != shrink_target:
+            removable = cut & ~shrink_target
+            pick = -1
+            mask = removable
+            while mask:
+                low = mask & -mask
+                index = low.bit_length() - 1
+                mask ^= low
+                rest = cut & ~low
+                if not (self.anc[index] & rest) or not (self.desc[index] & rest):
+                    pick = index
+                    break
+            if pick < 0:
+                return None
+            cut &= ~(1 << pick)
+            order.append(pick)
+        desc_union, anc_union = self.closure_masks(cut)
+        while cut != target:
+            addable = target & ~cut
+            pick = -1
+            mask = addable
+            while mask:
+                low = mask & -mask
+                index = low.bit_length() - 1
+                mask ^= low
+                new_desc = desc_union | self.desc[index]
+                new_anc = anc_union | self.anc[index]
+                if not (new_desc & new_anc & ~(cut | low)):
+                    pick = index
+                    desc_union = new_desc
+                    anc_union = new_anc
+                    break
+            if pick < 0:
+                return None
+            cut |= 1 << pick
+            order.append(pick)
+        return order
+
+
+__all__ = ["BitsetIndex"]

@@ -98,6 +98,7 @@ class DataFlowGraph:
         self._topo_order: list[int] = []
         self._forbidden_mask = 0
         self._consumers_of_external: dict[str, tuple[int, ...]] = {}
+        self._bitset_index = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,6 +111,7 @@ class DataFlowGraph:
             self._external_set.add(name)
             self._external_inputs.append(name)
         self._prepared = False
+        self._bitset_index = None
         return name
 
     def add_node(
@@ -158,6 +160,7 @@ class DataFlowGraph:
         self._nodes.append(node)
         self._by_name[name] = node
         self._prepared = False
+        self._bitset_index = None
         return node
 
     # ------------------------------------------------------------------
@@ -307,6 +310,28 @@ class DataFlowGraph:
     def full_mask(self) -> int:
         """Bitset with one bit set per node."""
         return (1 << len(self._nodes)) - 1
+
+    def bitset_index(self):
+        """The shared :class:`~repro.dfg.bitset.BitsetIndex` of this graph.
+
+        Built lazily on first use and cached for the graph's lifetime, so
+        every evaluator / cache over the same DFG shares one set of mask
+        tables.  Mutating the graph (``add_node``) invalidates the cache
+        together with the other prepared structures.
+        """
+        if self._bitset_index is None or not self._prepared:
+            from .bitset import BitsetIndex
+
+            self.prepare()
+            self._bitset_index = BitsetIndex(self)
+        return self._bitset_index
+
+    def __getstate__(self) -> dict:
+        # The bitset index is pure derived data; dropping it keeps pickles
+        # (process-pool job payloads, sweep cells) small.  Rebuilt lazily.
+        state = self.__dict__.copy()
+        state["_bitset_index"] = None
+        return state
 
     def neighbors(self, index: int) -> tuple[int, ...]:
         """Parents and children of node *index* (no siblings)."""

@@ -13,7 +13,7 @@ resumable execution service:
 """
 
 from .hashing import CODE_VERSION, SweepError, cell_key, sweep_salt
-from .store import ResultStore, StoreStats
+from .store import GCReport, ResultStore, StoreScan, StoreStats
 from .filequeue import CellTask, FileQueue, worker_identity
 from .backends import (
     ExecutorBackend,
@@ -29,10 +29,12 @@ from .orchestrator import (
     SweepStatus,
     WorkerReport,
     collect,
+    gc,
     make_queue_backend,
     retry,
     run_cached,
     status,
+    store_report,
     submit,
     worker_loop,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "sweep_salt",
     "ResultStore",
     "StoreStats",
+    "StoreScan",
+    "GCReport",
     "CellTask",
     "FileQueue",
     "worker_identity",
@@ -70,6 +74,8 @@ __all__ = [
     "retry",
     "worker_loop",
     "status",
+    "store_report",
+    "gc",
     "collect",
     "run_cached",
     "make_queue_backend",

@@ -50,7 +50,9 @@ class SerialBackend(ExecutorBackend):
 
     def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
         for task in tasks:
-            store.put(task.key, task.cell(), meta={"backend": self.name})
+            store.put(
+                task.key, task.cell(), meta={"backend": self.name, **task.meta}
+            )
 
 
 class ProcessPoolBackend(ExecutorBackend):
@@ -85,7 +87,9 @@ class ProcessPoolBackend(ExecutorBackend):
                         outstanding.cancel()
                     pool.shutdown(wait=True, cancel_futures=True)
                     raise
-                store.put(task.key, result, meta={"backend": self.name})
+                store.put(
+                    task.key, result, meta={"backend": self.name, **task.meta}
+                )
 
 
 class FileQueueBackend(ExecutorBackend):

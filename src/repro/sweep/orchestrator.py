@@ -48,7 +48,7 @@ from .filequeue import (
 )
 from .hashing import SweepError, cell_key, qualified_name, sweep_salt
 from .registry import sweep_spec
-from .store import ResultStore
+from .store import GCReport, ResultStore, StoreScan
 
 
 class MissingCellsError(SweepError):
@@ -112,7 +112,11 @@ class CachedExecutor:
                 self.misses += 1
                 seen_missing.add(key)
                 missing.append(
-                    CellTask(key, cell, meta={"func": qualified_name(cell.func)})
+                    CellTask(
+                        key,
+                        cell,
+                        meta={"func": qualified_name(cell.func), "salt": self.salt},
+                    )
                 )
         if missing:
             if self.backend is None:
@@ -245,7 +249,11 @@ def submit(
             # (`sweep retry` clears the records and re-submits).
             failed += 1
         elif directory.queue.enqueue(
-            CellTask(key, cell, meta={"func": qualified_name(cell.func)})
+            CellTask(
+                key,
+                cell,
+                meta={"func": qualified_name(cell.func), "salt": executor.salt},
+            )
         ):
             enqueued += 1
         else:
@@ -416,6 +424,62 @@ def status(directory: SweepDirectory, name: str) -> SweepStatus:
     )
 
 
+def gc(
+    directory: SweepDirectory,
+    *,
+    salt: str | None = None,
+    include_unsalted: bool = False,
+    dry_run: bool = False,
+) -> GCReport:
+    """Drop result-store records whose code-version salt is stale.
+
+    Every record written since the salt started riding in the metadata can
+    be attributed to the :data:`~repro.sweep.hashing.CODE_VERSION` (plus the
+    ``ISEGEN_SWEEP_SALT`` component) that produced it.  A record is only
+    dead weight when *nothing* can address it anymore: neither the current
+    salt nor any salt pinned by a sweep manifest (``collect`` replays
+    through the manifest's salt, so a sweep submitted under a custom
+    ``ISEGEN_SWEEP_SALT`` stays collectable after the env var is gone).
+    Records predating the salt metadata are kept unless *include_unsalted*
+    is set.
+    """
+    return directory.store.gc(
+        _live_salts(directory, salt),
+        include_unsalted=include_unsalted,
+        dry_run=dry_run,
+    )
+
+
+def _live_salts(directory: SweepDirectory, salt: str | None) -> set[str]:
+    """Salts that can still address records: the current (or overridden)
+    salt plus every salt pinned by a sweep manifest."""
+    live = {salt if salt is not None else sweep_salt()}
+    for name in directory.manifests():
+        manifest_salt = directory.load_manifest(name).get("salt")
+        if manifest_salt:
+            live.add(manifest_salt)
+    return live
+
+
+def store_report(directory: SweepDirectory, *, salt: str | None = None) -> str:
+    """One-line compaction summary of the sweep's result store."""
+    scan: StoreScan = directory.store.scan()
+    unsalted = scan.by_salt.get(None, (0, 0))
+    stale_records, stale_bytes = scan.stale_against(_live_salts(directory, salt))
+    line = f"store: {scan.records} record(s), {scan.bytes / 1024:.1f} KiB"
+    if stale_records:
+        line += (
+            f" — {stale_records} stale-salt record(s) "
+            f"({stale_bytes / 1024:.1f} KiB) reclaimable via `sweep gc`"
+        )
+    if unsalted[0]:
+        line += (
+            f" — {unsalted[0]} pre-salt record(s) ({unsalted[1] / 1024:.1f} KiB;"
+            " `sweep gc --include-unsalted` reclaims them)"
+        )
+    return line
+
+
 def collect(directory: SweepDirectory, name: str):
     """Assemble the sweep's tables purely from stored results.
 
@@ -474,6 +538,8 @@ __all__ = [
     "retry",
     "worker_loop",
     "status",
+    "store_report",
+    "gc",
     "collect",
     "run_cached",
     "make_queue_backend",

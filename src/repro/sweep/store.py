@@ -19,15 +19,18 @@ reports 100% hits``).
 from __future__ import annotations
 
 import json
+import re
 import time
-from collections.abc import Iterator
-from dataclasses import dataclass
+from collections.abc import Collection, Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from .atomic import atomic_write_text
 from .hashing import SweepError, decode_result, encode_result
 
 _RECORD_SUFFIX = ".json"
+#: Matches the salt inside a record's ``meta`` block (head-read fast path).
+_SALT_PATTERN = re.compile(r'"salt"\s*:\s*"([^"]*)"')
 
 
 @dataclass
@@ -115,14 +118,23 @@ class ResultStore:
     def put(self, key: str, result, *, meta: dict | None = None) -> Path:
         """Atomically persist *result* under *key* (idempotent)."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "key": key,
             "stored_at": time.time(),
             "meta": meta or {},
             "result": encode_result(result),
         }
-        atomic_write_text(path, json.dumps(record, indent=1))
+        text = json.dumps(record, indent=1)
+        # A concurrent `sweep gc` may rmdir an emptied shard between our
+        # mkdir and the temp-file write; one re-mkdir retry closes the race.
+        for attempt in (0, 1):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                atomic_write_text(path, text)
+                break
+            except FileNotFoundError:
+                if attempt:
+                    raise
         self.stats.writes += 1
         return path
 
@@ -134,5 +146,161 @@ class ResultStore:
         except FileNotFoundError:
             return False
 
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def scan(self) -> "StoreScan":
+        """Walk every record once: counts, bytes, and the per-salt split.
 
-__all__ = ["ResultStore", "StoreStats"]
+        Records written since the salt started riding in the metadata carry
+        it under ``meta.salt``; older records group under ``None``.  This is
+        the *informational* walk behind ``sweep status``, so it stays cheap
+        on shared/NFS stores: sizes come from ``stat`` and the salt from a
+        bounded head read (``put`` writes ``meta`` before the — potentially
+        large — ``result`` field), falling back to a full parse only when
+        the head is inconclusive.  The destructive path (:meth:`gc`) always
+        parses records exactly.
+        """
+        scan = StoreScan()
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                size = path.stat().st_size
+                salt = self._read_salt(path)
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+            scan.records += 1
+            scan.bytes += size
+            count, total = scan.by_salt.get(salt, (0, 0))
+            scan.by_salt[salt] = (count + 1, total + size)
+        return scan
+
+    @staticmethod
+    def _parse_salt(text: str) -> str | None:
+        try:
+            meta = json.loads(text).get("meta", {})
+        except (json.JSONDecodeError, AttributeError):
+            return None
+        return meta.get("salt") if isinstance(meta, dict) else None
+
+    def _read_salt(self, path: Path, head_bytes: int = 4096) -> str | None:
+        """The record's ``meta.salt`` from a bounded head read.
+
+        Only text *before* the ``"result"`` key is trusted (a result row
+        could itself contain a ``"salt"`` string); when the head contains
+        neither a salt nor the start of ``result``, the full record is
+        parsed instead.
+        """
+        with path.open("r", encoding="utf-8") as handle:
+            head = handle.read(head_bytes)
+            result_at = head.find('"result"')
+            prefix = head if result_at < 0 else head[:result_at]
+            match = _SALT_PATTERN.search(prefix)
+            if match is not None:
+                return match.group(1)
+            if result_at >= 0:
+                # meta fully visible and salt-less: a pre-salt record.
+                return None
+            return self._parse_salt(head + handle.read())
+
+    def gc(
+        self,
+        live_salts: "str | Collection[str]",
+        *,
+        include_unsalted: bool = False,
+        dry_run: bool = False,
+    ) -> "GCReport":
+        """Drop records whose recorded code-version salt is stale.
+
+        A record is *stale* when its ``meta.salt`` is in none of the
+        *live_salts* (typically the current salt plus every salt still
+        pinned by a sweep manifest — ``collect`` addresses records through
+        the manifest's salt, not the current one); records without a
+        recorded salt (written before the salt was persisted) are kept
+        unless *include_unsalted* is set.  Empty shard directories are
+        removed afterwards.  With *dry_run* nothing is deleted — the report
+        shows what would be reclaimed.
+        """
+        if isinstance(live_salts, str):
+            live_salts = {live_salts}
+        else:
+            live_salts = set(live_salts)
+        report = GCReport(dry_run=dry_run)
+        for key in list(self.keys()):
+            path = self.path_for(key)
+            try:
+                text = path.read_text()
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+            size = len(text.encode("utf-8"))
+            salt = self._parse_salt(text)
+            stale = (salt is None and include_unsalted) or (
+                salt is not None and salt not in live_salts
+            )
+            if stale:
+                report.removed += 1
+                report.reclaimed_bytes += size
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+            else:
+                report.kept += 1
+                report.kept_bytes += size
+        if not dry_run and self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                        report.pruned_shards += 1
+                    except OSError:
+                        pass
+        return report
+
+
+@dataclass
+class StoreScan:
+    """Aggregate compaction statistics of one store walk."""
+
+    records: int = 0
+    bytes: int = 0
+    #: ``salt (or None for pre-salt records) -> (record count, bytes)``.
+    by_salt: dict = field(default_factory=dict)
+
+    def stale_against(self, live_salts: "str | Collection[str]") -> tuple[int, int]:
+        """``(records, bytes)`` carrying a salt outside *live_salts*."""
+        if isinstance(live_salts, str):
+            live_salts = {live_salts}
+        else:
+            live_salts = set(live_salts)
+        records = 0
+        total = 0
+        for salt, (count, size) in self.by_salt.items():
+            if salt is not None and salt not in live_salts:
+                records += count
+                total += size
+        return records, total
+
+
+@dataclass
+class GCReport:
+    """Outcome of one :meth:`ResultStore.gc` run."""
+
+    dry_run: bool = False
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    pruned_shards: int = 0
+
+    def summary(self) -> str:
+        verb = "would reclaim" if self.dry_run else "reclaimed"
+        text = (
+            f"{verb} {self.removed} stale record(s), "
+            f"{self.reclaimed_bytes / 1024:.1f} KiB "
+            f"({self.kept} record(s), {self.kept_bytes / 1024:.1f} KiB kept)"
+        )
+        if self.pruned_shards:
+            text += f"; pruned {self.pruned_shards} empty shard dir(s)"
+        return text
+
+
+__all__ = ["GCReport", "ResultStore", "StoreScan", "StoreStats"]

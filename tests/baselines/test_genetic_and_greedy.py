@@ -90,6 +90,54 @@ def test_genetic_finder_returns_none_when_nothing_profitable(paper_constraints):
     )
 
 
+def test_genetic_dedupes_duplicate_chromosomes(medium_random_dfg, paper_constraints):
+    """A converging population re-submits identical chromosomes; they must
+    be skipped before scoring and the memo must absorb cross-generation
+    repeats, so `evaluations` counts only unique fitness computations."""
+    search = GeneticSearch(medium_random_dfg, paper_constraints, config=QUICK)
+    search.run()
+    trace = search.trace
+    assert trace.evaluations > 0
+    # Elitism alone guarantees repeats: the elite chromosomes re-enter every
+    # generation, so either the population dedupe or the memo must fire.
+    assert trace.duplicates_skipped + trace.memo_hits > 0
+    scored_slots = (
+        trace.evaluations + trace.memo_hits + trace.duplicates_skipped
+    )
+    population_slots = QUICK.population_size * trace.generations_run
+    # Every population slot is either freshly evaluated, memo-served, or
+    # skipped as an in-generation duplicate (empty chromosomes score free).
+    assert scored_slots <= population_slots
+
+
+def test_genetic_results_identical_for_reference_and_bitset_evaluator(
+    medium_random_dfg, paper_constraints
+):
+    from repro.core import make_cut_evaluator
+
+    bitset = GeneticSearch(medium_random_dfg, paper_constraints, config=QUICK)
+    reference = GeneticSearch(
+        medium_random_dfg,
+        paper_constraints,
+        config=QUICK,
+        evaluator=make_cut_evaluator(
+            medium_random_dfg, paper_constraints, reference=True
+        ),
+    )
+    assert bitset.run() == reference.run()
+    assert bitset.trace.evaluations == reference.trace.evaluations
+
+
+def test_genetic_fitness_memo_counts_hits(diamond_dfg, paper_constraints):
+    search = GeneticSearch(diamond_dfg, paper_constraints, config=QUICK)
+    full = frozenset(node.index for node in diamond_dfg.nodes)
+    first = search.fitness(full)
+    evaluations = search.trace.evaluations
+    assert search.fitness(full) == first
+    assert search.trace.evaluations == evaluations
+    assert search.trace.memo_hits == 1
+
+
 def test_run_genetic_full_result(single_block, paper_constraints):
     result = run_genetic(single_block, paper_constraints, config=QUICK)
     assert result.algorithm == "Genetic"

@@ -1,0 +1,135 @@
+"""Store garbage collection: stale-salt reclamation and compaction stats."""
+
+from repro.cli import main
+from repro.sweep import (
+    SerialBackend,
+    SweepDirectory,
+    collect,
+    gc,
+    run_cached,
+    store_report,
+    submit,
+    sweep_salt,
+    worker_loop,
+)
+
+
+def _run_small_sweep(directory, salt=None):
+    tables, executor = run_cached(
+        directory, "figure1", backend=SerialBackend(), salt=salt
+    )
+    return tables, executor
+
+
+def test_records_carry_their_salt(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    _run_small_sweep(directory)
+    keys = list(directory.store.keys())
+    assert keys
+    for key in keys:
+        assert directory.store.record(key)["meta"]["salt"] == sweep_salt()
+
+
+def test_gc_drops_only_stale_salts(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    _run_small_sweep(directory, salt="old-salt")
+    _run_small_sweep(directory, salt="new-salt")
+    total = len(directory.store)
+    stale = sum(
+        1
+        for key in directory.store.keys()
+        if directory.store.record(key)["meta"]["salt"] == "old-salt"
+    )
+    assert 0 < stale < total
+
+    dry = gc(directory, salt="new-salt", dry_run=True)
+    assert dry.removed == stale
+    assert dry.reclaimed_bytes > 0
+    assert len(directory.store) == total  # dry run deletes nothing
+
+    report = gc(directory, salt="new-salt")
+    assert report.removed == stale
+    assert report.kept == total - stale
+    remaining = list(directory.store.keys())
+    assert len(remaining) == total - stale
+    for key in remaining:
+        assert directory.store.record(key)["meta"]["salt"] == "new-salt"
+    # A second pass has nothing left to reclaim.
+    assert gc(directory, salt="new-salt").removed == 0
+
+
+def test_gc_keeps_manifest_pinned_salts(tmp_path):
+    """Records of a sweep submitted under a custom salt stay collectable:
+    the manifest pins that salt, so gc under the default salt must keep
+    them (and `store_report` must not advertise them as reclaimable)."""
+    directory = SweepDirectory(tmp_path / "sweep")
+    submit(directory, "figure1", salt="pinned-salt")
+    worker_loop(directory)
+    assert len(directory.store) > 0
+    report = gc(directory)  # default salt != pinned-salt, but manifest pins it
+    assert report.removed == 0
+    assert "reclaimable" not in store_report(directory)
+    tables = collect(directory, "figure1")  # still addressable via manifest
+    assert tables and tables[0].rows
+
+
+def test_gc_keeps_unsalted_records_unless_asked(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    directory.store.put("legacy-key-0001", {"row": 1})  # pre-salt record
+    assert gc(directory, salt="whatever").removed == 0
+    assert directory.store.contains("legacy-key-0001")
+    report = gc(directory, salt="whatever", include_unsalted=True)
+    assert report.removed == 1
+    assert not directory.store.contains("legacy-key-0001")
+
+
+def test_gc_prunes_empty_shard_directories(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    _run_small_sweep(directory, salt="old-salt")
+    shards_before = [p for p in directory.store.root.iterdir() if p.is_dir()]
+    assert shards_before
+    report = gc(directory, salt="current")
+    assert report.pruned_shards == len(shards_before)
+    assert not [p for p in directory.store.root.iterdir() if p.is_dir()]
+
+
+def test_store_scan_and_report(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    _run_small_sweep(directory, salt="old-salt")
+    _run_small_sweep(directory, salt=sweep_salt())
+    scan = directory.store.scan()
+    assert scan.records == len(directory.store)
+    assert scan.bytes > 0
+    assert set(scan.by_salt) == {"old-salt", sweep_salt()}
+    stale_records, stale_bytes = scan.stale_against(sweep_salt())
+    assert stale_records == scan.by_salt["old-salt"][0]
+    assert stale_bytes > 0
+    report = store_report(directory)
+    assert "stale-salt" in report and "sweep gc" in report
+
+
+def test_cli_gc_and_status_surface_compaction(tmp_path, capsys):
+    directory = SweepDirectory(tmp_path / "sweep")
+    _run_small_sweep(directory, salt="old-salt")
+    assert main(["sweep", "status", "--dir", str(tmp_path / "sweep")]) == 0
+    out = capsys.readouterr().out
+    assert "store:" in out and "reclaimable" in out
+
+    assert (
+        main(["sweep", "gc", "--dir", str(tmp_path / "sweep"), "--dry-run"]) == 0
+    )
+    assert "would reclaim" in capsys.readouterr().out
+    assert main(["sweep", "gc", "--dir", str(tmp_path / "sweep")]) == 0
+    assert "reclaimed" in capsys.readouterr().out
+    assert len(directory.store) == 0
+
+
+def test_gc_results_replayable_after_collect(tmp_path):
+    """gc must never break a live sweep: records under the current salt stay
+    addressable and collect-identical."""
+    directory = SweepDirectory(tmp_path / "sweep")
+    tables, _ = _run_small_sweep(directory)
+    gc(directory)  # current salt -> nothing to drop
+    replay, executor = _run_small_sweep(directory)
+    assert executor.misses == 0
+    assert [table.rows for table in replay] == [table.rows for table in tables]
