@@ -13,7 +13,6 @@ import pytest
 
 from repro.core import ISEGen, ISEGenConfig
 from repro.experiments import ablation_configs, run_figure1
-from repro.hwmodel import ISEConstraints
 from repro.workloads import load_workload
 
 from .conftest import run_once

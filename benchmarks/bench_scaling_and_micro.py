@@ -23,7 +23,18 @@ import time
 
 import pytest
 
-from repro.baselines import best_single_cut, run_greedy, run_isegen, run_iterative
+from repro.baselines import (
+    EnumerationTrace,
+    best_single_cut,
+    enumerate_feasible_cuts,
+    run_greedy,
+    run_isegen,
+    run_iterative,
+)
+from repro.baselines.enumeration import (
+    _reference_best_single_cut,
+    _reference_enumerate_feasible_cuts,
+)
 from repro.baselines.genetic import GeneticConfig, GeneticSearch
 from repro.core import (
     BitsetCutEvaluator,
@@ -123,6 +134,75 @@ def test_micro_exhaustive_best_cut(benchmark):
     dfg = random_dfg(22, seed=21, live_out_fraction=0.3)
     cut = run_once(benchmark, best_single_cut, dfg, _MICRO_CONSTRAINTS)
     benchmark.extra_info["merit"] = 0 if cut is None else cut.merit
+
+
+# ----------------------------------------------------------------------
+# The frontier-stack enumeration engine vs the recursive reference
+# ----------------------------------------------------------------------
+_ENUMERATION_SIZES = (16, 24, 32)
+_ENUMERATION_DFGS = {
+    size: random_dfg(size, seed=21, live_out_fraction=0.3)
+    for size in _ENUMERATION_SIZES
+}
+_ENUMERATION_ENGINES = {
+    "stack": (enumerate_feasible_cuts, best_single_cut),
+    "reference": (
+        _reference_enumerate_feasible_cuts,
+        _reference_best_single_cut,
+    ),
+}
+
+
+@pytest.mark.parametrize("engine", list(_ENUMERATION_ENGINES), ids=str)
+@pytest.mark.parametrize("size", _ENUMERATION_SIZES, ids=str)
+def test_micro_enumeration_all_cuts(benchmark, size, engine):
+    """Full feasible-cut enumeration, frontier-stack vs recursive reference
+    (the Exact baseline's first stage at 16/24/32 nodes)."""
+    benchmark.group = f"micro enumeration all-cuts {size} nodes"
+    dfg = _ENUMERATION_DFGS[size]
+    enumerate_cuts, _ = _ENUMERATION_ENGINES[engine]
+
+    def run_enumeration():
+        trace = EnumerationTrace()
+        count = sum(
+            1
+            for _ in enumerate_cuts(
+                dfg, _MICRO_CONSTRAINTS, node_limit=64, stats=trace
+            )
+        )
+        return count, trace
+
+    count, trace = benchmark(run_enumeration)
+    benchmark.extra_info["feasible_cuts"] = count
+    benchmark.extra_info["states_visited"] = trace.states_visited
+    if engine == "stack":
+        benchmark.extra_info["memo_hits"] = trace.memo_hits
+        benchmark.extra_info["memo_entries"] = trace.memo_entries
+
+
+@pytest.mark.parametrize("engine", list(_ENUMERATION_ENGINES), ids=str)
+@pytest.mark.parametrize("size", _ENUMERATION_SIZES, ids=str)
+def test_micro_enumeration_best_cut(benchmark, size, engine):
+    """Single-best-cut search (the Iterative baseline's inner step),
+    frontier-stack (memo + strengthened bound) vs recursive reference."""
+    benchmark.group = f"micro enumeration best-cut {size} nodes"
+    dfg = _ENUMERATION_DFGS[size]
+    _, best_cut_search = _ENUMERATION_ENGINES[engine]
+
+    def run_search():
+        trace = EnumerationTrace()
+        cut = best_cut_search(dfg, _MICRO_CONSTRAINTS, node_limit=64, stats=trace)
+        return cut, trace
+
+    cut, trace = benchmark(run_search)
+    benchmark.extra_info["merit"] = 0 if cut is None else cut.merit
+    benchmark.extra_info["states_visited"] = trace.states_visited
+    benchmark.extra_info["bound_cuts"] = trace.states_pruned_bound
+    if engine == "stack":
+        benchmark.extra_info["memo_hits"] = trace.memo_hits
+        benchmark.extra_info["memo_hit_rate"] = round(
+            trace.memo_hits / max(1, trace.memo_hits + trace.nodes_expanded), 4
+        )
 
 
 # ----------------------------------------------------------------------

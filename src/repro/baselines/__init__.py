@@ -26,9 +26,11 @@ from .enumeration import (
     DEFAULT_NODE_LIMIT_EXACT,
     DEFAULT_NODE_LIMIT_ITERATIVE,
     EnumeratedCut,
+    EnumerationTrace,
     SearchStats,
     best_single_cut,
     enumerate_feasible_cuts,
+    find_best_cut,
 )
 from .exact import (
     ExactMultiCutGenerator,
@@ -74,6 +76,10 @@ ALGORITHMS: Mapping[str, Callable[..., ISEGenerationResult]] = {
     "Greedy": run_greedy,
 }
 
+#: The algorithms whose runners accept a ``node_limit`` keyword (the
+#: exhaustive baselines) — shared by the CLI and the figure harnesses.
+NODE_LIMITED_ALGORITHMS: frozenset[str] = frozenset({"Exact", "Iterative"})
+
 
 def run_algorithm(
     name: str,
@@ -95,9 +101,11 @@ __all__ = [
     "DEFAULT_NODE_LIMIT_EXACT",
     "DEFAULT_NODE_LIMIT_ITERATIVE",
     "EnumeratedCut",
+    "EnumerationTrace",
     "SearchStats",
     "best_single_cut",
     "enumerate_feasible_cuts",
+    "find_best_cut",
     "ExactMultiCutGenerator",
     "exact_block_cuts",
     "select_disjoint_cuts",
@@ -118,5 +126,6 @@ __all__ = [
     "run_greedy",
     "run_isegen",
     "ALGORITHMS",
+    "NODE_LIMITED_ALGORITHMS",
     "run_algorithm",
 ]

@@ -33,6 +33,7 @@ from ..program import Program, single_block_program
 from .enumeration import (
     DEFAULT_NODE_LIMIT_EXACT,
     EnumeratedCut,
+    EnumerationTrace,
     SearchStats,
     enumerate_feasible_cuts,
 )
@@ -152,10 +153,10 @@ class ExactMultiCutGenerator:
     def generate(self, program: Program) -> ISEGenerationResult:
         """Distribute the ISE budget over the blocks, largest savings first."""
         started = time.perf_counter()
-        stats = SearchStats()
+        stats = EnumerationTrace()
         per_block: list[tuple[float, str, DataFlowGraph, list[EnumeratedCut]]] = []
         for block in program:
-            block_stats = SearchStats()
+            block_stats = EnumerationTrace()
             cuts = exact_block_cuts(
                 block.dfg,
                 self.constraints,
@@ -164,8 +165,7 @@ class ExactMultiCutGenerator:
                 max_stored_cuts=self.max_stored_cuts,
                 stats=block_stats,
             )
-            stats.states_visited += block_stats.states_visited
-            stats.feasible_cuts += block_stats.feasible_cuts
+            stats.absorb(block_stats)
             total_saving = block.frequency * sum(cut.merit for cut in cuts)
             per_block.append((total_saving, block.name, block.dfg, cuts))
         # Greedy-by-block assignment of the global ISE budget: blocks with the
@@ -199,6 +199,9 @@ class ExactMultiCutGenerator:
         )
         result.stats["states_visited"] = stats.states_visited
         result.stats["feasible_cuts"] = stats.feasible_cuts
+        result.stats["nodes_expanded"] = stats.nodes_expanded
+        result.stats["memo_hits"] = stats.memo_hits
+        result.stats["bound_cuts"] = stats.bound_cuts
         cuts_by_block: dict[str, list[frozenset[int]]] = {}
         for ise in ises:
             cuts_by_block.setdefault(ise.block_name, []).append(ise.cut.members)

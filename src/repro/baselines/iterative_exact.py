@@ -27,7 +27,7 @@ from ..hwmodel import ISEConstraints, LatencyModel
 from ..program import Program
 from .enumeration import (
     DEFAULT_NODE_LIMIT_ITERATIVE,
-    SearchStats,
+    EnumerationTrace,
     best_single_cut,
 )
 
@@ -39,8 +39,9 @@ class IterativeExactCutFinder(BlockCutFinder):
 
     def __init__(self, *, node_limit: int = DEFAULT_NODE_LIMIT_ITERATIVE):
         self.node_limit = node_limit
-        #: Aggregated search statistics of every invocation (for the benches).
-        self.stats = SearchStats()
+        #: Aggregated search trace of every invocation (for the benches and
+        #: the CLI trace report).
+        self.stats = EnumerationTrace()
 
     def best_cut(
         self,
@@ -49,7 +50,7 @@ class IterativeExactCutFinder(BlockCutFinder):
         constraints: ISEConstraints,
         latency_model: LatencyModel,
     ) -> frozenset[int] | None:
-        step_stats = SearchStats()
+        step_stats = EnumerationTrace()
         cut = best_single_cut(
             dfg,
             constraints,
@@ -59,11 +60,7 @@ class IterativeExactCutFinder(BlockCutFinder):
             node_limit=self.node_limit,
             stats=step_stats,
         )
-        self.stats.states_visited += step_stats.states_visited
-        self.stats.states_pruned_io += step_stats.states_pruned_io
-        self.stats.states_pruned_convexity += step_stats.states_pruned_convexity
-        self.stats.states_pruned_bound += step_stats.states_pruned_bound
-        self.stats.runtime_seconds += step_stats.runtime_seconds
+        self.stats.absorb(step_stats)
         if cut is None or cut.merit <= 0:
             return None
         return cut.members
@@ -92,6 +89,9 @@ class IterativeExactGenerator:
         result = self._driver.generate(program)
         result.stats["states_visited"] = self.finder.stats.states_visited
         result.stats["search_runtime_seconds"] = self.finder.stats.runtime_seconds
+        result.stats["nodes_expanded"] = self.finder.stats.nodes_expanded
+        result.stats["memo_hits"] = self.finder.stats.memo_hits
+        result.stats["bound_cuts"] = self.finder.stats.bound_cuts
         return result
 
     def generate_for_dfg(self, dfg: DataFlowGraph, frequency: float = 1.0) -> ISEGenerationResult:

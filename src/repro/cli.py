@@ -25,7 +25,13 @@ import sys
 from collections.abc import Sequence
 
 from .analysis import program_stats
-from .baselines import ALGORITHMS, run_algorithm
+from .baselines import (
+    ALGORITHMS,
+    DEFAULT_NODE_LIMIT_EXACT,
+    DEFAULT_NODE_LIMIT_ITERATIVE,
+    NODE_LIMITED_ALGORITHMS,
+    run_algorithm,
+)
 from .codegen import result_report
 from .errors import ReproError
 from .experiments import (
@@ -86,6 +92,25 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Enumeration-trace counters reported after an exhaustive-baseline run.
+_TRACE_STATS = (
+    ("states_visited", "states visited"),
+    ("nodes_expanded", "nodes expanded"),
+    ("memo_hits", "memo hits"),
+    ("bound_cuts", "bound cuts"),
+)
+
+
+def _print_search_trace(result) -> None:
+    parts = [
+        f"{label} {result.stats[key]}"
+        for key, label in _TRACE_STATS
+        if key in result.stats
+    ]
+    if parts:
+        print(f"\nSearch trace: {', '.join(parts)}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     program = load_workload(args.workload)
     constraints = _constraints_from(args)
@@ -99,8 +124,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         else:
             kwargs["block_workers"] = args.block_workers
+    if args.node_limit is not None:
+        if args.algorithm in NODE_LIMITED_ALGORITHMS:
+            kwargs["node_limit"] = args.node_limit
+        else:
+            print(
+                f"note: --node-limit applies to the exhaustive baselines "
+                f"({', '.join(sorted(NODE_LIMITED_ALGORITHMS))}) only; "
+                f"{args.algorithm} ignores it",
+                file=sys.stderr,
+            )
     result = run_algorithm(args.algorithm, program, constraints, **kwargs)
     print(result_report(result))
+    _print_search_trace(result)
     if args.reuse:
         reuse = reuse_aware_speedup(program, result)
         print(f"\nReuse-aware speedup: {reuse.reuse_speedup:.3f}x "
@@ -124,7 +160,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
-    speedup, runtime = run_figure4(workers=args.workers)
+    speedup, runtime = run_figure4(workers=args.workers, node_limit=args.node_limit)
     return _save_and_print([speedup, runtime], args)
 
 
@@ -348,6 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
         "out over this many processes (ISEGEN only; identical ISEs either "
         "way; default 1)",
     )
+    sub.add_argument(
+        "--node-limit",
+        type=_positive_int,
+        default=None,
+        help="override the exhaustive baselines' enumeration limit "
+        f"(Exact default {DEFAULT_NODE_LIMIT_EXACT}, Iterative default "
+        f"{DEFAULT_NODE_LIMIT_ITERATIVE}); blocks above it fail with a "
+        "clean infeasibility error",
+    )
     _add_constraint_arguments(sub)
     sub.set_defaults(handler=_cmd_run)
 
@@ -375,6 +420,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="processes to fan the experiment cells out over "
             "(1 = serial, identical rows either way; default 1)",
         )
+        if name == "figure4":
+            sub.add_argument(
+                "--node-limit",
+                type=_positive_int,
+                default=None,
+                help="override the exhaustive baselines' enumeration limits; "
+                "blocks above it become infeasible cells (missing bars), "
+                "never crashes",
+            )
         if name == "figure6":
             sub.add_argument(
                 "--full-genetic",

@@ -228,6 +228,22 @@ class BitsetCutEvaluator(CutEvaluator):
         would only grow an unread dict."""
         return self._compute(_as_mask(cut)).merit
 
+    def hardware_cycle_floor(self, max_node_delay: float) -> int:
+        """Admissible lower bound on the hardware cycles of any cut that
+        contains a node of normalized delay *max_node_delay*.
+
+        The critical path of a cut is at least the delay of its slowest
+        single node, so the cut's hardware latency is at least
+        ``max(min_hardware_cycles, ceil(max_node_delay * cycles_per_mac))``
+        — the same rounding :meth:`LatencyModel.hardware_latency` applies to
+        the true critical path.  The exhaustive searches subtract this floor
+        from their optimistic software suffix to get a merit bound that
+        never underestimates a feasible completion (the bound-soundness
+        property the differential suite pins)."""
+        model = self.latency_model
+        cycles = math.ceil(max_node_delay * model.cycles_per_mac - 1e-9)
+        return max(model.min_hardware_cycles, cycles)
+
     def _compute(self, cut_mask: int) -> _CutRecord:
         index = self.index
         model = self.latency_model

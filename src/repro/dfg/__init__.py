@@ -1,7 +1,7 @@
 """Data-flow graph substrate: graphs, cuts, convexity, I/O and topology."""
 
 from .graph import DataFlowGraph, DFGNode, indices_of_mask, mask_of, popcount
-from .bitset import BitsetIndex
+from .bitset import BitsetIndex, SuffixFrontiers
 from .builder import DFGBuilder
 from .cut import Cut, CutFeasibility
 from .convexity import (
@@ -48,6 +48,7 @@ __all__ = [
     "DFGNode",
     "DFGBuilder",
     "BitsetIndex",
+    "SuffixFrontiers",
     "Cut",
     "CutFeasibility",
     "mask_of",

@@ -38,7 +38,36 @@ Tables (all indexed by node index, externals by a dense external-value id):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .graph import DataFlowGraph, mask_of, popcount
+
+
+@dataclass(frozen=True)
+class SuffixFrontiers:
+    """Suffix unions of the per-node mask tables over one search order.
+
+    For a search that decides the nodes of ``order`` one position at a time,
+    entry ``p`` of each table is the union over the still-undecided suffix
+    ``order[p:]`` (entry ``len(order)`` is the empty union).  These are the
+    static tables behind the frontier-stack enumeration engine: they bound
+    which already-decided state can still influence the subtree below
+    position ``p``, which is what makes its infeasible-subtree memo
+    signatures sound (see DESIGN.md).
+    """
+
+    #: ``union(desc[u] for u in order[p:])`` — every node a future inclusion
+    #: can pull into the descendant closure.
+    reach_desc: list[int]
+    #: ``union(succ_mask[u] for u in order[p:])`` — the decided consumers
+    #: that determine future output / exclusion-input increments.
+    succ_union: list[int]
+    #: ``union(ext_ops_mask[u] for u in order[p:])`` (external-id space) —
+    #: the external values future inclusions can newly consume.
+    ext_union: list[int]
+    #: ``union(pred_mask[u] & ~allowed for u in order[p:])`` — the outside
+    #: producers future inclusions can newly count as inputs.
+    outside_pred_union: list[int]
 
 
 class BitsetIndex:
@@ -190,6 +219,36 @@ class BitsetIndex:
                 anc_union |= self.anc[index]
 
     # ------------------------------------------------------------------
+    # Suffix tables for ordered decision searches
+    # ------------------------------------------------------------------
+    def suffix_frontiers(
+        self, order: list[int], allowed_mask: int
+    ) -> SuffixFrontiers:
+        """Suffix unions of the mask tables over *order* (one extra empty
+        entry at ``len(order)``), restricted to producers outside
+        *allowed_mask* for the outside-predecessor table."""
+        n = len(order)
+        reach_desc = [0] * (n + 1)
+        succ_union = [0] * (n + 1)
+        ext_union = [0] * (n + 1)
+        outside_pred_union = [0] * (n + 1)
+        outside = ~allowed_mask
+        for position in range(n - 1, -1, -1):
+            u = order[position]
+            reach_desc[position] = reach_desc[position + 1] | self.desc[u]
+            succ_union[position] = succ_union[position + 1] | self.succ_mask[u]
+            ext_union[position] = ext_union[position + 1] | self.ext_ops_mask[u]
+            outside_pred_union[position] = outside_pred_union[position + 1] | (
+                self.pred_mask[u] & outside
+            )
+        return SuffixFrontiers(
+            reach_desc=reach_desc,
+            succ_union=succ_union,
+            ext_union=ext_union,
+            outside_pred_union=outside_pred_union,
+        )
+
+    # ------------------------------------------------------------------
     # Convexity-preserving toggle orders
     # ------------------------------------------------------------------
     def convex_reset_order(self, current: int, target: int) -> list[int] | None:
@@ -243,4 +302,4 @@ class BitsetIndex:
         return order
 
 
-__all__ = ["BitsetIndex"]
+__all__ = ["BitsetIndex", "SuffixFrontiers"]

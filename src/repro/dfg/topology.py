@@ -9,7 +9,7 @@ paths).
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Callable, Collection, Sequence
+from collections.abc import Callable, Collection
 
 from .graph import DataFlowGraph
 

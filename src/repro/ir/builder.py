@@ -25,7 +25,7 @@ from .basic_block import BasicBlock
 from .function import Function
 from .instruction import Instruction, make
 from .module import Module
-from .values import Immediate, Operand, ValueRef, as_operand
+from .values import Immediate, Operand, as_operand
 
 
 class IRBuilder:

@@ -25,7 +25,7 @@ from ..isa import Opcode, evaluate, has_evaluator, to_unsigned
 from .function import Function
 from .instruction import Instruction
 from .module import Module
-from .values import Immediate, Operand, ValueRef
+from .values import Immediate, Operand
 
 
 class Memory:

@@ -9,10 +9,10 @@ from repro.baselines import (
     SearchStats,
     best_single_cut,
     enumerate_feasible_cuts,
+    find_best_cut,
 )
 from repro.dfg import count_io, is_convex, random_dfg
 from repro.errors import BaselineInfeasibleError
-from repro.hwmodel import ISEConstraints
 from repro.merit import MeritFunction
 
 
@@ -94,6 +94,20 @@ def test_node_limit_guard(paper_constraints):
     dfg = random_dfg(DEFAULT_NODE_LIMIT_EXACT + 5, seed=9)
     with pytest.raises(BaselineInfeasibleError, match="enumeration limit"):
         list(enumerate_feasible_cuts(dfg, paper_constraints))
+
+
+def test_default_limits_cover_48_node_blocks(paper_constraints):
+    # The frontier-stack engine's default limits admit a 48-node block for
+    # both search flavours (the old recursive engine refused anything >32).
+    assert DEFAULT_NODE_LIMIT_EXACT >= 48
+    dfg = random_dfg(48, seed=7, live_out_fraction=0.25)
+    best = find_best_cut(dfg, paper_constraints)  # default node_limit
+    assert best is not None
+    assert best.merit > 0
+    cuts = list(enumerate_feasible_cuts(dfg, paper_constraints))
+    assert cuts
+    top = max(cuts, key=lambda cut: cut.merit)
+    assert best.merit == top.merit
 
 
 def test_stats_are_populated(mac_chain_dfg, paper_constraints):

@@ -2,7 +2,6 @@
 
 from repro.codegen import comparison_report, format_table, result_report
 from repro.core import ISEGen
-from repro.hwmodel import ISEConstraints
 
 
 def test_format_table_alignment():

@@ -10,7 +10,7 @@ from repro.codegen import (
 )
 from repro.core import generate_block_cuts
 from repro.errors import ReproError
-from repro.hwmodel import ISEConstraints, LatencyModel
+from repro.hwmodel import LatencyModel
 from repro.isa import Opcode
 
 

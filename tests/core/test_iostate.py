@@ -1,6 +1,5 @@
 """Tests for the incremental I/O bookkeeping (Section 4.3 of the paper)."""
 
-import pytest
 
 from repro.core import IOState
 from repro.dfg import DataFlowGraph, count_io

@@ -15,8 +15,7 @@ from repro.core import (
 )
 from repro.dfg import Cut, random_dfg
 from repro.errors import ISEGenError
-from repro.hwmodel import ISEConstraints
-from repro.program import Program, single_block_program
+from repro.program import Program
 
 
 def test_generate_block_cuts_are_disjoint_and_legal(mac_chain_dfg, paper_constraints):

@@ -8,7 +8,7 @@ import pytest
 from repro.core import PartitionState
 from repro.dfg import count_io, is_convex
 from repro.errors import ISEGenError
-from repro.hwmodel import ISEConstraints, LatencyModel
+from repro.hwmodel import LatencyModel
 from repro.merit import MeritFunction
 
 

@@ -1,6 +1,5 @@
 """Tests for topological utilities (critical path, barriers, components)."""
 
-import pytest
 
 from repro.dfg import (
     connected_components,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines import GeneticConfig
-from repro.core import ISEGenConfig
 from repro.experiments import (
     average_isegen_advantage,
     instances_by_io,
@@ -57,6 +56,33 @@ def test_figure4_marks_infeasible_runs(paper_constraints):
     isegen_row = next(r for r in speedup.rows if r["algorithm"] == "ISEGEN")
     assert exact_row["speedup"] is None and not exact_row["feasible"]
     assert isegen_row["speedup"] > 1.0
+
+
+def test_figure4_node_limit_records_infeasible_cells(paper_constraints):
+    """An explicit node limit turns oversized blocks into recorded
+    infeasible cells (fft00-style missing bars) without crashing the sweep,
+    and leaves small-enough blocks and non-exhaustive algorithms alone."""
+    speedup, runtime = run_figure4(
+        benchmarks=("conven00", "fbital00"),
+        algorithms=("Exact", "Iterative", "ISEGEN"),
+        constraints=paper_constraints,
+        node_limit=8,
+    )
+    assert speedup.meta["node_limit"] == 8
+    rows = {(r["benchmark"], r["algorithm"]): r for r in speedup.rows}
+    # conven00's 6-node block fits under the limit of 8 for both flavours.
+    assert rows[("conven00(6)", "Exact")]["feasible"]
+    assert rows[("conven00(6)", "Iterative")]["feasible"]
+    # fbital00's 20-node block does not: recorded, not raised.
+    for algorithm in ("Exact", "Iterative"):
+        row = rows[("fbital00(20)", algorithm)]
+        assert row["speedup"] is None
+        assert not row["feasible"]
+    # ISEGEN has no enumeration limit and is untouched by the override.
+    assert rows[("fbital00(20)", "ISEGEN")]["speedup"] > 1.0
+    # The runtime panel records the same feasibility pattern.
+    runtime_rows = {(r["benchmark"], r["algorithm"]): r for r in runtime.rows}
+    assert not runtime_rows[("fbital00(20)", "Exact")]["feasible"]
 
 
 def test_figure6_reduced_sweep():

@@ -5,7 +5,6 @@ import json
 from repro.baselines import run_exact
 from repro.errors import BaselineInfeasibleError
 from repro.experiments import ExperimentTable, save_tables, timed_run
-from repro.hwmodel import ISEConstraints
 from repro.workloads import load_workload
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import generate_block_cuts
-from repro.hwmodel import EnergyModel, ISEConstraints
+from repro.hwmodel import EnergyModel
 from repro.isa import Opcode
 
 

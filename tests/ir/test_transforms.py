@@ -1,6 +1,5 @@
 """Tests for the IR clean-up passes (folding, copy propagation, DCE)."""
 
-import pytest
 
 from repro.ir import (
     IRBuilder,

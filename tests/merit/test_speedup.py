@@ -12,7 +12,7 @@ from repro.merit import (
     MeritFunction,
     speedup_value,
 )
-from repro.program import BlockProfile, Program, single_block_program
+from repro.program import BlockProfile, Program
 
 
 def test_no_cuts_means_unit_speedup(single_block):

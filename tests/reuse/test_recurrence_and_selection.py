@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ISEGen
-from repro.hwmodel import ISEConstraints
 from repro.program import single_block_program
 from repro.reuse import (
     annotate_instances,

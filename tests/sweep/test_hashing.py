@@ -15,7 +15,6 @@ from repro.baselines import GeneticConfig
 from repro.core import GainWeights, ISEGenConfig, canonical_state, fingerprint
 from repro.errors import ISEGenError
 from repro.experiments.figure6 import _figure6_cell
-from repro.hwmodel import ISEConstraints
 from repro.parallel import job
 from repro.sweep import SweepError, cell_key
 from repro.sweep.hashing import decode_result, encode_result

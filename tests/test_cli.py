@@ -47,6 +47,42 @@ def test_run_command_with_options(capsys):
     assert "Reuse-aware speedup" in output
 
 
+def test_run_exhaustive_baseline_reports_search_trace(capsys):
+    code = main(["run", "fbital00", "--algorithm", "Iterative"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Search trace:" in output
+    assert "memo hits" in output
+    assert "bound cuts" in output
+
+
+def test_run_node_limit_infeasible_block_fails_cleanly(capsys):
+    # The 104-node fft00 block exceeds an explicit --node-limit: the CLI
+    # exits 1 with the infeasibility message instead of a traceback.
+    code = main(["run", "fft00", "--algorithm", "Iterative", "--node-limit", "32"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "104 candidate nodes" in captured.err
+    assert "enumeration limit of 32" in captured.err
+    assert captured.out == ""
+
+
+def test_run_node_limit_ignored_for_non_exhaustive_algorithms(capsys):
+    code = main(["run", "fbital00", "--algorithm", "Greedy", "--node-limit", "8"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "--node-limit applies to the exhaustive baselines" in captured.err
+    assert "Greedy" in captured.out
+
+
+def test_figure4_parser_accepts_node_limit():
+    args = build_parser().parse_args(["figure4", "--node-limit", "16"])
+    assert args.node_limit == 16
+    args = build_parser().parse_args(["figure4"])
+    assert args.node_limit is None
+
+
 def test_figure1_command_saves_tables(tmp_path, capsys):
     assert main(["figure1", "--output", str(tmp_path)]) == 0
     output = capsys.readouterr().out
