@@ -1,0 +1,129 @@
+"""End-to-end sweep smoke: two workers, file:// and s3:// stores.
+
+CI runs this (job ``sweep-e2e``) to exercise the multi-worker distributed
+path no unit test covers end to end: a reduced figure6 sweep (two I/O
+constraints x one N_ISE x two algorithms = 4 cells) is submitted, executed
+by **two concurrent ``repro sweep worker`` CLI processes** sharing one
+queue directory, and collected — once against the default ``file://``
+store and once against the in-repo FakeObjectServer ``s3://`` backend.
+
+Asserted invariants:
+
+* every cell executes exactly once across the two workers;
+* the collected figure6 table is row-identical between the file:// run,
+  the s3:// run, and the serial in-process harness;
+* resubmitting each finished sweep reports 100% cache hits with nothing
+  enqueued, and (s3://) the cache probe is one batched listing — no
+  per-cell HEAD requests.
+
+Usage::
+
+    PYTHONPATH=src python scripts/sweep_e2e.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.experiments import run_figure6  # noqa: E402
+from repro.sweep import SweepDirectory, collect, status, submit  # noqa: E402
+from repro.sweep.objectstore import FakeObjectServer  # noqa: E402
+
+#: The reduced figure6 grid: 2 I/O pairs x 1 N_ISE x 2 algorithms = 4 cells.
+REDUCED = {"io_sweep": [[2, 1], [4, 2]], "nise_values": [1]}
+WORKERS = 2
+
+
+def strip_timing(rows):
+    return [
+        {k: v for k, v in row.items() if k not in ("runtime_us", "runtime_s")}
+        for row in rows
+    ]
+
+
+def run_sweep(label: str, sweep_dir: Path, store_url: str | None, env: dict):
+    """Submit, execute via two CLI workers, collect; return stripped rows."""
+    directory = SweepDirectory(sweep_dir, store_url=store_url)
+    report = submit(directory, "figure6", options=REDUCED)
+    assert report.total == 4 and report.enqueued == 4, report.summary()
+    print(f"[{label}] {report.summary()}", flush=True)
+
+    command = [sys.executable, "-m", "repro.cli", "sweep", "worker",
+               "--dir", str(sweep_dir), "--poll", "0.05"]
+    if store_url:
+        command += ["--store-url", store_url]
+    processes = [
+        subprocess.Popen(command, env=env, stdout=subprocess.PIPE, text=True)
+        for _ in range(WORKERS)
+    ]
+    executed = 0
+    for process in processes:
+        stdout, _ = process.communicate(timeout=600)
+        assert process.returncode == 0, f"[{label}] worker failed:\n{stdout}"
+        print(f"[{label}] {stdout.strip()}", flush=True)
+        executed += int(re.search(r"executed (\d+) cell", stdout).group(1))
+    assert executed == 4, f"[{label}] expected 4 executions total, saw {executed}"
+
+    sweep_status = status(directory, "figure6")
+    assert sweep_status.complete, f"[{label}] {sweep_status.summary()}"
+    (table,) = collect(directory, "figure6")
+
+    resubmit = submit(directory, "figure6", options=REDUCED)
+    assert resubmit.cached == resubmit.total == 4 and resubmit.enqueued == 0, (
+        f"[{label}] resubmission was not a pure cache hit: {resubmit.summary()}"
+    )
+    assert resubmit.hit_rate == 1.0
+    print(f"[{label}] resubmit: {resubmit.summary()}", flush=True)
+    return strip_timing(table.rows)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None, help="scratch dir (default: mkdtemp)")
+    args = parser.parse_args()
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="sweep-e2e-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    base_env = {**os.environ, "PYTHONPATH": str(SRC)}
+
+    file_rows = run_sweep("file", workdir / "file-sweep", None, base_env)
+
+    with FakeObjectServer() as server:
+        # Both this process (submit/collect) and the worker subprocesses
+        # resolve the s3:// endpoint from the environment.
+        os.environ["ISEGEN_S3_ENDPOINT"] = server.endpoint
+        env = {**base_env, "ISEGEN_S3_ENDPOINT": server.endpoint}
+        print(f"[s3] FakeObjectServer at {server.endpoint}", flush=True)
+        server.clear_request_log()
+        s3_rows = run_sweep("s3", workdir / "s3-sweep", "s3://sweep-e2e", env)
+        # The resubmission probe (the last burst of requests) must have
+        # been one batched listing, never a HEAD per cell.
+        heads = [entry for entry in server.request_log() if entry[0] == "HEAD"]
+        assert not heads, f"[s3] unbatched per-cell probes: {heads}"
+
+    serial_rows = strip_timing(
+        run_figure6(io_sweep=[(2, 1), (4, 2)], nise_values=[1], quick_genetic=True).rows
+    )
+    assert file_rows == serial_rows, "file:// rows differ from the serial harness"
+    assert s3_rows == serial_rows, "s3:// rows differ from the serial harness"
+    assert file_rows == s3_rows
+    print(
+        f"sweep-e2e OK: {len(file_rows)} figure6 rows identical across "
+        "serial, file:// and s3:// (2 workers each), 100% cache hits on "
+        "resubmit, batched probes",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

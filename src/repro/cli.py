@@ -198,6 +198,7 @@ def _sweep_directory(args: argparse.Namespace):
         args.dir,
         lease_seconds=DEFAULT_LEASE_SECONDS if lease is None else lease,
         max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts,
+        store_url=getattr(args, "store_url", None),
     )
 
 
@@ -214,9 +215,12 @@ def _cmd_sweep_submit(args: argparse.Namespace) -> int:
     report = submit(_sweep_directory(args), args.sweep, options=_sweep_options(args))
     print(report.summary())
     if report.enqueued or report.already_queued:
+        hint = f"isegen sweep worker --dir {args.dir}"
+        if getattr(args, "store_url", None):
+            hint += f" --store-url {args.store_url}"
         print(
-            f"run `isegen sweep worker --dir {args.dir}` (any number of "
-            "processes/machines sharing the directory) to execute the cells"
+            f"run `{hint}` (any number of processes/machines sharing the "
+            "directory) to execute the cells"
         )
     return 0
 
@@ -316,10 +320,14 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     return code
 
 
+def _bench_location(args: argparse.Namespace) -> str:
+    return getattr(args, "store_url", None) or args.dir
+
+
 def _cmd_bench_record(args: argparse.Namespace) -> int:
     from .sweep import BenchmarkTracker
 
-    entry = BenchmarkTracker(args.dir).record(args.json, commit=args.commit)
+    entry = BenchmarkTracker(_bench_location(args)).record(args.json, commit=args.commit)
     print(
         f"recorded {len(entry['benchmarks'])} benchmark(s) for commit "
         f"{entry['commit']}"
@@ -340,7 +348,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         print("error: pass two JSON files, or neither (store mode)", file=sys.stderr)
         return 2
     else:
-        comparison = BenchmarkTracker(args.dir).compare_latest(
+        comparison = BenchmarkTracker(_bench_location(args)).compare_latest(
             max_slowdown=args.max_slowdown
         )
         if comparison is None:
@@ -458,6 +466,15 @@ def _add_sweep_parsers(subparsers) -> None:
             required=True,
             help="sweep directory (store + queue + manifests); share it "
             "between machines to shard the sweep",
+        )
+        sub.add_argument(
+            "--store-url",
+            default=None,
+            help="relocate the result store + manifests onto a storage "
+            "backend: file:///path, mem://name (in-process only), or "
+            "s3://bucket[/prefix] (S3 endpoint via ?endpoint=... or "
+            "$ISEGEN_S3_ENDPOINT; the queue stays under --dir).  Pass the "
+            "same URL to every sweep subcommand touching the sweep",
         )
 
     sub = commands.add_parser(
@@ -583,6 +600,15 @@ def _add_bench_parsers(subparsers) -> None:
     )
     commands = bench.add_subparsers(dest="bench_command", required=True)
 
+    def add_store_url(sub) -> None:
+        sub.add_argument(
+            "--store-url",
+            default=None,
+            help="keep the tracker on a storage backend instead of --dir: "
+            "file:///path, mem://name (in-process only), or "
+            "s3://bucket[/prefix]",
+        )
+
     sub = commands.add_parser(
         "record", help="record a --benchmark-json artifact for one commit"
     )
@@ -590,6 +616,7 @@ def _add_bench_parsers(subparsers) -> None:
     sub.add_argument(
         "--dir", default=".benchtrack", help="tracker directory (default .benchtrack)"
     )
+    add_store_url(sub)
     sub.add_argument(
         "--commit", help="commit id (default: $GITHUB_SHA or a local timestamp)"
     )
@@ -605,6 +632,7 @@ def _add_bench_parsers(subparsers) -> None:
     sub.add_argument(
         "--dir", default=".benchtrack", help="tracker directory (default .benchtrack)"
     )
+    add_store_url(sub)
     sub.add_argument(
         "--max-slowdown",
         type=float,

@@ -4,6 +4,10 @@ Turns the in-process experiment harnesses into a durable, addressable,
 resumable execution service:
 
 * :mod:`repro.sweep.hashing` — content addresses for experiment cells;
+* :mod:`repro.sweep.storage` — pluggable blob-storage backends
+  (``file://`` / ``mem://`` / ``s3://``) behind one protocol;
+* :mod:`repro.sweep.objectstore` — the S3-dialect REST backend and the
+  in-repo offline :class:`~repro.sweep.objectstore.FakeObjectServer`;
 * :mod:`repro.sweep.store` — the content-addressed JSON result store;
 * :mod:`repro.sweep.filequeue` — shared-directory claim/lease work queue;
 * :mod:`repro.sweep.backends` — serial / process-pool / file-queue executors;
@@ -13,6 +17,13 @@ resumable execution service:
 """
 
 from .hashing import CODE_VERSION, SweepError, cell_key, sweep_salt
+from .storage import (
+    LocalFSBackend,
+    MemoryBackend,
+    StorageBackend,
+    memory_store,
+    storage_from_url,
+)
 from .store import GCReport, ResultStore, StoreScan, StoreStats
 from .filequeue import CellTask, FileQueue, worker_identity
 from .backends import (
@@ -53,6 +64,11 @@ __all__ = [
     "SweepError",
     "cell_key",
     "sweep_salt",
+    "StorageBackend",
+    "LocalFSBackend",
+    "MemoryBackend",
+    "memory_store",
+    "storage_from_url",
     "ResultStore",
     "StoreStats",
     "StoreScan",

@@ -12,17 +12,27 @@ crash-leftover tmp cleanup) lands everywhere at once.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 
+def _tmp_sibling(target: Path) -> Path:
+    # pid + thread id: unique per writer even when two threads of one
+    # process (e.g. a worker and its lease heartbeat, or racing test
+    # writers) publish the same target concurrently.
+    return target.parent / (
+        f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+
+
 def atomic_write_bytes(target: Path, payload: bytes) -> None:
-    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    tmp = _tmp_sibling(target)
     tmp.write_bytes(payload)
     os.replace(tmp, target)
 
 
 def atomic_write_text(target: Path, payload: str) -> None:
-    tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    tmp = _tmp_sibling(target)
     tmp.write_text(payload)
     os.replace(tmp, target)
 

@@ -118,7 +118,10 @@ class FileQueueBackend(ExecutorBackend):
         self.timeout = timeout
 
     def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
-        tasks = [task for task in tasks if not store.contains(task.key)]
+        # One batched probe instead of a stat per task (cheap on remote
+        # object stores and shared/NFS filesystems alike).
+        stored = store.contains_many([task.key for task in tasks])
+        tasks = [task for task in tasks if task.key not in stored]
         for task in tasks:
             self.queue.enqueue(task)
         if not self.wait:
@@ -135,7 +138,7 @@ class FileQueueBackend(ExecutorBackend):
             if now - last_scan >= scan_interval:
                 self.queue.requeue_expired()
                 last_scan = now
-            outstanding = {key for key in outstanding if not store.contains(key)}
+            outstanding -= store.contains_many(list(outstanding))
             if not outstanding:
                 break
             failed = outstanding & set(self.queue.failed_keys())

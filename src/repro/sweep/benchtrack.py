@@ -2,30 +2,36 @@
 
 ``pytest-benchmark --benchmark-json=...`` artifacts are recorded per commit
 into the same content-addressed :class:`~repro.sweep.store.ResultStore` the
-sweeps use (key = hash of commit id + benchmark fullname), with a small
-append-only ``runs.json`` index preserving recording order.  A compare step
-then flags any benchmark whose mean time grew by more than a threshold
-(default 30%) relative to the previous recorded run — the CI wiring lives
-in ``.github/workflows/ci.yml``.
+sweeps use (key = hash of commit id + benchmark fullname), with one
+``runs/<commit>.json`` entry per recorded run (ordered by timestamp; no
+shared index to race on).  Both go through the pluggable
+:class:`~repro.sweep.storage.StorageBackend`, so the history can live in a
+local directory (the default) or any ``--store-url`` backend shared
+between CI runners.  A compare step then flags any
+benchmark whose mean time grew by more than a threshold (default 30%)
+relative to the previous recorded run — the CI wiring lives in
+``.github/workflows/ci.yml``.
 
 CLI::
 
     repro bench record  results.json --dir .benchtrack [--commit SHA]
     repro bench compare --dir .benchtrack [--max-slowdown 1.3]
     repro bench compare baseline.json current.json   # store-less mode
+    repro bench record  results.json --store-url s3://ci-bench
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.config import fingerprint
-from .atomic import atomic_write_text
 from .hashing import SweepError
+from .storage import StorageBackend, storage_from_url
 from .store import ResultStore
 
 #: Flag regressions beyond this current/baseline mean-time ratio.
@@ -124,19 +130,47 @@ def compare_rows(
 
 
 class BenchmarkTracker:
-    """Commit-addressed benchmark history in a sweep-style result store."""
+    """Commit-addressed benchmark history in a sweep-style result store.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.store = ResultStore(self.root / "store")
-        self.index_path = self.root / "runs.json"
+    *location* is a directory path (the default deployment) or any
+    ``--store-url`` value / :class:`~repro.sweep.storage.StorageBackend`;
+    timed rows land in a :class:`~repro.sweep.store.ResultStore` under
+    ``store/`` and each recorded run under its own ``runs/<commit>.json``
+    entry — one key per run, so concurrent recorders (two CI runners
+    sharing one tracker) can never lose each other's entry the way a
+    read-modify-write shared index would.  Runs are ordered by their
+    ``recorded_at`` timestamp; a legacy ``runs.json`` index (written by
+    older versions) is still read and merged.
+    """
+
+    _LEGACY_INDEX_KEY = "runs.json"
+    _RUNS_PREFIX = "runs/"
+
+    def __init__(self, location: "str | Path | StorageBackend"):
+        self.storage = storage_from_url(location)
+        self.store = ResultStore(self.storage.sub("store"))
+
+    @classmethod
+    def _run_key(cls, commit: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", commit) or "_"
+        return f"{cls._RUNS_PREFIX}{safe}.json"
 
     def runs(self) -> list[dict]:
+        """All recorded runs, oldest first (by ``recorded_at``)."""
+        by_commit: dict[str, dict] = {}
         try:
-            return json.loads(self.index_path.read_text())
-        except FileNotFoundError:
-            return []
+            for entry in json.loads(self.storage.get_text(self._LEGACY_INDEX_KEY)):
+                by_commit[entry["commit"]] = entry
+        except KeyError:
+            pass
+        run_keys = self.storage.list_keys(self._RUNS_PREFIX)
+        for payload in self.storage.get_many(run_keys).values():
+            entry = json.loads(payload)
+            by_commit[entry["commit"]] = entry
+        return sorted(
+            by_commit.values(),
+            key=lambda entry: (entry.get("recorded_at", 0.0), entry["commit"]),
+        )
 
     def _row_key(self, commit: str, name: str) -> str:
         return fingerprint(commit, name, salt="benchtrack-v1")
@@ -158,16 +192,18 @@ class BenchmarkTracker:
             "recorded_at": time.time(),
             "benchmarks": sorted(rows),
         }
-        runs = [run for run in self.runs() if run["commit"] != commit]
-        runs.append(entry)
-        atomic_write_text(self.index_path, json.dumps(runs, indent=1))
+        # One key per run: re-recording a commit overwrites its own entry,
+        # and concurrent recorders of different commits never collide.
+        self.storage.put_text(self._run_key(commit), json.dumps(entry, indent=1))
         return entry
 
     def rows_for(self, run: dict) -> dict[str, dict]:
+        keys = {name: self._row_key(run["commit"], name) for name in run["benchmarks"]}
+        stored = self.store.contains_many(list(keys.values()))
         return {
-            name: self.store.peek(self._row_key(run["commit"], name))
-            for name in run["benchmarks"]
-            if self.store.contains(self._row_key(run["commit"], name))
+            name: self.store.peek(key)
+            for name, key in keys.items()
+            if key in stored
         }
 
     def compare_latest(

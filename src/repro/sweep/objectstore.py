@@ -1,0 +1,434 @@
+"""Minimal S3-dialect object storage: REST client + in-repo fake server.
+
+:class:`ObjectStoreBackend` speaks the smallest useful subset of the S3
+REST dialect — path-style ``GET/PUT/HEAD/DELETE /bucket/key`` plus the
+``list-type=2`` bucket listing — against a *configurable endpoint*, so it
+works unchanged against MinIO, localstack, or the in-repo
+:class:`FakeObjectServer`.  Transient faults (HTTP 5xx, dropped
+connections) are retried with exponential backoff; 4xx are not.
+
+Atomicity: an S3-style PUT is atomic *per key* — the server flips the
+key's current version in one step, so readers see the old object, the new
+object, or 404, never a torn body.  :class:`FakeObjectServer` emulates
+exactly that with per-key versioning: every PUT stores a new immutable
+version and atomically repoints the key (the version id rides back in the
+``x-object-version`` response header); conditional ``If-None-Match: *``
+PUTs give put-if-absent semantics (HTTP 412 when the key already has a
+current version).  The sweep layer only *needs* last-writer-wins
+idempotent puts, but the conditional form is what a future
+lease-via-object-store worker protocol would build on.
+
+The fake server runs on stdlib ``http.server`` (one thread per request)
+so the whole ``s3://`` path — CI included — is testable offline::
+
+    python -m repro.sweep.objectstore --port 9099   # serve until killed
+    ISEGEN_S3_ENDPOINT=http://127.0.0.1:9099 \\
+        repro sweep run figure6 --dir /tmp/sweep --store-url s3://repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Sequence
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, quote, unquote, urlsplit
+from xml.etree import ElementTree
+from xml.sax.saxutils import escape
+
+from .hashing import SweepError
+from .storage import StorageBackend, check_key
+
+#: Retried response classes: server-side errors and connection drops.
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF = 0.05
+
+
+class ObjectStoreBackend(StorageBackend):
+    """S3-style REST blob storage (MinIO/localstack-compatible)."""
+
+    scheme = "s3"
+
+    def __init__(
+        self,
+        bucket: str,
+        *,
+        endpoint: str,
+        prefix: str = "",
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        timeout: float = 30.0,
+    ):
+        if not bucket:
+            raise SweepError("object store bucket must be non-empty")
+        self.bucket = bucket
+        self.endpoint = endpoint.rstrip("/")
+        self.prefix = prefix.strip("/")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _object_url(self, key: str) -> str:
+        full = f"{self.prefix}/{key}" if self.prefix else key
+        return f"{self.endpoint}/{self.bucket}/{quote(full)}"
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        *,
+        body: bytes | None = None,
+        headers: dict | None = None,
+        ok_statuses: frozenset = frozenset(),
+    ):
+        """One HTTP round trip with retry/backoff on 5xx and socket drops.
+
+        Returns ``(status, payload)``; a non-2xx status listed in
+        *ok_statuses* (e.g. 404 for reads, 412 for conditional puts) is
+        returned like a success instead of raising.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=body, method=method, headers=headers or {}
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                    return reply.status, reply.read()
+            except urllib.error.HTTPError as error:
+                if error.code in ok_statuses:
+                    return error.code, b""
+                if error.code < 500:
+                    raise SweepError(
+                        f"object store rejected {method} {url}: "
+                        f"HTTP {error.code} {error.reason}"
+                    ) from None
+                last_error = error
+            except urllib.error.URLError as error:
+                last_error = error
+            if attempt < self.retries:
+                time.sleep(self.backoff * (2**attempt))
+        raise SweepError(
+            f"object store unreachable after {self.retries + 1} attempts: "
+            f"{method} {url} ({last_error})"
+        )
+
+    # ------------------------------------------------------------------
+    # StorageBackend protocol
+    # ------------------------------------------------------------------
+    _MISSING_OK = frozenset({404})
+
+    def get(self, key: str) -> bytes:
+        status, payload = self._request(
+            "GET", self._object_url(check_key(key)), ok_statuses=self._MISSING_OK
+        )
+        if status == 404:
+            raise KeyError(key)
+        return payload
+
+    def put_atomic(self, key: str, payload: bytes) -> None:
+        self._request("PUT", self._object_url(check_key(key)), body=payload)
+
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        """Conditional PUT (``If-None-Match: *``); ``False`` when taken.
+
+        Best-effort: a retried PUT whose first attempt succeeded but whose
+        response was lost reports ``False`` (the key exists — written by
+        us).  Fine for advisory claims; not a linearizable lock.
+        """
+        status, _ = self._request(
+            "PUT",
+            self._object_url(check_key(key)),
+            body=payload,
+            headers={"If-None-Match": "*"},
+            ok_statuses=frozenset({412}),
+        )
+        return status != 412
+
+    def delete(self, key: str) -> bool:
+        status, _ = self._request(
+            "DELETE", self._object_url(check_key(key)), ok_statuses=self._MISSING_OK
+        )
+        return status != 404
+
+    def exists(self, key: str) -> bool:
+        status, _ = self._request(
+            "HEAD", self._object_url(check_key(key)), ok_statuses=self._MISSING_OK
+        )
+        return status != 404
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        full_prefix = f"{self.prefix}/{prefix}" if self.prefix else prefix
+        keys: list[str] = []
+        token = None
+        while True:  # continuation-token pagination, S3 list-type=2 style
+            query = f"list-type=2&prefix={quote(full_prefix)}"
+            if token:
+                query += f"&continuation-token={quote(token)}"
+            _, payload = self._request(
+                "GET", f"{self.endpoint}/{self.bucket}?{query}"
+            )
+            document = ElementTree.fromstring(payload.decode("utf-8"))
+            # {*} wildcards: real S3/MinIO responses carry the
+            # http://s3.amazonaws.com/doc/2006-03-01/ default namespace.
+            keys.extend(
+                element.text or ""
+                for element in document.iterfind(".//{*}Key")
+            )
+            token = (document.findtext("{*}NextContinuationToken") or "").strip()
+            if document.findtext("{*}IsTruncated", "false").strip() != "true":
+                break
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        return sorted(key[strip:] for key in keys)
+
+    def describe(self) -> str:
+        suffix = f"/{self.prefix}" if self.prefix else ""
+        return f"s3://{self.bucket}{suffix} @ {self.endpoint}"
+
+
+# ----------------------------------------------------------------------
+# The in-repo fake object server
+# ----------------------------------------------------------------------
+class _ObjectRequestHandler(BaseHTTPRequestHandler):
+    """One request against the fake server's versioned key space."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_ObjectHTTPServer"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test/CI output clean
+
+    # -- plumbing ------------------------------------------------------
+    def _reply(self, status: int, payload: bytes = b"", headers: dict | None = None):
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(payload)
+
+    def _route(self) -> tuple[str, str, dict]:
+        parts = urlsplit(self.path)
+        segments = unquote(parts.path).lstrip("/").split("/", 1)
+        bucket = segments[0]
+        key = segments[1] if len(segments) > 1 else ""
+        return bucket, key, parse_qs(parts.query)
+
+    def _handle(self):
+        state = self.server.state
+        bucket, key, query = self._route()
+        with state.lock:
+            state.requests.append((self.command, unquote(self.path)))
+            if state.fail_requests > 0:
+                state.fail_requests -= 1
+                return self._reply(503, b"injected fault")
+        if not bucket:
+            return self._reply(400, b"missing bucket")
+        if self.command == "PUT":
+            return self._put(state, bucket, key)
+        if not key:  # bucket-level GET/HEAD = listing
+            return self._list(state, bucket, query)
+        if self.command in ("GET", "HEAD"):
+            return self._get(state, bucket, key)
+        if self.command == "DELETE":
+            return self._delete(state, bucket, key)
+        return self._reply(405, b"unsupported method")
+
+    do_GET = do_PUT = do_DELETE = do_HEAD = _handle
+
+    # -- object operations ---------------------------------------------
+    def _put(self, state, bucket: str, key: str):
+        if not key:
+            return self._reply(400, b"PUT needs a key")
+        length = int(self.headers.get("Content-Length") or 0)
+        payload = self.rfile.read(length)
+        with state.lock:
+            objects = state.buckets.setdefault(bucket, {})
+            if self.headers.get("If-None-Match") == "*" and key in objects:
+                return self._reply(412, b"precondition failed: key exists")
+            # Key-versioning emulation of an atomic PUT: the new body is
+            # stored as a fresh immutable version and the key is repointed
+            # in one assignment under the lock — a racing reader sees the
+            # previous version or this one, never a mix.
+            state.version_counter += 1
+            version = state.version_counter
+            objects[key] = (version, payload)
+        return self._reply(200, headers={"x-object-version": str(version)})
+
+    def _get(self, state, bucket: str, key: str):
+        with state.lock:
+            entry = state.buckets.get(bucket, {}).get(key)
+        if entry is None:
+            return self._reply(404, b"no such key")
+        version, payload = entry
+        return self._reply(200, payload, headers={"x-object-version": str(version)})
+
+    def _delete(self, state, bucket: str, key: str):
+        with state.lock:
+            existed = state.buckets.get(bucket, {}).pop(key, None) is not None
+        return self._reply(204 if existed else 404)
+
+    def _list(self, state, bucket: str, query: dict):
+        prefix = (query.get("prefix") or [""])[0]
+        token = (query.get("continuation-token") or [""])[0]
+        start = int(token) if token else 0
+        with state.lock:
+            keys = sorted(
+                key
+                for key in state.buckets.get(bucket, {})
+                if key.startswith(prefix)
+            )
+        page = keys[start : start + state.max_keys]
+        truncated = start + state.max_keys < len(keys)
+        # The default namespace matches real S3/MinIO responses, so the
+        # client's namespace handling is exercised by every offline test.
+        body = [
+            "<?xml version=\"1.0\"?>"
+            "<ListBucketResult "
+            "xmlns=\"http://s3.amazonaws.com/doc/2006-03-01/\">"
+        ]
+        body.append(f"<IsTruncated>{'true' if truncated else 'false'}</IsTruncated>")
+        if truncated:
+            body.append(
+                f"<NextContinuationToken>{start + state.max_keys}"
+                "</NextContinuationToken>"
+            )
+        body.extend(
+            f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
+        )
+        body.append("</ListBucketResult>")
+        return self._reply(
+            200, "".join(body).encode("utf-8"), headers={"Content-Type": "application/xml"}
+        )
+
+
+class _ServerState:
+    """Shared mutable state of one fake server (guarded by ``lock``)."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        #: ``bucket -> key -> (version, payload)``.
+        self.buckets: dict[str, dict[str, tuple[int, bytes]]] = {}
+        self.version_counter = 0
+        #: Fault injection: the next N requests answer HTTP 503.
+        self.fail_requests = 0
+        #: ``(method, path)`` log, for asserting batching in tests.
+        self.requests: list[tuple[str, str]] = []
+        #: Listing page size (small values exercise pagination).
+        self.max_keys = 1000
+
+
+class _ObjectHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, state: _ServerState):
+        super().__init__(address, _ObjectRequestHandler)
+        self.state = state
+
+
+class FakeObjectServer:
+    """An in-process, offline S3-dialect server for tests and CI.
+
+    Usable as a context manager::
+
+        with FakeObjectServer() as server:
+            backend = ObjectStoreBackend("bucket", endpoint=server.endpoint)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self.state = _ServerState()
+        self._server: _ObjectHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> str:
+        if self._server is not None:
+            return self.endpoint
+        self._server = _ObjectHTTPServer((self.host, self.port), self.state)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="fake-object-server", daemon=True
+        )
+        self._thread.start()
+        return self.endpoint
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._thread = None
+
+    def __enter__(self) -> "FakeObjectServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- test hooks ----------------------------------------------------
+    def fail_next(self, count: int) -> None:
+        """Answer the next *count* requests with HTTP 503 (fault injection)."""
+        with self.state.lock:
+            self.state.fail_requests = int(count)
+
+    def request_log(self) -> list[tuple[str, str]]:
+        with self.state.lock:
+            return list(self.state.requests)
+
+    def clear_request_log(self) -> None:
+        with self.state.lock:
+            self.state.requests.clear()
+
+    def listing_requests(self) -> list[str]:
+        """Paths of bucket-listing requests seen so far."""
+        return [
+            path
+            for method, path in self.request_log()
+            if method == "GET" and "list-type=2" in path
+        ]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Serve a fake object store until interrupted (CI / manual use)."""
+    parser = argparse.ArgumentParser(
+        description="in-repo S3-dialect object server (offline testing)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9099)
+    args = parser.parse_args(argv)
+    server = FakeObjectServer(args.host, args.port)
+    print(f"fake object server listening on {server.start()}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "FakeObjectServer",
+    "ObjectStoreBackend",
+]

@@ -10,6 +10,13 @@ lives under one **sweep directory** that may be shared between machines::
         queue/        FileQueue work directories (pending/claimed/leases/failed)
         manifests/    <name>.json — ordered cell keys + options per sweep
 
+The store and manifests speak the pluggable
+:class:`~repro.sweep.storage.StorageBackend` protocol: by default both
+live under the sweep directory itself (the layout above), but a
+``store_url`` (``file://``, ``mem://``, ``s3://`` — the CLI's
+``--store-url``) relocates them onto any backend, e.g. an S3-style object
+store shared by workers that only have the *queue* directory in common.
+
 The lifecycle mirrors a batch scheduler:
 
 * :func:`submit` enumerates the sweep's cells, writes the manifest
@@ -37,7 +44,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..parallel import ParallelJob
-from .atomic import atomic_write_text
 from .backends import ExecutorBackend, FileQueueBackend
 from .filequeue import (
     DEFAULT_LEASE_SECONDS,
@@ -48,6 +54,7 @@ from .filequeue import (
 )
 from .hashing import SweepError, cell_key, qualified_name, sweep_salt
 from .registry import sweep_spec
+from .storage import LocalFSBackend, StorageBackend, storage_from_url
 from .store import GCReport, ResultStore, StoreScan
 
 
@@ -75,9 +82,12 @@ class SweepSubmitted(Exception):
 class CachedExecutor:
     """``run_parallel``-compatible adapter over store + backend.
 
-    Looks every cell up in the store first; only misses reach the backend.
-    Results are returned in submission order, so tables built through this
-    adapter are row-for-row identical to the plain serial harness.
+    Looks every cell up in the store first — one batched
+    :meth:`~repro.sweep.store.ResultStore.lookup_many` probe per call, so a
+    fully cached resubmission costs a single listing rather than a stat per
+    cell — and only misses reach the backend.  Results are returned in
+    submission order, so tables built through this adapter are row-for-row
+    identical to the plain serial harness.
     """
 
     def __init__(
@@ -98,32 +108,33 @@ class CachedExecutor:
         jobs = list(jobs)
         keys = [cell_key(cell, self.salt) for cell in jobs]
         self.keys.extend(keys)
-        results: dict[str, object] = {}
+        # One batched probe over the unique keys: a single backend listing
+        # plus reads of the hits, instead of a stat-and-read per cell.
+        results: dict[str, object] = dict(
+            self.store.lookup_many(list(dict.fromkeys(keys)))
+        )
+        self.hits += len(results)
         missing: list[CellTask] = []
         seen_missing: set[str] = set()
         for key, cell in zip(keys, jobs):
             if key in results or key in seen_missing:
                 continue
-            found, value = self.store.lookup(key)
-            if found:
-                self.hits += 1
-                results[key] = value
-            else:
-                self.misses += 1
-                seen_missing.add(key)
-                missing.append(
-                    CellTask(
-                        key,
-                        cell,
-                        meta={"func": qualified_name(cell.func), "salt": self.salt},
-                    )
+            self.misses += 1
+            seen_missing.add(key)
+            missing.append(
+                CellTask(
+                    key,
+                    cell,
+                    meta={"func": qualified_name(cell.func), "salt": self.salt},
                 )
+            )
         if missing:
             if self.backend is None:
                 raise MissingCellsError([task.key for task in missing], len(jobs))
             self.backend.run(missing, self.store)
-            for task in missing:
-                results[task.key] = self.store.peek(task.key)
+            # One batched read-back (no cache accounting) instead of a
+            # round trip per freshly computed cell.
+            results.update(self.store.peek_many([task.key for task in missing]))
         return [results[key] for key in keys]
 
 
@@ -140,39 +151,68 @@ class _SubmitExecutor(CachedExecutor):
 # ----------------------------------------------------------------------
 @dataclass
 class SweepDirectory:
-    """Paths + handles of one (possibly shared) sweep directory."""
+    """Paths + handles of one (possibly shared) sweep directory.
+
+    The work queue always lives under *root* (the claim/lease protocol
+    needs a shared filesystem); the result store and the sweep manifests
+    go through a :class:`~repro.sweep.storage.StorageBackend` — under
+    *root* as well by default, or wherever *store_url* points (``file://``,
+    ``mem://``, ``s3://``), so workers sharing only a queue directory can
+    publish results to a common object store.
+    """
 
     root: Path
     lease_seconds: float = DEFAULT_LEASE_SECONDS
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    store_url: "str | StorageBackend | None" = None
     store: ResultStore = field(init=False)
     queue: FileQueue = field(init=False)
+    storage: StorageBackend = field(init=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
-        self.store = ResultStore(self.root / "store")
+        self.storage = (
+            storage_from_url(self.store_url)
+            if self.store_url is not None
+            else LocalFSBackend(self.root)
+        )
+        self.store = ResultStore(self.storage.sub("store"))
+        self._manifests = self.storage.sub("manifests")
         self.queue = FileQueue(
             self.root / "queue",
             lease_seconds=self.lease_seconds,
             max_attempts=self.max_attempts,
         )
-        (self.root / "manifests").mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _manifest_key(name: str) -> str:
+        return f"{name}.json"
 
     def manifest_path(self, name: str) -> Path:
-        return self.root / "manifests" / f"{name}.json"
+        """On-disk manifest path (local-filesystem storage only)."""
+        if isinstance(self._manifests, LocalFSBackend):
+            return self._manifests.path_for(self._manifest_key(name))
+        raise SweepError(f"{self._manifests.describe()} has no local paths")
+
+    def save_manifest(self, name: str, manifest: dict) -> None:
+        self._manifests.put_text(
+            self._manifest_key(name), json.dumps(manifest, indent=1)
+        )
 
     def load_manifest(self, name: str) -> dict:
         try:
-            return json.loads(self.manifest_path(name).read_text())
-        except FileNotFoundError:
+            return json.loads(self._manifests.get_text(self._manifest_key(name)))
+        except KeyError:
             raise SweepError(
-                f"no manifest for sweep {name!r} under {self.root} — "
-                "run `sweep submit` first"
+                f"no manifest for sweep {name!r} in {self._manifests.describe()}"
+                " — run `sweep submit` first"
             ) from None
 
     def manifests(self) -> list[str]:
         return sorted(
-            path.stem for path in (self.root / "manifests").glob("*.json")
+            key[: -len(".json")]
+            for key in self._manifests.list_keys()
+            if key.endswith(".json") and "/" not in key
         )
 
 
@@ -233,16 +273,19 @@ def submit(
         "keys": keys,
         "funcs": sorted({qualified_name(cell.func) for cell in cells}),
     }
-    atomic_write_text(directory.manifest_path(name), json.dumps(manifest, indent=1))
+    directory.save_manifest(name, manifest)
 
     cached = enqueued = already_queued = failed = 0
     failed_keys = set(directory.queue.failed_keys())
+    # One batched existence probe (a single store listing) instead of a
+    # stat per cell — a resubmitted 100%-hit sweep costs one round trip.
+    stored = directory.store.contains_many(list(dict.fromkeys(keys)))
     seen: set[str] = set()
     for key, cell in zip(keys, cells):
         if key in seen:
             continue
         seen.add(key)
-        if directory.store.contains(key):
+        if key in stored:
             cached += 1
         elif key in failed_keys:
             # Terminal failures stay parked until an operator intervenes
@@ -413,7 +456,7 @@ def status(directory: SweepDirectory, name: str) -> SweepStatus:
     manifest = directory.load_manifest(name)
     keys = set(manifest["keys"])
     directory.queue.requeue_expired()
-    done = sum(1 for key in keys if directory.store.contains(key))
+    done = len(directory.store.contains_many(list(keys)))
     return SweepStatus(
         name=name,
         total=len(keys),

@@ -1,10 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the Hypothesis CI profile."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.dfg import DataFlowGraph, random_dfg
+
+# The property suites (tests/properties/) run as their own CI job under
+# HYPOTHESIS_PROFILE=ci: derandomized so a red job is reproducible (and a
+# green one meaningful), with a bounded per-example deadline so one slow
+# shrink cannot eat the job, and print_blob=True so the failing-example
+# reproduction blob lands in the CI log.  Local runs keep the default
+# profile (randomized exploration).
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=2000,  # milliseconds per example; None would be unbounded
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.hwmodel import ISEConstraints, LatencyModel
 from repro.isa import Opcode
 from repro.program import single_block_program

@@ -85,3 +85,36 @@ def test_tracker_rejects_empty_artifact(tmp_path):
     path.write_text(json.dumps({"benchmarks": []}))
     with pytest.raises(SweepError):
         BenchmarkTracker(tmp_path / "track").record(path, commit="c1")
+
+
+def test_tracker_run_entries_are_per_commit_keys(tmp_path):
+    """Concurrent recorders must not lose each other's runs: each run is
+    its own storage key, not a slot in a shared read-modify-write index."""
+    tracker = BenchmarkTracker(tmp_path / "track")
+    # Simulate two racing recorders that both read an empty history first.
+    racer_a = BenchmarkTracker(tmp_path / "track")
+    racer_b = BenchmarkTracker(tmp_path / "track")
+    racer_a.record(_artifact(tmp_path / "a.json", {"t/a": 1.0}), commit="race-a")
+    racer_b.record(_artifact(tmp_path / "b.json", {"t/a": 1.1}), commit="race-b")
+    assert [run["commit"] for run in tracker.runs()] == ["race-a", "race-b"]
+    assert tracker.storage.list_keys("runs/") == [
+        "runs/race-a.json",
+        "runs/race-b.json",
+    ]
+
+
+def test_tracker_reads_legacy_runs_index(tmp_path):
+    """Histories written by the old shared runs.json index stay readable
+    and merge with new per-commit entries (new entries win per commit)."""
+    tracker = BenchmarkTracker(tmp_path / "track")
+    tracker.storage.put_text(
+        "runs.json",
+        json.dumps(
+            [
+                {"commit": "old1", "recorded_at": 1.0, "benchmarks": ["t/a"]},
+                {"commit": "old2", "recorded_at": 2.0, "benchmarks": ["t/a"]},
+            ]
+        ),
+    )
+    tracker.record(_artifact(tmp_path / "new.json", {"t/a": 1.0}), commit="new1")
+    assert [run["commit"] for run in tracker.runs()] == ["old1", "old2", "new1"]

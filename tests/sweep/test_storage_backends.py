@@ -1,0 +1,282 @@
+"""Backend conformance: one suite, every StorageBackend implementation.
+
+Each test below runs against LocalFSBackend, MemoryBackend, and
+ObjectStoreBackend (over the in-repo FakeObjectServer), so a new backend
+only has to join the fixture to inherit the whole contract: atomic
+last-writer-wins puts, idempotent double-puts, list-after-delete
+consistency, and batched get/put equivalence with the primitive loops.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.sweep import SweepError
+from repro.sweep.objectstore import FakeObjectServer, ObjectStoreBackend
+from repro.sweep.storage import (
+    LocalFSBackend,
+    MemoryBackend,
+    memory_store,
+    storage_from_url,
+)
+
+BACKENDS = ("local", "memory", "object")
+
+
+@pytest.fixture(scope="module")
+def object_server():
+    with FakeObjectServer() as server:
+        yield server
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    if request.param == "local":
+        yield LocalFSBackend(tmp_path / "blobs")
+    elif request.param == "memory":
+        yield MemoryBackend()
+    else:
+        server = request.getfixturevalue("object_server")
+        # A bucket per test keeps the shared module-scoped server clean.
+        bucket = f"bucket-{request.node.name.replace('[', '-').rstrip(']')}"
+        yield ObjectStoreBackend(bucket, endpoint=server.endpoint, backoff=0.01)
+
+
+# ----------------------------------------------------------------------
+# Core contract
+# ----------------------------------------------------------------------
+def test_round_trip_and_exists(backend):
+    assert not backend.exists("a/b.json")
+    backend.put_atomic("a/b.json", b'{"v": 1}')
+    assert backend.exists("a/b.json")
+    assert backend.get("a/b.json") == b'{"v": 1}'
+    assert backend.get_text("a/b.json") == '{"v": 1}'
+
+
+def test_get_missing_raises_keyerror(backend):
+    with pytest.raises(KeyError):
+        backend.get("no/such/key")
+
+
+def test_put_overwrites_last_writer_wins(backend):
+    backend.put_atomic("k", b"old")
+    backend.put_atomic("k", b"new")
+    assert backend.get("k") == b"new"
+
+
+def test_idempotent_double_put(backend):
+    backend.put_atomic("dup/key.json", b"payload")
+    backend.put_atomic("dup/key.json", b"payload")
+    assert backend.list_keys("dup/") == ["dup/key.json"]
+    assert backend.get("dup/key.json") == b"payload"
+
+
+def test_list_keys_sorted_and_prefix_filtered(backend):
+    for key in ("z/1", "a/1", "a/2", "b/1"):
+        backend.put_atomic(key, b"x")
+    assert backend.list_keys() == ["a/1", "a/2", "b/1", "z/1"]
+    assert backend.list_keys("a/") == ["a/1", "a/2"]
+    assert backend.list_keys("nope/") == []
+
+
+def test_list_after_delete(backend):
+    backend.put_atomic("d/1", b"x")
+    backend.put_atomic("d/2", b"y")
+    assert backend.delete("d/1") is True
+    assert backend.delete("d/1") is False  # already gone
+    assert backend.list_keys("d/") == ["d/2"]
+    assert not backend.exists("d/1")
+    with pytest.raises(KeyError):
+        backend.get("d/1")
+
+
+def test_malformed_keys_rejected(backend):
+    for bad in ("", "/abs", "trailing/", "a//b", "a/../b", "back\\slash"):
+        with pytest.raises(SweepError):
+            backend.put_atomic(bad, b"x")
+
+
+# ----------------------------------------------------------------------
+# Batched operations ≡ loops over the primitives
+# ----------------------------------------------------------------------
+def test_get_many_matches_loop(backend):
+    payloads = {f"m/{i:02d}": json.dumps({"i": i}).encode() for i in range(8)}
+    backend.put_many(payloads)
+    keys = list(payloads) + ["m/99", "other/absent"]
+    batched = backend.get_many(keys)
+    looped = {}
+    for key in keys:
+        try:
+            looped[key] = backend.get(key)
+        except KeyError:
+            pass
+    assert batched == looped == payloads
+
+
+def test_put_many_matches_loop(backend, tmp_path):
+    items = [(f"p/{i}", f"v{i}".encode()) for i in range(5)]
+    backend.put_many(items)
+    reference = MemoryBackend()
+    for key, payload in items:
+        reference.put_atomic(key, payload)
+    assert {k: backend.get(k) for k in backend.list_keys("p/")} == {
+        k: reference.get(k) for k in reference.list_keys("p/")
+    }
+
+
+def test_exists_many(backend):
+    backend.put_atomic("e/1", b"x")
+    backend.put_atomic("e/2", b"y")
+    assert backend.exists_many(["e/1", "e/2", "e/3"]) == {"e/1", "e/2"}
+    assert backend.exists_many([]) == set()
+
+
+# ----------------------------------------------------------------------
+# Atomicity under a racing writer
+# ----------------------------------------------------------------------
+def test_put_atomic_under_racing_writers(backend):
+    """Readers racing two writers must only ever observe a complete blob."""
+    payload_a = (b"A" * 4096) + b"<end-a>"
+    payload_b = (b"B" * 4096) + b"<end-b>"
+    stop = threading.Event()
+    torn: list[bytes] = []
+
+    def writer(payload):
+        while not stop.is_set():
+            backend.put_atomic("race/key", payload)
+
+    def reader():
+        while not stop.is_set():
+            try:
+                seen = backend.get("race/key")
+            except KeyError:
+                continue
+            if seen not in (payload_a, payload_b):
+                torn.append(seen)
+                return
+
+    threads = [
+        threading.Thread(target=writer, args=(payload_a,)),
+        threading.Thread(target=writer, args=(payload_b,)),
+        threading.Thread(target=reader),
+        threading.Thread(target=reader),
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        import time
+
+        time.sleep(0.4)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert torn == []
+    assert backend.get("race/key") in (payload_a, payload_b)
+
+
+# ----------------------------------------------------------------------
+# Namespaced sub-views
+# ----------------------------------------------------------------------
+def test_sub_view_namespacing(backend):
+    view = backend.sub("ns")
+    view.put_atomic("inner/key", b"payload")
+    assert view.get("inner/key") == b"payload"
+    assert view.list_keys() == ["inner/key"]
+    assert backend.get("ns/inner/key") == b"payload"
+    assert "ns/inner/key" in backend.list_keys("ns/")
+    assert view.exists_many(["inner/key", "absent"]) == {"inner/key"}
+    assert view.get_many(["inner/key"]) == {"inner/key": b"payload"}
+    assert view.delete("inner/key") is True
+    assert backend.list_keys("ns/") == []
+
+
+# ----------------------------------------------------------------------
+# Object-store specifics: retry/backoff, pagination, conditional PUT
+# ----------------------------------------------------------------------
+def test_object_store_retries_transient_5xx():
+    with FakeObjectServer() as server:
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        server.fail_next(2)
+        backend.put_atomic("k", b"survived")
+        assert backend.get("k") == b"survived"
+        puts = [entry for entry in server.request_log() if entry[0] == "PUT"]
+        assert len(puts) == 3  # two injected 503s, then success
+
+
+def test_object_store_gives_up_after_retry_budget():
+    with FakeObjectServer() as server:
+        backend = ObjectStoreBackend(
+            "bucket", endpoint=server.endpoint, retries=1, backoff=0.001
+        )
+        server.fail_next(10)
+        with pytest.raises(SweepError, match="after 2 attempts"):
+            backend.get("k")
+
+
+def test_object_store_listing_paginates():
+    with FakeObjectServer() as server:
+        server.state.max_keys = 2
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        keys = [f"page/{i}" for i in range(5)]
+        backend.put_many([(key, b"x") for key in keys])
+        assert backend.list_keys("page/") == sorted(keys)
+        assert len(server.listing_requests()) == 3  # ceil(5/2) pages
+
+
+def test_object_store_put_if_absent_key_versioning():
+    with FakeObjectServer() as server:
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        assert backend.put_if_absent("once", b"first") is True
+        assert backend.put_if_absent("once", b"second") is False
+        assert backend.get("once") == b"first"
+
+
+def test_object_store_404_is_not_retried():
+    with FakeObjectServer() as server:
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        assert not backend.exists("missing")
+        gets = [entry for entry in server.request_log() if entry[0] == "HEAD"]
+        assert len(gets) == 1
+
+
+# ----------------------------------------------------------------------
+# URL resolution
+# ----------------------------------------------------------------------
+def test_storage_from_url_file_and_bare_path(tmp_path):
+    backend = storage_from_url(f"file://{tmp_path}/blobs")
+    assert isinstance(backend, LocalFSBackend)
+    assert backend.root == tmp_path / "blobs"
+    bare = storage_from_url(str(tmp_path / "other"))
+    assert isinstance(bare, LocalFSBackend)
+
+
+def test_storage_from_url_memory_registry_shared():
+    first = storage_from_url("mem://shared-unit-test")
+    second = storage_from_url("mem://shared-unit-test")
+    assert first is second is memory_store("shared-unit-test")
+    first.put_atomic("k", b"v")
+    assert second.get("k") == b"v"
+    assert storage_from_url("mem://") is not storage_from_url("mem://")
+
+
+def test_storage_from_url_s3(monkeypatch):
+    backend = storage_from_url("s3://bucket/pre/fix?endpoint=http://127.0.0.1:1")
+    assert isinstance(backend, ObjectStoreBackend)
+    assert (backend.bucket, backend.prefix) == ("bucket", "pre/fix")
+    assert backend.endpoint == "http://127.0.0.1:1"
+    monkeypatch.setenv("ISEGEN_S3_ENDPOINT", "http://10.0.0.1:9000")
+    from_env = storage_from_url("s3://bucket")
+    assert from_env.endpoint == "http://10.0.0.1:9000"
+
+
+def test_storage_from_url_rejects_unknown_and_incomplete(monkeypatch):
+    monkeypatch.delenv("ISEGEN_S3_ENDPOINT", raising=False)
+    monkeypatch.delenv("AWS_ENDPOINT_URL", raising=False)
+    with pytest.raises(SweepError, match="unsupported store URL scheme"):
+        storage_from_url("ftp://nope")
+    with pytest.raises(SweepError, match="no endpoint"):
+        storage_from_url("s3://bucket")

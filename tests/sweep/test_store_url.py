@@ -1,0 +1,234 @@
+"""Sweeps and benchmark tracking over pluggable store URLs.
+
+The same sweep lifecycle must behave identically whether the result store
+lives in the sweep directory (default), in memory (``mem://``), or behind
+the S3-dialect object store (``s3://`` against the in-repo
+FakeObjectServer) — row-identical tables, 100% cache hits on
+resubmission, and the resubmission probe batched into a single listing.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import run_figure1
+from repro.sweep import (
+    BenchmarkTracker,
+    MemoryBackend,
+    ResultStore,
+    SerialBackend,
+    SweepDirectory,
+    collect,
+    gc,
+    run_cached,
+    status,
+    store_report,
+    submit,
+    worker_loop,
+)
+from repro.sweep.objectstore import FakeObjectServer
+
+KEY_A = "aa" + "0" * 62
+
+
+@pytest.fixture()
+def object_store_url(monkeypatch):
+    with FakeObjectServer() as server:
+        monkeypatch.setenv("ISEGEN_S3_ENDPOINT", server.endpoint)
+        yield f"s3://sweep-{uuid.uuid4().hex[:8]}", server
+
+
+def _mem_url() -> str:
+    return f"mem://test-{uuid.uuid4().hex}"
+
+
+# ----------------------------------------------------------------------
+# ResultStore over non-filesystem backends
+# ----------------------------------------------------------------------
+def test_result_store_over_memory_backend_round_trips_tuples():
+    store = ResultStore(MemoryBackend())
+    row = {"benchmark": "aes", "speedup": 1.25, "pair": (4, 2)}
+    store.put(KEY_A, row)
+    assert store.contains(KEY_A)
+    assert store.get(KEY_A) == row
+    assert isinstance(store.get(KEY_A)["pair"], tuple)
+    assert list(store.keys()) == [KEY_A]
+    with pytest.raises(Exception):
+        store.root  # no local paths behind a memory backend
+
+
+def test_result_store_lookup_many_batches_and_accounts():
+    store = ResultStore(_mem_url())
+    store.put(KEY_A, 7)
+    missing = "bb" + "1" * 62
+    found = store.lookup_many([KEY_A, missing])
+    assert found == {KEY_A: 7}
+    assert (store.stats.hits, store.stats.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# Full sweep lifecycle on mem:// and s3://
+# ----------------------------------------------------------------------
+def test_sweep_lifecycle_on_memory_store(tmp_path):
+    url = _mem_url()
+    directory = SweepDirectory(tmp_path / "sweep", store_url=url)
+    report = submit(directory, "figure1")
+    assert report.total == 4 and report.enqueued == 4
+    worker = worker_loop(directory, poll_interval=0.01)
+    assert worker.executed == 4
+
+    # A second handle on the same URL sees the same store and manifests.
+    peer = SweepDirectory(tmp_path / "sweep", store_url=url)
+    assert status(peer, "figure1").complete
+    (table,) = collect(peer, "figure1")
+    assert table.rows == run_figure1().rows
+
+    again = submit(peer, "figure1")
+    assert again.cached == again.total == 4 and again.enqueued == 0
+    # Nothing landed in the sweep directory itself besides the queue.
+    assert not (tmp_path / "sweep" / "store").exists()
+    assert not (tmp_path / "sweep" / "manifests").exists()
+
+
+def test_sweep_lifecycle_on_object_store(tmp_path, object_store_url):
+    url, server = object_store_url
+    directory = SweepDirectory(tmp_path / "sweep", store_url=url)
+    report = submit(directory, "figure1")
+    assert report.total == 4 and report.enqueued == 4
+    worker = worker_loop(directory, poll_interval=0.01)
+    assert worker.executed == 4 and worker.failed == 0
+    assert status(directory, "figure1").complete
+
+    (table,) = collect(directory, "figure1")
+    serial = run_figure1()
+    assert table.rows == serial.rows
+    assert table.columns() == serial.columns()
+
+    # The resubmission probe is one batched listing, not a HEAD per cell.
+    server.clear_request_log()
+    again = submit(directory, "figure1")
+    assert again.cached == again.total == 4 and again.enqueued == 0
+    assert len(server.listing_requests()) == 1
+    assert not [e for e in server.request_log() if e[0] == "HEAD"]
+
+
+def test_object_store_rows_identical_to_local_store(tmp_path, object_store_url):
+    url, _ = object_store_url
+    local = SweepDirectory(tmp_path / "local")
+    submit(local, "figure1")
+    worker_loop(local, poll_interval=0.01)
+
+    remote = SweepDirectory(tmp_path / "remote", store_url=url)
+    submit(remote, "figure1")
+    worker_loop(remote, poll_interval=0.01)
+
+    (local_table,) = collect(local, "figure1")
+    (remote_table,) = collect(remote, "figure1")
+    assert local_table.rows == remote_table.rows
+
+
+def test_gc_and_status_on_object_store(tmp_path, object_store_url):
+    url, _ = object_store_url
+    directory = SweepDirectory(tmp_path / "sweep", store_url=url)
+    run_cached(directory, "figure1", backend=SerialBackend(), salt="old-salt")
+    run_cached(directory, "figure1", backend=SerialBackend(), salt="new-salt")
+    total = len(directory.store)
+    assert total > 0
+    scan = directory.store.scan()
+    assert scan.records == total and scan.bytes > 0
+    assert set(scan.by_salt) == {"old-salt", "new-salt"}
+    assert "reclaimable" in store_report(directory, salt="new-salt")
+
+    report = gc(directory, salt="new-salt")
+    assert report.removed > 0
+    assert len(directory.store) == total - report.removed
+    replay, executor = run_cached(
+        directory, "figure1", backend=SerialBackend(), salt="new-salt"
+    )
+    assert executor.misses == 0 and executor.hits == 4
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_cli_sweep_run_with_store_url(tmp_path, capsys):
+    url = _mem_url()
+    args = ["sweep", "run", "figure1", "--dir", str(tmp_path / "s"), "--store-url", url]
+    assert main(args) == 0
+    assert "0 cached (0% hits)" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "4 cached (100% hits)" in capsys.readouterr().out
+
+
+def test_cli_submit_hint_carries_store_url(tmp_path, capsys):
+    url = _mem_url()
+    assert (
+        main(
+            ["sweep", "submit", "figure1", "--dir", str(tmp_path / "s"), "--store-url", url]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"--store-url {url}" in out
+
+
+def test_cli_bench_record_compare_with_store_url(tmp_path, capsys):
+    def artifact(path, mean):
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "fullname": "bench_x",
+                            "stats": {"mean": mean, "min": mean, "rounds": 3},
+                        }
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    url = _mem_url()
+    base = ["--dir", str(tmp_path / "unused"), "--store-url", url]
+    assert (
+        main(
+            ["bench", "record", artifact(tmp_path / "a.json", 1.0), "--commit", "one"]
+            + base
+        )
+        == 0
+    )
+    assert (
+        main(
+            ["bench", "record", artifact(tmp_path / "b.json", 1.1), "--commit", "two"]
+            + base
+        )
+        == 0
+    )
+    assert main(["bench", "compare"] + base) == 0
+    assert "no regressions" in capsys.readouterr().out
+    # The tracker never touched the --dir fallback.
+    assert not (tmp_path / "unused").exists()
+
+
+def test_benchmark_tracker_over_object_store(tmp_path, object_store_url):
+    url, _ = object_store_url
+    tracker = BenchmarkTracker(f"{url}/benchtrack")
+    artifact = tmp_path / "bench.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": "bench_y", "stats": {"mean": 0.5, "rounds": 2}}
+                ]
+            }
+        )
+    )
+    entry = tracker.record(artifact, commit="abc1234")
+    assert entry["benchmarks"] == ["bench_y"]
+    fresh = BenchmarkTracker(f"{url}/benchtrack")
+    assert [run["commit"] for run in fresh.runs()] == ["abc1234"]
+    assert fresh.rows_for(entry)["bench_y"]["mean"] == 0.5
