@@ -7,6 +7,9 @@
   incremental I/O toggles, convexity checks, gain evaluation sweeps and the
   exhaustive enumeration — the pieces the paper's O(n^2) complexity claim
   rests on.
+* ``test_micro_kernel_*`` races the pure big-int mask kernel against the
+  numpy uint64-lane kernel on the table primitives (64/696/2048 bits) and
+  on a full K-L pass over the paper's 696-node AES block.
 * ``test_parallel_*`` measures the process-pool experiment engine
   (``run_parallel``) against its serial path and asserts the result rows are
   identical; the wall-clock speedup assertion is gated on the machine
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 
 import pytest
@@ -45,10 +49,17 @@ from repro.core import (
     ReferenceCutEvaluator,
     bipartition,
 )
-from repro.dfg import count_io, is_convex_mask, mask_of, random_dfg
+from repro.dfg import (
+    count_io,
+    is_convex_mask,
+    mask_of,
+    numpy_available,
+    random_dfg,
+    resolve_kernel,
+)
 from repro.experiments import run_ablation
 from repro.hwmodel import ISEConstraints
-from repro.workloads import regular_program
+from repro.workloads import load_workload, regular_program
 
 from .conftest import run_once
 
@@ -278,6 +289,69 @@ def test_micro_genetic_fitness_memoized(benchmark):
     benchmark.extra_info["evaluations"] = trace.evaluations
     benchmark.extra_info["memo_hits"] = trace.memo_hits
     benchmark.extra_info["duplicates_skipped"] = trace.duplicates_skipped
+
+
+# ----------------------------------------------------------------------
+# Mask kernels: pure big-int reference vs numpy uint64 lanes
+# ----------------------------------------------------------------------
+_KERNEL_SIZES = (64, 696, 2048)  # small block / paper's AES block / beyond
+_KERNEL_PARAMS = [
+    "pure",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy >= 2.0 not available"
+        ),
+    ),
+]
+
+
+def _kernel_table(kernel, num_bits):
+    """A square num_bits x num_bits random mask table (the shape of the
+    BitsetIndex closure/neighbour tables the K-L inner loop sweeps)."""
+    rng = random.Random(num_bits)
+    masks = [rng.getrandbits(num_bits) for _ in range(num_bits)]
+    return masks, kernel.make_table(masks, num_bits)
+
+
+@pytest.mark.parametrize("kernel_name", _KERNEL_PARAMS)
+@pytest.mark.parametrize("num_bits", _KERNEL_SIZES)
+def test_micro_kernel_popcount_many(benchmark, num_bits, kernel_name):
+    """Whole-table popcount — the candidate-sweep primitive behind
+    neighbour counts and I/O tallies."""
+    benchmark.group = f"micro mask kernels ({num_bits} bits)"
+    kernel = resolve_kernel(kernel_name)
+    masks, table = _kernel_table(kernel, num_bits)
+    result = benchmark(lambda: kernel.popcount_many(table))
+    assert list(result) == [mask.bit_count() for mask in masks]
+
+
+@pytest.mark.parametrize("kernel_name", _KERNEL_PARAMS)
+@pytest.mark.parametrize("num_bits", _KERNEL_SIZES)
+def test_micro_kernel_and_popcount_many(benchmark, num_bits, kernel_name):
+    """Whole-table AND-then-popcount against one probe mask — the
+    io_counts / closure-overlap primitive."""
+    benchmark.group = f"micro mask kernels ({num_bits} bits)"
+    kernel = resolve_kernel(kernel_name)
+    masks, table = _kernel_table(kernel, num_bits)
+    probe = random.Random(num_bits + 1).getrandbits(num_bits)
+    result = benchmark(lambda: kernel.and_popcount_many(table, probe))
+    assert list(result) == [(mask & probe).bit_count() for mask in masks]
+
+
+@pytest.mark.parametrize("kernel_name", _KERNEL_PARAMS)
+def test_micro_kernel_aes_bipartition(benchmark, kernel_name):
+    """End-to-end payoff: a single K-L pass over the paper's 696-node AES
+    block under each kernel.  The numpy lane kernel swaps the scalar gain
+    cache for the vectorized evaluator; the cut must not change."""
+    benchmark.group = "micro mask kernels (AES 696-node K-L pass)"
+    program = load_workload("aes")
+    aes = max((block.dfg for block in program), key=lambda dfg: dfg.num_nodes)
+    constraints = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=1)
+    config = ISEGenConfig(max_passes=1, kernel=kernel_name)
+    result = run_once(benchmark, bipartition, aes, constraints, config)
+    benchmark.extra_info["merit"] = result.merit
+    benchmark.extra_info["toggles"] = sum(t.toggles for t in result.passes)
 
 
 # ----------------------------------------------------------------------

@@ -143,7 +143,15 @@ class EnumerationTrace(SearchStats):
 
 
 class _SearchContext:
-    """Shared immutable data of one enumeration run."""
+    """Shared immutable data of one enumeration run.
+
+    The search state itself (decision masks, memo signatures, frontier
+    unions) deliberately stays on the big-int view under every mask kernel:
+    the masks feed hashed memo signatures and single-mask AND/popcount steps,
+    where converting to uint64 lanes would cost more than the op it batches.
+    The *kernel* choice still matters for the leaf merit evaluations, which
+    run through :class:`~repro.core.BitsetCutEvaluator`.
+    """
 
     def __init__(
         self,
@@ -151,6 +159,7 @@ class _SearchContext:
         constraints: ISEConstraints,
         latency_model: LatencyModel,
         allowed: Collection[int] | None,
+        kernel: str | None = None,
     ):
         dfg.prepare()
         self.dfg = dfg
@@ -161,7 +170,9 @@ class _SearchContext:
         #: search reads its static latency tables, its un-memoized
         #: ``merit_once`` and its ``hardware_cycle_floor`` bound hook, which
         #: the reference implementation doesn't offer.
-        self.evaluator = BitsetCutEvaluator(dfg, constraints, latency_model)
+        self.evaluator = BitsetCutEvaluator(
+            dfg, constraints, latency_model, kernel=kernel
+        )
         if allowed is None:
             allowed_set = {
                 i for i in range(dfg.num_nodes) if not dfg.node_by_index(i).forbidden
@@ -232,11 +243,12 @@ def _drive_enumeration(
     min_size: int,
     node_limit: int,
     stats: SearchStats | None,
+    kernel: str | None = None,
 ) -> Iterator[EnumeratedCut]:
     """Shared wrapper of both engines' full-enumeration mode (context
     construction, node-limit guard, stats bookkeeping)."""
     model = latency_model or LatencyModel()
-    context = _SearchContext(dfg, constraints, model, allowed)
+    context = _SearchContext(dfg, constraints, model, allowed, kernel)
     _check_node_limit(context, node_limit, "exact enumeration")
     if stats is not None:
         stats.nodes_considered = len(context.order)
@@ -255,10 +267,11 @@ def _drive_best_cut(
     min_size: int,
     node_limit: int,
     stats: SearchStats | None,
+    kernel: str | None = None,
 ) -> EnumeratedCut | None:
     """Shared wrapper of both engines' single-best-cut mode."""
     model = latency_model or LatencyModel()
-    context = _SearchContext(dfg, constraints, model, allowed)
+    context = _SearchContext(dfg, constraints, model, allowed, kernel)
     _check_node_limit(context, node_limit, "iterative exact search")
     if stats is not None:
         stats.nodes_considered = len(context.order)
@@ -280,6 +293,7 @@ def enumerate_feasible_cuts(
     min_size: int = 1,
     node_limit: int = DEFAULT_NODE_LIMIT_EXACT,
     stats: SearchStats | None = None,
+    kernel: str | None = None,
 ) -> Iterator[EnumeratedCut]:
     """Yield every non-empty feasible (convex, I/O-legal) cut of *dfg*.
 
@@ -288,7 +302,7 @@ def enumerate_feasible_cuts(
     """
     return _drive_enumeration(
         _stack_search, dfg, constraints, latency_model, allowed,
-        min_size, node_limit, stats,
+        min_size, node_limit, stats, kernel,
     )
 
 
@@ -301,12 +315,13 @@ def best_single_cut(
     min_size: int = 1,
     node_limit: int = DEFAULT_NODE_LIMIT_ITERATIVE,
     stats: SearchStats | None = None,
+    kernel: str | None = None,
 ) -> EnumeratedCut | None:
     """Return the feasible cut with the highest merit (ties: fewer nodes,
     then lexicographically smallest member set, for determinism)."""
     return _drive_best_cut(
         _stack_search, dfg, constraints, latency_model, allowed,
-        min_size, node_limit, stats,
+        min_size, node_limit, stats, kernel,
     )
 
 
@@ -596,11 +611,12 @@ def _reference_enumerate_feasible_cuts(
     min_size: int = 1,
     node_limit: int = DEFAULT_NODE_LIMIT_EXACT,
     stats: SearchStats | None = None,
+    kernel: str | None = None,
 ) -> Iterator[EnumeratedCut]:
     """The pre-rewrite recursive engine, kept as the differential reference."""
     return _drive_enumeration(
         _recursive_search, dfg, constraints, latency_model, allowed,
-        min_size, node_limit, stats,
+        min_size, node_limit, stats, kernel,
     )
 
 
@@ -613,11 +629,12 @@ def _reference_best_single_cut(
     min_size: int = 1,
     node_limit: int = DEFAULT_NODE_LIMIT_ITERATIVE,
     stats: SearchStats | None = None,
+    kernel: str | None = None,
 ) -> EnumeratedCut | None:
     """Recursive-reference flavour of :func:`best_single_cut`."""
     return _drive_best_cut(
         _recursive_search, dfg, constraints, latency_model, allowed,
-        min_size, node_limit, stats,
+        min_size, node_limit, stats, kernel,
     )
 
 

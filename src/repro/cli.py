@@ -21,6 +21,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -33,6 +34,7 @@ from .baselines import (
     run_algorithm,
 )
 from .codegen import result_report
+from .dfg.kernels import KERNEL_ENV_VAR, KERNEL_NAMES
 from .errors import ReproError
 from .experiments import (
     run_ablation,
@@ -66,6 +68,27 @@ def _add_constraint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-ises", type=int, default=4, help="maximum number of AFUs (default 4)"
     )
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=None,
+        help="mask-kernel backend for the bitset substrate: 'pure' (big-int "
+        "reference), 'numpy' (uint64-lane batched ops), or 'auto' (numpy "
+        "when available).  Results are bit-identical across kernels; "
+        "defaults to the ISEGEN_KERNEL environment variable, then auto",
+    )
+
+
+def _apply_kernel_choice(args: argparse.Namespace) -> None:
+    """Export ``--kernel`` into the environment before dispatch so every
+    consumer — including sweep/experiment pool workers, which inherit the
+    parent's environment — resolves the same kernel."""
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        os.environ[KERNEL_ENV_VAR] = kernel
 
 
 def _constraints_from(args: argparse.Namespace) -> ISEConstraints:
@@ -402,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         "clean infeasibility error",
     )
     _add_constraint_arguments(sub)
+    _add_kernel_argument(sub)
     sub.set_defaults(handler=_cmd_run)
 
     experiment_commands = {
@@ -443,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="use the full genetic configuration instead of the quick one",
             )
+        _add_kernel_argument(sub)
         sub.set_defaults(handler=handler)
 
     _add_sweep_parsers(subparsers)
@@ -521,6 +546,7 @@ def _add_sweep_parsers(subparsers) -> None:
         action="store_true",
         help="keep polling for new submissions instead of exiting when idle",
     )
+    _add_kernel_argument(sub)
     sub.set_defaults(handler=_cmd_sweep_worker)
 
     sub = commands.add_parser(
@@ -591,6 +617,7 @@ def _add_sweep_parsers(subparsers) -> None:
     sub.add_argument(
         "--output", help="directory to save the result tables (JSON + CSV)"
     )
+    _add_kernel_argument(sub)
     sub.set_defaults(handler=_cmd_sweep_run)
 
 
@@ -646,6 +673,7 @@ def _add_bench_parsers(subparsers) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_kernel_choice(args)
     try:
         return args.handler(args)
     except ReproError as error:

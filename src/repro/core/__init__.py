@@ -10,7 +10,7 @@ from .cut_evaluator import (
 from .iostate import IOState
 from .state import PartitionState
 from .gain import GainBreakdown, GainEvaluator
-from .gain_cache import CachedGainEvaluator, ShadowCutCache
+from .gain_cache import CachedGainEvaluator, ShadowCutCache, VectorizedGainEvaluator
 from .kernighan_lin import BipartitionResult, PassTrace, bipartition
 from .isegen import ISEGen, KernighanLinCutFinder, generate_block_cuts
 from .application import ApplicationISEDriver, BlockCutFinder
@@ -30,6 +30,7 @@ __all__ = [
     "GainBreakdown",
     "GainEvaluator",
     "CachedGainEvaluator",
+    "VectorizedGainEvaluator",
     "ShadowCutCache",
     "BipartitionResult",
     "PassTrace",

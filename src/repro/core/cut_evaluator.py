@@ -47,6 +47,7 @@ from ..dfg import (
     mask_of,
     popcount,
 )
+from ..dfg.kernels import MaskKernel, resolve_kernel
 from ..hwmodel import ISEConstraints, LatencyModel
 
 def _as_members(cut: int | Collection[int]) -> Collection[int]:
@@ -180,9 +181,17 @@ class BitsetCutEvaluator(CutEvaluator):
         dfg: DataFlowGraph,
         constraints: ISEConstraints,
         latency_model: LatencyModel | None = None,
+        *,
+        kernel: str | MaskKernel | None = None,
     ):
         super().__init__(dfg, constraints, latency_model)
         self.index = dfg.bitset_index()
+        if isinstance(kernel, MaskKernel):
+            self.kernel = kernel
+        elif kernel is None:
+            self.kernel = self.index.kernel
+        else:
+            self.kernel = resolve_kernel(kernel)
         model = self.latency_model
         n = dfg.num_nodes
         self._sw = [model.node_software_cycles(dfg, i) for i in range(n)]
@@ -245,6 +254,8 @@ class BitsetCutEvaluator(CutEvaluator):
         return max(model.min_hardware_cycles, cycles)
 
     def _compute(self, cut_mask: int) -> _CutRecord:
+        if self.kernel.name == "numpy" and cut_mask:
+            return self._compute_lanes(cut_mask)
         index = self.index
         model = self.latency_model
         pred_mask = index.pred_mask
@@ -303,6 +314,60 @@ class BitsetCutEvaluator(CutEvaluator):
             merit=merit,
         )
 
+    def _compute_lanes(self, cut_mask: int) -> _CutRecord:
+        """Numpy-kernel record computation: the closure/IO unions become
+        row-parallel lane reductions; the critical-path sweep stays a scalar
+        topological walk (it is inherently sequential), reading the same
+        big-int masks in the same ascending order, so every count and every
+        intermediate double is identical to the pure path's."""
+        kernel = self.kernel
+        np = kernel.np
+        index = self.index
+        tables = index.lane_tables(kernel)
+        n = index.num_nodes
+        rows = kernel.indices_of(cut_mask, n)
+        inverse_mask = ~cut_mask & index.full_mask
+        inverse = kernel.lanes_of(inverse_mask, n)
+        producers = kernel.union_rows(tables.pred, rows)
+        ext = kernel.union_rows(tables.ext_ops, rows)
+        num_inputs = int(np.bitwise_count(producers & inverse).sum()) + int(
+            np.bitwise_count(ext).sum()
+        )
+        escaping = (tables.succ.array[rows] & inverse).any(axis=1)
+        outputs = int(np.count_nonzero(escaping | tables.live_bits[rows]))
+        desc_union = kernel.union_rows(tables.desc, rows)
+        anc_union = kernel.union_rows(tables.anc, rows)
+        convex = not bool((desc_union & anc_union & inverse).any())
+        sw_table = self._sw
+        hw_table = self._hw
+        pred_mask = index.pred_mask
+        longest = self._path_scratch
+        software = 0
+        best_delay = 0.0
+        for i in rows.tolist():
+            software += sw_table[i]
+            incoming = 0.0
+            preds_in = pred_mask[i] & cut_mask
+            while preds_in:
+                plow = preds_in & -preds_in
+                value = longest[plow.bit_length() - 1]
+                if value > incoming:
+                    incoming = value
+                preds_in ^= plow
+            total = incoming + hw_table[i]
+            longest[i] = total
+            if total > best_delay:
+                best_delay = total
+        model = self.latency_model
+        cycles = math.ceil(best_delay * model.cycles_per_mac - 1e-9)
+        hardware = max(model.min_hardware_cycles, cycles)
+        return _CutRecord(
+            num_inputs=num_inputs,
+            num_outputs=outputs,
+            convex=convex,
+            merit=software - hardware,
+        )
+
     # ------------------------------------------------------------------
     # Protocol implementation
     # ------------------------------------------------------------------
@@ -339,10 +404,16 @@ def make_cut_evaluator(
     latency_model: LatencyModel | None = None,
     *,
     reference: bool = False,
+    kernel: str | MaskKernel | None = None,
 ) -> CutEvaluator:
-    """Factory: the production bitset evaluator, or the reference one."""
-    cls = ReferenceCutEvaluator if reference else BitsetCutEvaluator
-    return cls(dfg, constraints, latency_model)
+    """Factory: the production bitset evaluator, or the reference one.
+
+    *kernel* selects the mask-kernel backend of the bitset evaluator
+    (``None`` defers to ``ISEGEN_KERNEL`` / auto-detection); the reference
+    evaluator walks frozensets and ignores it."""
+    if reference:
+        return ReferenceCutEvaluator(dfg, constraints, latency_model)
+    return BitsetCutEvaluator(dfg, constraints, latency_model, kernel=kernel)
 
 
 __all__ = [

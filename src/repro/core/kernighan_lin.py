@@ -44,10 +44,15 @@ from collections.abc import Collection, Iterable
 from dataclasses import dataclass, field
 
 from ..dfg import Cut, DataFlowGraph
+from ..dfg.kernels import resolve_kernel
 from ..hwmodel import ISEConstraints, LatencyModel
 from .config import ISEGenConfig
 from .gain import GainEvaluator
-from .gain_cache import CachedGainEvaluator, ShadowCutCache
+from .gain_cache import (
+    CachedGainEvaluator,
+    ShadowCutCache,
+    VectorizedGainEvaluator,
+)
 from .state import PartitionState
 
 
@@ -69,8 +74,10 @@ class PassTrace:
     #: of the shadow's maintained closure unions.
     shadow_cache_hits: int = 0
     #: Shadow-cut legality queries that ran a from-scratch O(degree)
-    #: I/O-addendum probe against the shadow state (with the gain cache off
-    #: every query is such a probe).
+    #: I/O-addendum probe against the shadow state.  With the gain cache on
+    #: this is structurally 0 — first-time queries are answered by the
+    #: mask-based :meth:`BitsetIndex.toggle_addendum` formula — while the
+    #: uncached loop counts every query here.
     shadow_fresh_probes: int = 0
     #: Committed working-cut toggles of this pass, in order (the trajectory
     #: the bit-identicality tests pin).
@@ -141,6 +148,8 @@ def bipartition(
     dfg.prepare()
     started = time.perf_counter()
 
+    kernel = resolve_kernel(config.kernel)
+
     def new_state(members: Iterable[int]) -> PartitionState:
         return PartitionState(
             dfg,
@@ -148,6 +157,7 @@ def bipartition(
             model,
             allowed=allowed,
             initial_members=members,
+            kernel=kernel,
         )
 
     current_members = frozenset(initial_members)
@@ -168,7 +178,7 @@ def bipartition(
     # best legal cut at every pass.
     persistent_state = new_state(current_members)
     use_cache = config.use_gain_cache and not config.exact_candidate_merit
-    cached_evaluator: CachedGainEvaluator | None = None
+    cached_evaluator: CachedGainEvaluator | VectorizedGainEvaluator | None = None
     shadow_cache: ShadowCutCache | None = None
     for pass_index in range(config.max_passes):
         if config.reset_working_cut:
@@ -178,9 +188,16 @@ def bipartition(
         # BC — the legal shadow cut; starts each pass at the current best.
         if use_cache:
             # One cache per bipartition: the static per-DFG tables are
-            # reused across passes, only the dynamic entries reset.
+            # reused across passes, only the dynamic entries reset.  Under
+            # the numpy kernel the array-resident evaluator replaces the
+            # scalar cache (bit-identical trajectories and counters).
             if cached_evaluator is None:
-                cached_evaluator = CachedGainEvaluator(state, config.weights)
+                if kernel.name == "numpy":
+                    cached_evaluator = VectorizedGainEvaluator(
+                        state, config.weights, kernel
+                    )
+                else:
+                    cached_evaluator = CachedGainEvaluator(state, config.weights)
             else:
                 cached_evaluator.rebind(state)
             evaluator: GainEvaluator = cached_evaluator

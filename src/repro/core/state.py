@@ -22,7 +22,8 @@ from __future__ import annotations
 import math
 from collections.abc import Collection, Iterable
 
-from ..dfg import DataFlowGraph, mask_of, popcount
+from ..dfg import DataFlowGraph, indices_of_mask, mask_of, popcount
+from ..dfg.kernels import MaskKernel, resolve_kernel
 from ..errors import ISEGenError
 from ..hwmodel import ISEConstraints, LatencyModel
 from .iostate import IOState
@@ -39,12 +40,29 @@ class PartitionState:
         *,
         allowed: Collection[int] | None = None,
         initial_members: Iterable[int] = (),
+        kernel: str | MaskKernel | None = None,
     ):
         dfg.prepare()
         self.dfg = dfg
         self.index = dfg.bitset_index()
+        if isinstance(kernel, MaskKernel):
+            self.kernel = kernel
+        elif kernel is None:
+            self.kernel = self.index.kernel
+        else:
+            self.kernel = resolve_kernel(kernel)
         self.constraints = constraints
         self.latency_model = latency_model or LatencyModel()
+        # Per-node latency tables under this state's model; every committed
+        # toggle and every merit estimate reads them, so one pass over the
+        # nodes here replaces a model call per read.
+        n = dfg.num_nodes
+        self._sw_table = [
+            self.latency_model.node_software_cycles(dfg, i) for i in range(n)
+        ]
+        self._hw_table = [
+            self.latency_model.node_hardware_delay(dfg, i) for i in range(n)
+        ]
         if allowed is None:
             allowed_mask = dfg.full_mask()
         else:
@@ -105,8 +123,7 @@ class PartitionState:
             )
         entering = not self.in_cut(index)
         self.io.toggle(index)
-        node = self.dfg.node_by_index(index)
-        sw = self.latency_model.node_software_cycles(self.dfg, index)
+        sw = self._sw_table[index]
         if entering:
             self.cut_mask |= 1 << index
             self._sw_latency += sw
@@ -116,31 +133,37 @@ class PartitionState:
             self.cut_mask &= ~(1 << index)
             self._sw_latency -= sw
             self._recompute_closure_unions()
-        del node
         self._violation_mask = self._desc_union & self._anc_union & ~self.cut_mask
         self.toggle_count += 1
         self._recompute_paths_and_components()
 
     def _recompute_closure_unions(self) -> None:
-        self._desc_union, self._anc_union = self.index.closure_masks(self.cut_mask)
+        self._desc_union, self._anc_union = self.index.closure_masks(
+            self.cut_mask, self.kernel
+        )
 
     def _recompute_paths_and_components(self) -> None:
         """Exact critical path + weakly-connected components of the cut."""
-        members = sorted(self.members())
+        cut_mask = self.cut_mask
+        members = indices_of_mask(cut_mask)
         path_end: dict[int, float] = {}
         component_of: dict[int, int] = {}
-        member_set = set(members)
-        # Longest path ending at each node (members are in topological order).
+        preds_table = self.dfg._preds
+        hw_table = self._hw_table
+        # Longest path ending at each node (members are in topological order,
+        # membership is a cut-mask bit test).
         best = 0.0
         for index in members:
             incoming = 0.0
-            for pred in self.dfg.preds(index):
-                if pred in member_set:
-                    incoming = max(incoming, path_end[pred])
-            path_end[index] = incoming + self.latency_model.node_hardware_delay(
-                self.dfg, index
-            )
-            best = max(best, path_end[index])
+            for pred in preds_table[index]:
+                if cut_mask >> pred & 1:
+                    value = path_end[pred]
+                    if value > incoming:
+                        incoming = value
+            total = incoming + hw_table[index]
+            path_end[index] = total
+            if total > best:
+                best = total
         # Union-find style component labelling via repeated merging.
         parent: dict[int, int] = {i: i for i in members}
 
@@ -156,8 +179,8 @@ class PartitionState:
                 parent[ra] = rb
 
         for index in members:
-            for pred in self.dfg.preds(index):
-                if pred in member_set:
+            for pred in preds_table[index]:
+                if cut_mask >> pred & 1:
                     union(index, pred)
         roots: dict[int, int] = {}
         component_delay: list[float] = []
@@ -297,7 +320,7 @@ class PartitionState:
         subtracts the node's delay only when it currently terminates the
         critical path.  Committed toggles always recompute exactly.
         """
-        hw = self.latency_model.node_hardware_delay(self.dfg, index)
+        hw = self._hw_table[index]
         if not self.in_cut(index):
             incoming = 0.0
             for pred in self.dfg.preds(index):
@@ -313,7 +336,7 @@ class PartitionState:
 
     def estimate_merit_if_toggled(self, index: int) -> int:
         """Estimated merit M(C') of the cut after a hypothetical toggle."""
-        sw = self.latency_model.node_software_cycles(self.dfg, index)
+        sw = self._sw_table[index]
         new_sw = self._sw_latency + (sw if not self.in_cut(index) else -sw)
         new_size = self.cut_size + (1 if not self.in_cut(index) else -1)
         if new_size == 0:

@@ -1,7 +1,16 @@
 """Data-flow graph substrate: graphs, cuts, convexity, I/O and topology."""
 
 from .graph import DataFlowGraph, DFGNode, indices_of_mask, mask_of, popcount
-from .bitset import BitsetIndex, SuffixFrontiers
+from .bitset import BitsetIndex, SuffixFrontiers, shared_index
+from .kernels import (
+    KERNEL_ENV_VAR,
+    KERNEL_NAMES,
+    MaskKernel,
+    NumpyKernel,
+    PurePythonKernel,
+    numpy_available,
+    resolve_kernel,
+)
 from .builder import DFGBuilder
 from .cut import Cut, CutFeasibility
 from .convexity import (
@@ -49,6 +58,14 @@ __all__ = [
     "DFGBuilder",
     "BitsetIndex",
     "SuffixFrontiers",
+    "shared_index",
+    "KERNEL_ENV_VAR",
+    "KERNEL_NAMES",
+    "MaskKernel",
+    "PurePythonKernel",
+    "NumpyKernel",
+    "numpy_available",
+    "resolve_kernel",
     "Cut",
     "CutFeasibility",
     "mask_of",

@@ -317,13 +317,16 @@ class DataFlowGraph:
         Built lazily on first use and cached for the graph's lifetime, so
         every evaluator / cache over the same DFG shares one set of mask
         tables.  Mutating the graph (``add_node``) invalidates the cache
-        together with the other prepared structures.
+        together with the other prepared structures.  Construction goes
+        through the per-process :func:`repro.dfg.bitset.shared_index` memo,
+        so structurally identical graphs (the same workload block unpickled
+        by several sweep cells in one worker) share one set of tables.
         """
         if self._bitset_index is None or not self._prepared:
-            from .bitset import BitsetIndex
+            from .bitset import shared_index
 
             self.prepare()
-            self._bitset_index = BitsetIndex(self)
+            self._bitset_index = shared_index(self)
         return self._bitset_index
 
     def __getstate__(self) -> dict:
@@ -409,7 +412,14 @@ class DataFlowGraph:
 
 
 def mask_of(indices: Iterable[int]) -> int:
-    """Build a bitset from an iterable of node indices."""
+    """Build a bitset from an iterable of node indices.
+
+    This and :func:`popcount` are the scalar (single-mask) layer of the
+    mask substrate; the batched table layer lives behind the pluggable
+    kernels in :mod:`repro.dfg.kernels`.  Scalar ops stay on big-ints under
+    every kernel — converting one mask to packed lanes costs more than the
+    word op it would accelerate.
+    """
     mask = 0
     for index in indices:
         mask |= 1 << index

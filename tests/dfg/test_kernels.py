@@ -1,0 +1,134 @@
+"""Unit tests of the mask-kernel layer: resolution rules and the shared
+per-process BitsetIndex memo (the differential op-level properties live in
+``tests/properties/test_property_kernels.py``)."""
+
+import pickle
+
+import pytest
+
+from repro.core import ISEGenConfig
+from repro.dfg import (
+    KERNEL_ENV_VAR,
+    BitsetIndex,
+    PurePythonKernel,
+    chain_dfg,
+    numpy_available,
+    random_dfg,
+    resolve_kernel,
+)
+from repro.dfg import bitset as bitset_module
+from repro.dfg.kernels import NumpyKernel
+from repro.errors import ISEGenError
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution
+# ----------------------------------------------------------------------
+def test_explicit_names_resolve_and_are_shared(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    pure = resolve_kernel("pure")
+    assert isinstance(pure, PurePythonKernel)
+    assert resolve_kernel("pure") is pure  # shared singleton
+    if numpy_available():
+        lanes = resolve_kernel("numpy")
+        assert isinstance(lanes, NumpyKernel)
+        assert resolve_kernel("numpy") is lanes
+
+
+def test_auto_defers_to_environment(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "pure")
+    assert resolve_kernel(None).name == "pure"
+    assert resolve_kernel("auto").name == "pure"
+    # An explicit choice always beats the environment.
+    if numpy_available():
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        assert resolve_kernel("pure").name == "pure"
+        assert resolve_kernel(None).name == "numpy"
+
+
+def test_auto_without_environment_prefers_numpy(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    expected = "numpy" if numpy_available() else "pure"
+    assert resolve_kernel("auto").name == expected
+
+
+def test_unknown_kernel_name_rejected(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    with pytest.raises(ISEGenError, match="unknown mask kernel"):
+        resolve_kernel("fortran")
+    monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+    with pytest.raises(ISEGenError, match="unknown mask kernel"):
+        resolve_kernel(None)
+
+
+def test_explicit_numpy_errors_when_unavailable(monkeypatch):
+    """``--kernel numpy`` must fail loudly, not silently degrade, when the
+    backend is missing (simulated by blanking the module probe)."""
+    from repro.dfg import kernels as kernels_module
+
+    monkeypatch.setattr(kernels_module, "_np", None)
+    monkeypatch.setattr(kernels_module, "_np_checked", True)
+    monkeypatch.setattr(kernels_module, "_NUMPY_KERNEL", None)
+    assert not kernels_module.numpy_available()
+    with pytest.raises(ISEGenError, match="numpy"):
+        resolve_kernel("numpy")
+    # Auto quietly falls back to the reference kernel.
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert resolve_kernel("auto").name == "pure"
+
+
+def test_config_validates_kernel_name():
+    assert ISEGenConfig(kernel="pure").kernel == "pure"
+    with pytest.raises(ISEGenError, match="unknown mask kernel"):
+        ISEGenConfig(kernel="fortran")
+
+
+def test_kernel_field_excluded_from_fingerprints():
+    from repro.core import fingerprint
+
+    assert fingerprint(ISEGenConfig(kernel="pure")) == fingerprint(
+        ISEGenConfig(kernel="auto")
+    )
+
+
+# ----------------------------------------------------------------------
+# The shared per-process index memo
+# ----------------------------------------------------------------------
+def test_shared_index_memoizes_structural_rebuilds():
+    """Structurally identical DFGs (e.g. re-unpickled sweep payloads) reuse
+    one set of index tables per process instead of rebuilding them."""
+    dfg = random_dfg(24, seed=7)
+    index = dfg.bitset_index()
+    before = bitset_module.table_builds
+
+    clone = pickle.loads(pickle.dumps(dfg))
+    clone_index = clone.bitset_index()
+    assert bitset_module.table_builds == before  # memo hit, no rebuild
+    assert clone_index is not index  # rebound to the new DFG object...
+    assert clone_index.dfg is clone
+    assert clone_index.pred_mask is index.pred_mask  # ...sharing the tables
+    assert clone_index.anc is index.anc
+    # Repeated calls on the same object return the cached clone.
+    assert clone.bitset_index() is clone_index
+
+
+def test_shared_index_rebuilds_for_different_structure():
+    before = bitset_module.table_builds
+    first = chain_dfg(9).bitset_index()
+    second = chain_dfg(10).bitset_index()
+    assert bitset_module.table_builds == before + 2
+    assert first.pred_mask is not second.pred_mask
+
+
+def test_clone_for_answers_match_fresh_index():
+    dfg = random_dfg(20, seed=11)
+    fresh = BitsetIndex(dfg)
+    clone = pickle.loads(pickle.dumps(dfg))
+    shared = clone.bitset_index()
+    cut_mask = 0b1011010
+    assert shared.io_counts(cut_mask) == fresh.io_counts(cut_mask)
+    assert shared.closure_masks(cut_mask) == fresh.closure_masks(cut_mask)
+    for node in range(dfg.num_nodes):
+        assert shared.toggle_addendum(cut_mask, node) == fresh.toggle_addendum(
+            cut_mask, node
+        )
