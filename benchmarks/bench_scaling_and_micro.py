@@ -10,6 +10,10 @@
 * ``test_micro_kernel_*`` races the pure big-int mask kernel against the
   numpy uint64-lane kernel on the table primitives (64/696/2048 bits) and
   on a full K-L pass over the paper's 696-node AES block.
+* ``test_micro_telemetry_*`` benchmarks the span tracer: the disabled
+  no-op floor (the budget every instrumented hot path pays when tracing is
+  off), live span enter/exit against a JSONL sink, and raw event-sink
+  throughput.
 * ``test_parallel_*`` measures the process-pool experiment engine
   (``run_parallel``) against its serial path and asserts the result rows are
   identical; the wall-clock speedup assertion is gated on the machine
@@ -352,6 +356,76 @@ def test_micro_kernel_aes_bipartition(benchmark, kernel_name):
     result = run_once(benchmark, bipartition, aes, constraints, config)
     benchmark.extra_info["merit"] = result.merit
     benchmark.extra_info["toggles"] = sum(t.toggles for t in result.passes)
+
+
+# ----------------------------------------------------------------------
+# Telemetry layer: disabled no-op floor, live span cost, sink throughput
+# ----------------------------------------------------------------------
+_TELEMETRY_SPANS_PER_ROUND = 1000
+
+
+@pytest.fixture()
+def _quiet_tracer():
+    """Force the disabled state (the bench session itself may run under
+    ISEGEN_TRACE) and restore whatever tracer was live afterwards."""
+    from repro.telemetry import spans as span_module
+
+    saved = span_module._tracer
+    span_module._tracer = None
+    yield
+    if span_module._tracer is not None and span_module._tracer is not saved:
+        span_module._tracer.close()
+    span_module._tracer = saved
+
+
+def test_micro_telemetry_disabled_noop(benchmark, _quiet_tracer):
+    """1000 disabled span(...) calls — the overhead every instrumented hot
+    path pays when tracing is off.  This is the <2% budget's denominator:
+    the call must stay a None check returning a shared singleton."""
+    from repro import telemetry
+
+    benchmark.group = "micro telemetry"
+
+    def spans_disabled():
+        for _ in range(_TELEMETRY_SPANS_PER_ROUND):
+            with telemetry.span("noop.bench"):
+                pass
+
+    benchmark(spans_disabled)
+    benchmark.extra_info["spans_per_round"] = _TELEMETRY_SPANS_PER_ROUND
+
+
+def test_micro_telemetry_span_enter_exit(benchmark, _quiet_tracer, tmp_path):
+    """1000 live span enter/exit pairs against a real JSONL file sink."""
+    from repro import telemetry
+
+    benchmark.group = "micro telemetry"
+    telemetry.configure(tmp_path / "bench-trace.jsonl")
+
+    def spans_enabled():
+        for index in range(_TELEMETRY_SPANS_PER_ROUND):
+            with telemetry.span("live.bench", index=index):
+                pass
+        telemetry.flush()
+
+    benchmark(spans_enabled)
+    benchmark.extra_info["spans_per_round"] = _TELEMETRY_SPANS_PER_ROUND
+
+
+def test_micro_telemetry_jsonl_sink_throughput(benchmark, _quiet_tracer, tmp_path):
+    """1000 metric events serialized and appended through the O_APPEND sink."""
+    from repro import telemetry
+
+    benchmark.group = "micro telemetry"
+    telemetry.configure(tmp_path / "bench-events.jsonl")
+
+    def emit_events():
+        for index in range(_TELEMETRY_SPANS_PER_ROUND):
+            telemetry.emit_metrics("bench", {"index": index, "value": 0.5})
+        telemetry.flush()
+
+    benchmark(emit_events)
+    benchmark.extra_info["events_per_round"] = _TELEMETRY_SPANS_PER_ROUND
 
 
 # ----------------------------------------------------------------------

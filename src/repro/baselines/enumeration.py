@@ -53,10 +53,12 @@ engine bit-identical to it.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections.abc import Collection, Iterator
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..core import BitsetCutEvaluator
 from ..dfg import DataFlowGraph
 from ..errors import BaselineInfeasibleError
@@ -252,10 +254,17 @@ def _drive_enumeration(
     _check_node_limit(context, node_limit, "exact enumeration")
     if stats is not None:
         stats.nodes_considered = len(context.order)
+    span_started = telemetry.clock()
     started = time.perf_counter()
     yield from engine(context, min_size, stats, best_only=False, best_box=None)
     if stats is not None:
         stats.runtime_seconds = time.perf_counter() - started
+    # record_span (not a with-block): the generator is consumed lazily, so a
+    # held-open span would interleave with the caller's own span stack.
+    telemetry.record_span(
+        "enum.search", span_started, mode="all", nodes=len(context.order)
+    )
+    _emit_search_metrics(stats)
 
 
 def _drive_best_cut(
@@ -277,11 +286,27 @@ def _drive_best_cut(
         stats.nodes_considered = len(context.order)
     started = time.perf_counter()
     best_box: list[EnumeratedCut | None] = [None]
-    for _cut in engine(context, min_size, stats, best_only=True, best_box=best_box):
-        pass  # the engine updates best_box in place when best_only is set.
+    with telemetry.span("enum.search", mode="best", nodes=len(context.order)):
+        for _cut in engine(context, min_size, stats, best_only=True, best_box=best_box):
+            pass  # the engine updates best_box in place when best_only is set.
     if stats is not None:
         stats.runtime_seconds = time.perf_counter() - started
+    _emit_search_metrics(stats)
     return best_box[0]
+
+
+def _emit_search_metrics(stats: SearchStats | None) -> None:
+    """Mirror a finished search's legacy stats dataclass into the trace."""
+    if stats is None:
+        return
+    telemetry.emit_metrics_lazy(
+        "enum",
+        lambda: {
+            f.name: getattr(stats, f.name)
+            for f in dataclasses.fields(stats)
+            if isinstance(getattr(stats, f.name), (int, float))
+        },
+    )
 
 
 def enumerate_feasible_cuts(

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from collections.abc import Collection, Sequence
 
+from .. import telemetry
 from ..core import GeneratedISE, ISEGenerationResult, name_ises
 from ..dfg import Cut, DataFlowGraph
 from ..errors import BaselineInfeasibleError
@@ -152,6 +153,15 @@ class ExactMultiCutGenerator:
 
     def generate(self, program: Program) -> ISEGenerationResult:
         """Distribute the ISE budget over the blocks, largest savings first."""
+        with telemetry.span(
+            "driver.generate",
+            algorithm=self.name,
+            program=program.name,
+            blocks=len(program),
+        ):
+            return self._generate_impl(program)
+
+    def _generate_impl(self, program: Program) -> ISEGenerationResult:
         started = time.perf_counter()
         stats = EnumerationTrace()
         per_block: list[tuple[float, str, DataFlowGraph, list[EnumeratedCut]]] = []

@@ -28,10 +28,13 @@ the driver handles the ``N_ISE`` budget and block selection).
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import time
 from collections.abc import Collection
 from dataclasses import dataclass
+
+from .. import telemetry
 
 from ..core import (
     ApplicationISEDriver,
@@ -263,6 +266,28 @@ class GeneticSearch:
     # ------------------------------------------------------------------
     def run(self) -> frozenset[int] | None:
         """Evolve and return the best feasible cut found (or ``None``)."""
+        with telemetry.span("genetic.search", nodes=len(self.candidates)):
+            result = self._run_impl()
+        telemetry.emit_metrics_lazy(
+            "genetic",
+            lambda: {
+                f.name: getattr(self.trace, f.name)
+                for f in dataclasses.fields(GeneticTrace)
+            },
+        )
+        evaluator = self.evaluator
+        if hasattr(evaluator, "memo_entries"):
+            telemetry.emit_metrics_lazy(
+                "cut_evaluator",
+                lambda: {
+                    "evaluations": evaluator.evaluations,
+                    "memo_hits": evaluator.memo_hits,
+                    "memo_entries": evaluator.memo_entries,
+                },
+            )
+        return result
+
+    def _run_impl(self) -> frozenset[int] | None:
         started = time.perf_counter()
         if not self.candidates:
             return None
@@ -346,6 +371,8 @@ class GeneticCutFinder(BlockCutFinder):
         self.reference_evaluator = reference_evaluator
         self.last_trace: GeneticTrace | None = None
         self.total_evaluations = 0
+        self.total_memo_hits = 0
+        self.total_duplicates_skipped = 0
 
     def best_cut(
         self,
@@ -370,6 +397,8 @@ class GeneticCutFinder(BlockCutFinder):
         members = search.run()
         self.last_trace = search.trace
         self.total_evaluations += search.trace.evaluations
+        self.total_memo_hits += search.trace.memo_hits
+        self.total_duplicates_skipped += search.trace.duplicates_skipped
         if members is None or search.merit(members) <= 0:
             return None
         return members
@@ -403,11 +432,15 @@ class GeneticGenerator:
         result.stats["fitness_evaluations"] = self.finder.total_evaluations
         result.stats["generations"] = self.config.generations
         result.stats["population_size"] = self.config.population_size
+        result.stats["memo_hits"] = self.finder.total_memo_hits
+        result.stats["duplicates_skipped"] = self.finder.total_duplicates_skipped
         return result
 
     def generate_for_dfg(self, dfg: DataFlowGraph, frequency: float = 1.0) -> ISEGenerationResult:
         result = self._driver.generate_for_dfg(dfg, frequency)
         result.stats["fitness_evaluations"] = self.finder.total_evaluations
+        result.stats["memo_hits"] = self.finder.total_memo_hits
+        result.stats["duplicates_skipped"] = self.finder.total_duplicates_skipped
         return result
 
 

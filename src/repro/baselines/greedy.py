@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Collection
 
+from .. import telemetry
 from ..core import (
     ApplicationISEDriver,
     BlockCutFinder,
@@ -121,6 +122,12 @@ class GreedyCutFinder(BlockCutFinder):
 
     name = "Greedy"
 
+    def __init__(self) -> None:
+        # Modest counters so the greedy baseline reports a trace block like
+        # every other engine (it previously had none).
+        self.seeds_tried = 0
+        self.clusters_grown = 0
+
     def best_cut(
         self,
         dfg: DataFlowGraph,
@@ -128,12 +135,16 @@ class GreedyCutFinder(BlockCutFinder):
         constraints: ISEConstraints,
         latency_model: LatencyModel,
     ) -> frozenset[int] | None:
-        members, merit = best_connected_cluster(
-            dfg,
-            constraints,
-            latency_model=latency_model,
-            allowed=allowed,
-        )
+        with telemetry.span("greedy.search", nodes=dfg.num_nodes):
+            members, merit = best_connected_cluster(
+                dfg,
+                constraints,
+                latency_model=latency_model,
+                allowed=allowed,
+            )
+        self.seeds_tried += len(allowed)
+        if members:
+            self.clusters_grown += 1
         if not members or merit <= 0 or len(members) < constraints.min_cut_size:
             return None
         return members
@@ -151,15 +162,22 @@ class GreedyGenerator:
     ):
         self.constraints = constraints or ISEConstraints.paper_default()
         self.latency_model = latency_model or LatencyModel()
+        self.finder = GreedyCutFinder()
         self._driver = ApplicationISEDriver(
-            GreedyCutFinder(), self.constraints, self.latency_model
+            self.finder, self.constraints, self.latency_model
         )
 
     def generate(self, program: Program) -> ISEGenerationResult:
-        return self._driver.generate(program)
+        result = self._driver.generate(program)
+        result.stats["seeds_tried"] = self.finder.seeds_tried
+        result.stats["clusters_grown"] = self.finder.clusters_grown
+        return result
 
     def generate_for_dfg(self, dfg: DataFlowGraph, frequency: float = 1.0) -> ISEGenerationResult:
-        return self._driver.generate_for_dfg(dfg, frequency)
+        result = self._driver.generate_for_dfg(dfg, frequency)
+        result.stats["seeds_tried"] = self.finder.seeds_tried
+        result.stats["clusters_grown"] = self.finder.clusters_grown
+        return result
 
 
 def run_greedy(

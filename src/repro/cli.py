@@ -15,7 +15,10 @@
   resume across runs, with ``gc`` reclaiming records stranded by
   code-version salt bumps (see :mod:`repro.sweep`);
 * ``isegen bench record|compare`` — benchmark regression tracking over
-  ``pytest-benchmark --benchmark-json`` artifacts.
+  ``pytest-benchmark --benchmark-json`` artifacts;
+* ``isegen trace summary|tree|export`` — render span trees and metric
+  tables from telemetry JSONL files written via ``--trace``/``ISEGEN_TRACE``
+  (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import os
 import sys
 from collections.abc import Sequence
 
+from . import telemetry
 from .analysis import program_stats
 from .baselines import (
     ALGORITHMS,
@@ -91,6 +95,31 @@ def _apply_kernel_choice(args: argparse.Namespace) -> None:
         os.environ[KERNEL_ENV_VAR] = kernel
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append span/metric telemetry as JSONL: a file (shared by all "
+        "processes) or a directory (one trace-<host>-<pid>.jsonl per "
+        "process).  Exported as ISEGEN_TRACE so experiment-pool and sweep "
+        "workers inherit it; render with `isegen trace summary|tree PATH`. "
+        "Tracing never changes results",
+    )
+
+
+def _apply_trace_choice(args: argparse.Namespace) -> None:
+    """Export ``--trace`` and configure the global tracer before dispatch
+    (mirrors :func:`_apply_kernel_choice` so forked/spawned children pick
+    the sink up from the environment)."""
+    trace = getattr(args, "trace", None)
+    if trace:
+        os.environ[telemetry.TRACE_ENV_VAR] = trace
+        telemetry.configure(trace)
+    else:
+        telemetry.maybe_configure_from_env()
+
+
 def _constraints_from(args: argparse.Namespace) -> ISEConstraints:
     return ISEConstraints(
         max_inputs=args.max_inputs,
@@ -115,23 +144,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Enumeration-trace counters reported after an exhaustive-baseline run.
-_TRACE_STATS = (
-    ("states_visited", "states visited"),
-    ("nodes_expanded", "nodes expanded"),
-    ("memo_hits", "memo hits"),
-    ("bound_cuts", "bound cuts"),
-)
-
-
 def _print_search_trace(result) -> None:
-    parts = [
-        f"{label} {result.stats[key]}"
-        for key, label in _TRACE_STATS
-        if key in result.stats
-    ]
-    if parts:
-        print(f"\nSearch trace: {', '.join(parts)}")
+    """Unified per-engine trace block via the metrics-registry formatter.
+
+    Every engine populates numeric ``result.stats`` counters (K-L pass
+    aggregates for ISEGEN, GA/evaluator totals for Genetic, enumeration
+    trace for Exact/Iterative, seed counts for Greedy), so every run — not
+    just the enumeration baselines — reports a ``Search trace:`` block.
+    """
+    lines = telemetry.format_trace_block(result.stats)
+    if lines:
+        print()
+        for line in lines:
+            print(line)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -158,6 +183,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     result = run_algorithm(args.algorithm, program, constraints, **kwargs)
+    if telemetry.tracing_enabled():
+        from .dfg import bitset
+        from .dfg.kernels import dispatch_counts
+
+        telemetry.emit_metrics(
+            "kernel",
+            {f"dispatch_{name}": count for name, count in dispatch_counts.items()},
+        )
+        telemetry.emit_metrics("dfg", {"table_builds": bitset.table_builds})
     print(result_report(result))
     _print_search_trace(result)
     if args.reuse:
@@ -285,7 +319,7 @@ def _cmd_sweep_retry(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
-    from .sweep import status, store_report
+    from .sweep import fleet_telemetry, format_fleet_lines, status, store_report
 
     directory = _sweep_directory(args)
     names = [args.sweep] if args.sweep else directory.manifests()
@@ -295,6 +329,9 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         for name in names:
             print(status(directory, name).summary())
     print(store_report(directory))
+    if getattr(args, "telemetry", False):
+        for line in format_fleet_lines(fleet_telemetry(directory)):
+            print(line)
     return 0
 
 
@@ -381,6 +418,89 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+# ----------------------------------------------------------------------
+# Telemetry reporting
+# ----------------------------------------------------------------------
+def _load_trace_report(args: argparse.Namespace):
+    if not list(telemetry.iter_trace_files(args.paths)):
+        raise ReproError(
+            f"no trace files found under: {', '.join(args.paths)} "
+            "(expected JSONL written via --trace / ISEGEN_TRACE)"
+        )
+    report = telemetry.load_report(args.paths)
+    if not report.events:
+        print(
+            f"no telemetry events found under: {', '.join(args.paths)}",
+            file=sys.stderr,
+        )
+    return report
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    report = _load_trace_report(args)
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _cmd_trace_tree(args: argparse.Namespace) -> int:
+    report = _load_trace_report(args)
+    print("\n".join(report.tree_lines()))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    report = _load_trace_report(args)
+    lines = [
+        json.dumps(event, separators=(",", ":")) for event in report.export_events()
+    ]
+    if args.output:
+        from pathlib import Path
+
+        target = Path(args.output)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        print(f"exported {len(lines)} event(s) to {target}")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _add_trace_parsers(subparsers) -> None:
+    trace = subparsers.add_parser(
+        "trace",
+        help="render telemetry JSONL files (written via --trace / ISEGEN_TRACE)",
+    )
+    commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_paths(sub) -> None:
+        sub.add_argument(
+            "paths",
+            nargs="+",
+            help="trace JSONL files and/or directories (directories are "
+            "searched recursively for *.jsonl — a sweep directory works)",
+        )
+
+    sub = commands.add_parser(
+        "summary", help="flat span table (calls, total/self time) + metrics"
+    )
+    add_paths(sub)
+    sub.set_defaults(handler=_cmd_trace_summary)
+
+    sub = commands.add_parser("tree", help="hierarchical span tree")
+    add_paths(sub)
+    sub.set_defaults(handler=_cmd_trace_tree)
+
+    sub = commands.add_parser(
+        "export", help="merge and time-sort events into one JSONL stream"
+    )
+    add_paths(sub)
+    sub.add_argument("--output", help="write to this file instead of stdout")
+    sub.set_defaults(handler=_cmd_trace_export)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="isegen",
@@ -426,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_constraint_arguments(sub)
     _add_kernel_argument(sub)
+    _add_trace_argument(sub)
     sub.set_defaults(handler=_cmd_run)
 
     experiment_commands = {
@@ -468,10 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
                 help="use the full genetic configuration instead of the quick one",
             )
         _add_kernel_argument(sub)
+        _add_trace_argument(sub)
         sub.set_defaults(handler=handler)
 
     _add_sweep_parsers(subparsers)
     _add_bench_parsers(subparsers)
+    _add_trace_parsers(subparsers)
     return parser
 
 
@@ -518,6 +641,7 @@ def _add_sweep_parsers(subparsers) -> None:
         "worker", help="claim and execute queued cells until the queue drains"
     )
     add_dir(sub)
+    _add_trace_argument(sub)
     sub.add_argument(
         "--poll", type=float, default=0.2, help="queue poll interval in seconds"
     )
@@ -560,6 +684,13 @@ def _add_sweep_parsers(subparsers) -> None:
     sub = commands.add_parser("status", help="progress of submitted sweeps")
     sub.add_argument("sweep", nargs="?", help="sweep name (default: all)")
     add_dir(sub)
+    sub.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also show the per-worker fleet view: cells/sec throughput, "
+        "cell latency percentiles, lease renewals, last-seen heartbeat age, "
+        "and lease-expiry requeues",
+    )
     sub.set_defaults(handler=_cmd_sweep_status)
 
     sub = commands.add_parser(
@@ -618,6 +749,7 @@ def _add_sweep_parsers(subparsers) -> None:
         "--output", help="directory to save the result tables (JSON + CSV)"
     )
     _add_kernel_argument(sub)
+    _add_trace_argument(sub)
     sub.set_defaults(handler=_cmd_sweep_run)
 
 
@@ -647,6 +779,7 @@ def _add_bench_parsers(subparsers) -> None:
     sub.add_argument(
         "--commit", help="commit id (default: $GITHUB_SHA or a local timestamp)"
     )
+    _add_trace_argument(sub)
     sub.set_defaults(handler=_cmd_bench_record)
 
     sub = commands.add_parser(
@@ -667,6 +800,7 @@ def _add_bench_parsers(subparsers) -> None:
         help="mean-time ratio above which a benchmark counts as regressed "
         "(default 1.3 = +30%%)",
     )
+    _add_trace_argument(sub)
     sub.set_defaults(handler=_cmd_bench_compare)
 
 
@@ -674,11 +808,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _apply_kernel_choice(args)
+    _apply_trace_choice(args)
     try:
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `trace summary | head`).
+        # Point stdout at devnull so interpreter-exit flushing cannot raise
+        # a second time, and exit cleanly like standard Unix filters do.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        # Flush (not shutdown): an env-configured tracer stays live for
+        # callers driving main() repeatedly in one process (tests, REPLs).
+        telemetry.flush()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ import time
 from collections.abc import Collection
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..dfg import Cut, DataFlowGraph, critical_path_delay
 from ..errors import ISEGenError
 from ..hwmodel import ISEConstraints, LatencyModel
@@ -118,6 +119,15 @@ class ApplicationISEDriver:
     # ------------------------------------------------------------------
     def generate(self, program: Program) -> ISEGenerationResult:
         """Generate up to ``N_ISE`` ISEs for *program* and estimate speedup."""
+        with telemetry.span(
+            "driver.generate",
+            algorithm=self.finder.name,
+            program=program.name,
+            blocks=len(program),
+        ):
+            return self._generate_impl(program)
+
+    def _generate_impl(self, program: Program) -> ISEGenerationResult:
         if len(program) == 0:
             raise ISEGenError(f"program {program.name!r} has no basic blocks")
         started = time.perf_counter()
@@ -153,9 +163,10 @@ class ApplicationISEDriver:
             snapshot = frozenset(state.remaining)
             entry = cut_cache.get(position)
             if entry is None or entry[0] != snapshot:
-                members = self.finder.best_cut(
-                    state.dfg, snapshot, self.constraints, self.latency_model
-                )
+                with telemetry.span("driver.block_cut", block=state.block_name):
+                    members = self.finder.best_cut(
+                        state.dfg, snapshot, self.constraints, self.latency_model
+                    )
                 cut_cache[position] = (snapshot, members)
             return cut_cache[position][1]
 
@@ -206,9 +217,10 @@ class ApplicationISEDriver:
         cuts_by_block: dict[str, list[frozenset[int]]] = {}
         for ise in ises:
             cuts_by_block.setdefault(ise.block_name, []).append(ise.cut.members)
-        result.speedup_report = application_speedup(
-            program, cuts_by_block, self.latency_model
-        )
+        with telemetry.span("driver.speedup_report"):
+            result.speedup_report = application_speedup(
+                program, cuts_by_block, self.latency_model
+            )
         # Keep the runtime attribution to the search itself, not the report.
         return result
 

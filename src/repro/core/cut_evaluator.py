@@ -207,6 +207,11 @@ class BitsetCutEvaluator(CutEvaluator):
         self.memo_hits = 0
 
     @property
+    def memo_entries(self) -> int:
+        """Number of distinct cuts memoized so far (telemetry surface)."""
+        return len(self._records)
+
+    @property
     def software_cycles(self) -> list[int]:
         """Per-node software cycles under this evaluator's latency model."""
         return self._sw

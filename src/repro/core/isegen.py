@@ -31,8 +31,22 @@ class KernighanLinCutFinder(BlockCutFinder):
 
     name = "ISEGEN"
 
+    #: Summed across every bi-partition this finder runs (straight sums of
+    #: the legacy :class:`~repro.core.kernighan_lin.PassTrace` fields, so
+    #: the unified trace block reports the K-L loop bit-identically).
+    TRACE_FIELDS = (
+        "passes",
+        "toggles",
+        "shadow_updates",
+        "gain_evals",
+        "gain_cache_hits",
+        "shadow_cache_hits",
+        "shadow_fresh_probes",
+    )
+
     def __init__(self, config: ISEGenConfig | None = None):
         self.config = config or ISEGenConfig()
+        self.trace_totals: dict[str, int] = {}
 
     def best_cut(
         self,
@@ -48,6 +62,14 @@ class KernighanLinCutFinder(BlockCutFinder):
             latency_model=latency_model,
             allowed=allowed,
         )
+        # Accumulated in *this* process only: prefetched block searches run
+        # in pool workers and only ship back cut members, so with
+        # ``block_workers > 1`` the totals cover the sequential recomputes.
+        metrics = result.trace_metrics()
+        totals = self.trace_totals
+        totals["bipartitions"] = totals.get("bipartitions", 0) + 1
+        for field in self.TRACE_FIELDS:
+            totals[field] = totals.get(field, 0) + int(metrics[field])
         if result.is_empty or result.merit < self.config.min_merit:
             return None
         return result.members
@@ -66,8 +88,9 @@ class ISEGen:
         self.constraints = constraints or ISEConstraints.paper_default()
         self.config = config or ISEGenConfig()
         self.latency_model = latency_model or LatencyModel()
+        self._finder = KernighanLinCutFinder(self.config)
         self._driver = ApplicationISEDriver(
-            KernighanLinCutFinder(self.config),
+            self._finder,
             self.constraints,
             self.latency_model,
             block_workers=block_workers,
@@ -77,6 +100,7 @@ class ISEGen:
         """Generate up to ``N_ISE`` ISEs for the whole application."""
         result = self._driver.generate(program)
         result.stats["max_passes"] = self.config.max_passes
+        result.stats.update(self._finder.trace_totals)
         return result
 
     def generate_for_dfg(
@@ -85,6 +109,7 @@ class ISEGen:
         """Generate ISEs for a single basic block."""
         result = self._driver.generate_for_dfg(dfg, frequency)
         result.stats["max_passes"] = self.config.max_passes
+        result.stats.update(self._finder.trace_totals)
         return result
 
 

@@ -43,6 +43,7 @@ import time
 from collections.abc import Collection, Iterable
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..dfg import Cut, DataFlowGraph
 from ..dfg.kernels import resolve_kernel
 from ..hwmodel import ISEConstraints, LatencyModel
@@ -106,6 +107,26 @@ class BipartitionResult:
     def num_passes(self) -> int:
         return len(self.passes)
 
+    def trace_metrics(self) -> dict[str, int | float]:
+        """Aggregate the per-pass counters into one registry-ready mapping.
+
+        Values are plain sums of the legacy :class:`PassTrace` fields, so
+        a metrics registry absorbing them reproduces the dataclass
+        counters bit-identically (the telemetry layer wraps the traces,
+        it does not re-count anything).
+        """
+        return {
+            "passes": len(self.passes),
+            "toggles": sum(t.toggles for t in self.passes),
+            "shadow_updates": sum(t.shadow_updates for t in self.passes),
+            "gain_evals": sum(t.gain_evals for t in self.passes),
+            "gain_cache_hits": sum(t.gain_cache_hits for t in self.passes),
+            "shadow_cache_hits": sum(t.shadow_cache_hits for t in self.passes),
+            "shadow_fresh_probes": sum(t.shadow_fresh_probes for t in self.passes),
+            "merit": self.merit,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
 
 def _shadow_can_toggle(shadow: PartitionState, index: int) -> bool:
     """Would toggling *index* keep the shadow cut legal (convex, I/O-ok)?"""
@@ -143,6 +164,28 @@ def bipartition(
         Starting cut (defaults to the empty cut — "all nodes in software").
         Must be legal if non-empty; an illegal seed is treated as empty.
     """
+    with telemetry.span("kl.bipartition", nodes=dfg.num_nodes):
+        result = _bipartition_impl(
+            dfg,
+            constraints,
+            config,
+            latency_model=latency_model,
+            allowed=allowed,
+            initial_members=initial_members,
+        )
+    telemetry.emit_metrics_lazy("kl", result.trace_metrics)
+    return result
+
+
+def _bipartition_impl(
+    dfg: DataFlowGraph,
+    constraints: ISEConstraints,
+    config: ISEGenConfig | None = None,
+    *,
+    latency_model: LatencyModel | None = None,
+    allowed: Collection[int] | None = None,
+    initial_members: Iterable[int] = (),
+) -> BipartitionResult:
     config = config or ISEGenConfig()
     model = latency_model or LatencyModel()
     dfg.prepare()
@@ -181,6 +224,7 @@ def bipartition(
     cached_evaluator: CachedGainEvaluator | VectorizedGainEvaluator | None = None
     shadow_cache: ShadowCutCache | None = None
     for pass_index in range(config.max_passes):
+        pass_started = telemetry.clock()
         if config.reset_working_cut:
             state = new_state(current_members)
         else:
@@ -278,6 +322,9 @@ def bipartition(
             trace.shadow_cache_hits = shadow_cache.cached_queries
             trace.shadow_fresh_probes = shadow_cache.fresh_probes
         passes.append(trace)
+        telemetry.record_span(
+            "kl.pass", pass_started, pass_index=pass_index, toggles=trace.toggles
+        )
         if trace.improved:
             current_members = best_members
             current_merit = best_merit

@@ -41,6 +41,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from .. import telemetry
 from .graph import DataFlowGraph, mask_of, popcount
 from .kernels import MaskKernel, NumpyKernel, resolve_kernel
 
@@ -138,6 +139,7 @@ class BitsetIndex:
     def __init__(self, dfg: DataFlowGraph):
         global table_builds
         table_builds += 1
+        build_started = telemetry.clock()
         dfg.prepare()
         self.dfg = dfg
         self.kernel = resolve_kernel()
@@ -190,6 +192,9 @@ class BitsetIndex:
 
         self.dist_up = upward_barrier_distances(dfg)
         self.dist_down = downward_barrier_distances(dfg)
+        telemetry.record_span(
+            "dfg.index.build", build_started, nodes=n, builds=table_builds
+        )
 
     # ------------------------------------------------------------------
     # Kernel views

@@ -290,6 +290,11 @@ class NumpyKernel(MaskKernel):
 _PURE_KERNEL = PurePythonKernel()
 _NUMPY_KERNEL: NumpyKernel | None = None
 
+#: Per-process ``resolve_kernel`` dispatch tally by kernel name — a metrics
+#: source for the telemetry registry (``repro run`` reports it alongside the
+#: engine trace counters; reset is per-process, like ``table_builds``).
+dispatch_counts: dict[str, int] = {}
+
 
 def resolve_kernel(choice: str | None = None) -> MaskKernel:
     """Resolve a kernel name to a shared kernel instance.
@@ -308,8 +313,10 @@ def resolve_kernel(choice: str | None = None) -> MaskKernel:
     if name == "auto":
         name = "numpy" if numpy_available() else "pure"
     if name == "pure":
+        dispatch_counts["pure"] = dispatch_counts.get("pure", 0) + 1
         return _PURE_KERNEL
     if name == "numpy":
+        dispatch_counts["numpy"] = dispatch_counts.get("numpy", 0) + 1
         if _NUMPY_KERNEL is None:
             _NUMPY_KERNEL = NumpyKernel()
         return _NUMPY_KERNEL

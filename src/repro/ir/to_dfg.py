@@ -21,6 +21,7 @@ interpreter, profiler — the MachSUIF substitute) and the algorithmic half
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..dfg import DataFlowGraph
 from ..errors import IRError
 from ..isa import Opcode
@@ -82,6 +83,7 @@ def block_to_dfg(
         matches the paper, where memory operations stay in the graph and act
         as barriers.
     """
+    frontend_started = telemetry.clock()
     dfg = DataFlowGraph(name or f"{function.name}.{block.label}")
     live_out = _values_live_out_of(block, function)
     defined_here: dict[str, str] = {}
@@ -136,6 +138,9 @@ def block_to_dfg(
         if instruction.result is not None:
             defined_here[instruction.result] = node_name
     dfg.prepare()
+    telemetry.record_span(
+        "frontend.block_to_dfg", frontend_started, block=dfg.name, nodes=dfg.num_nodes
+    )
     return dfg
 
 

@@ -3,7 +3,8 @@
 This module is the lowest layer of the execution stack: a picklable job
 description (:class:`ParallelJob`) and a submission-ordered process-pool
 runner (:func:`run_parallel`).  It deliberately depends on nothing but the
-standard library so that both the experiment harnesses
+standard library (plus the equally stdlib-only :mod:`repro.telemetry`
+layer) so that both the experiment harnesses
 (:mod:`repro.experiments.runner` re-exports these names) and the core
 multi-ISE driver (:mod:`repro.core.application`) can fan work out without
 import cycles.  The distributed sweep subsystem (:mod:`repro.sweep`) builds
@@ -15,6 +16,8 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+
+from . import telemetry
 
 
 @dataclass(frozen=True)
@@ -40,7 +43,21 @@ def job(func: Callable, *args, **kwargs) -> ParallelJob:
 
 
 def _execute(item: ParallelJob):
-    return item()
+    # Pool children on spawn-based platforms arrive without the parent's
+    # tracer; re-derive it from ISEGEN_TRACE (no-op when unset, and on
+    # Linux/fork the inherited tracer wins).  The per-cell span is what the
+    # trace tree's wall-time attribution hangs off: every experiment or
+    # sweep cell shows up as one ``experiment.cell`` with the cell function
+    # name, whether it ran serially, in a pool worker, or both.
+    telemetry.maybe_configure_from_env()
+    try:
+        with telemetry.span("experiment.cell", cell=getattr(item.func, "__name__", "?")):
+            return item()
+    finally:
+        # Forked pool children exit via os._exit(), which skips atexit —
+        # flush per task so the cell's tail of span records (including this
+        # experiment.cell span itself) survives the worker being reaped.
+        telemetry.flush()
 
 
 def run_parallel(
@@ -66,7 +83,7 @@ def run_parallel(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers == 1 or len(jobs) <= 1:
-        return [item() for item in jobs]
+        return [_execute(item) for item in jobs]
     with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
         futures = [pool.submit(_execute, item) for item in jobs]
         wait(futures, return_when=FIRST_EXCEPTION)

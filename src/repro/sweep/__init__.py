@@ -39,7 +39,10 @@ from .orchestrator import (
     SweepDirectory,
     SweepStatus,
     WorkerReport,
+    WorkerTelemetry,
     collect,
+    fleet_telemetry,
+    format_fleet_lines,
     gc,
     make_queue_backend,
     retry,
@@ -86,6 +89,9 @@ __all__ = [
     "SubmitReport",
     "SweepStatus",
     "WorkerReport",
+    "WorkerTelemetry",
+    "fleet_telemetry",
+    "format_fleet_lines",
     "submit",
     "retry",
     "worker_loop",

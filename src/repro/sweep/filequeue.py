@@ -226,8 +226,17 @@ class FileQueue:
         """Extend the lease of a long-running cell (heartbeat)."""
         self._write_lease(task, worker or worker_identity())
 
-    def requeue_expired(self, now: float | None = None) -> list[str]:
-        """Return expired claims to ``pending/`` (crashed-worker recovery)."""
+    def requeue_expired(
+        self, now: float | None = None, *, details: list | None = None
+    ) -> list[str]:
+        """Return expired claims to ``pending/`` (crashed-worker recovery).
+
+        Pass a list as *details* to additionally receive one
+        ``{"key", "worker", "attempt", "reason", "expired_at"}`` record per
+        requeued cell — the structured-telemetry view of the same recovery
+        (``sweep status`` surfaces which worker lost which cell mid-run).
+        The return type stays the plain key list for existing callers.
+        """
         now = time.time() if now is None else now
         requeued: list[str] = []
         for lease_path in sorted(self.leases_dir.glob("*.json")):
@@ -245,6 +254,16 @@ class FileQueue:
                 pass  # completed (or requeued by someone else) meanwhile
             else:
                 requeued.append(key)
+                if details is not None:
+                    details.append(
+                        {
+                            "key": key,
+                            "worker": lease.get("worker"),
+                            "attempt": lease.get("attempt"),
+                            "reason": "lease-expired",
+                            "expired_at": lease.get("expires"),
+                        }
+                    )
             lease_path.unlink(missing_ok=True)
         # Orphaned claims: a worker died in the window between claiming a
         # task and writing its lease (or between dropping the lease and
@@ -270,6 +289,16 @@ class FileQueue:
                 pass
             else:
                 requeued.append(key)
+                if details is not None:
+                    details.append(
+                        {
+                            "key": key,
+                            "worker": None,  # died before writing its lease
+                            "attempt": None,
+                            "reason": "orphaned-claim",
+                            "expired_at": claimed_at + self.lease_seconds,
+                        }
+                    )
         return requeued
 
     def _fail_file(self, claimed: Path, error: str, attempt: int = 0) -> None:

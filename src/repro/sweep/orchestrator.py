@@ -9,6 +9,7 @@ lives under one **sweep directory** that may be shared between machines::
         store/        content-addressed result records (the cache)
         queue/        FileQueue work directories (pending/claimed/leases/failed)
         manifests/    <name>.json — ordered cell keys + options per sweep
+        telemetry/    <worker>.jsonl — per-worker fleet telemetry logs
 
 The store and manifests speak the pluggable
 :class:`~repro.sweep.storage.StorageBackend` protocol: by default both
@@ -43,7 +44,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..parallel import ParallelJob
+from ..parallel import ParallelJob, _execute
+from ..telemetry import Histogram, StorageSink, Tracer
+from ..telemetry.report import parse_event_lines
 from .backends import ExecutorBackend, FileQueueBackend
 from .filequeue import (
     DEFAULT_LEASE_SECONDS,
@@ -367,61 +370,111 @@ def worker_loop(
     from a live worker.  ``exit_when_idle=False`` keeps the worker polling
     for future submissions (a daemon worker); ``max_tasks`` bounds the
     number of executed cells (used by tests to simulate crashes).
+
+    Every worker also keeps a **fleet telemetry** log — one
+    ``telemetry/<worker>.jsonl`` blob on the sweep's storage backend with a
+    ``sweep.cell`` span per executed cell plus lease-renewal / requeue /
+    failure events.  It is always on (a few tiny blob writes per cell, far
+    below cell cost) and is what ``sweep status --telemetry`` reads; the
+    blob's newest timestamp doubles as the worker's last-seen heartbeat.
+    This channel is separate from the ``ISEGEN_TRACE`` span tracer, which
+    (when enabled) still records the in-cell engine spans.
     """
     worker = worker or worker_identity()
     report = WorkerReport(worker=worker)
     queue, store = directory.queue, directory.store
+    fleet = Tracer(
+        StorageSink(directory.storage.sub("telemetry"), f"{worker}.jsonl"),
+        flush_every=1,
+    )
+    fleet.event("worker.start", worker=worker)
     # The recovery scan stats every lease and claimed task — O(queue size)
     # filesystem metadata reads, painful on the shared/NFS deployments the
     # queue targets.  Throttle it to a fraction of the lease period (leases
     # cannot expire faster than that) instead of scanning before every claim.
     scan_interval = max(poll_interval, queue.lease_seconds / 4)
     last_scan = float("-inf")
-    while True:
-        now = time.monotonic()
-        if now - last_scan >= scan_interval:
-            report.requeued_leases += len(queue.requeue_expired())
-            last_scan = now
-        task = queue.claim(worker)
-        if task is None:
-            if exit_when_idle and queue.is_idle():
+    try:
+        while True:
+            now = time.monotonic()
+            if now - last_scan >= scan_interval:
+                requeue_details: list[dict] = []
+                report.requeued_leases += len(
+                    queue.requeue_expired(details=requeue_details)
+                )
+                for detail in requeue_details:
+                    fleet.event("lease.requeued", recovered_by=worker, **detail)
+                last_scan = now
+            task = queue.claim(worker)
+            if task is None:
+                if exit_when_idle and queue.is_idle():
+                    return report
+                time.sleep(poll_interval)
+                continue
+            # Renew the lease at half-period while the cell runs, so a cell
+            # slower than the lease (full-genetic AES takes tens of minutes) is
+            # not requeued — and eventually parked as failed — by peers while a
+            # healthy worker is still computing it.  The heartbeat thread only
+            # does file I/O, so it gets scheduled even against a CPU-bound cell.
+            stop_heartbeat = threading.Event()
+
+            def _heartbeat(beat_task=task):
+                while not stop_heartbeat.wait(queue.lease_seconds / 2):
+                    queue.renew_lease(beat_task, worker)
+                    fleet.event(
+                        "lease.renewed", key=beat_task.key, attempt=beat_task.attempt
+                    )
+
+            heartbeat = threading.Thread(target=_heartbeat, daemon=True)
+            heartbeat.start()
+            try:
+                # Route through the shared cell wrapper so the ISEGEN_TRACE
+                # channel gets the same ``experiment.cell`` span whether the
+                # cell ran serially, in a pool worker, or on the sweep fleet.
+                # The fleet span carries the queue-side identity (key,
+                # attempt) and flips to error=True when the cell raises.
+                with fleet.span(
+                    "sweep.cell",
+                    {
+                        "key": task.key,
+                        "attempt": task.attempt,
+                        "func": task.meta.get("func", "?"),
+                    },
+                ):
+                    result = _execute(task.cell)
+            except Exception as error:  # noqa: BLE001 — worker must survive bad cells
+                stop_heartbeat.set()
+                heartbeat.join()
+                queue.release_failed(task, f"{type(error).__name__}: {error}", worker)
+                report.failed += 1
+                fleet.event(
+                    "cell.failed",
+                    key=task.key,
+                    attempt=task.attempt,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            else:
+                stop_heartbeat.set()
+                heartbeat.join()
+                store.put(
+                    task.key,
+                    result,
+                    meta={"worker": worker, "attempt": task.attempt, **task.meta},
+                )
+                queue.complete(task)
+                report.executed += 1
+                if on_task is not None:
+                    on_task(task)
+            if max_tasks is not None and report.executed + report.failed >= max_tasks:
                 return report
-            time.sleep(poll_interval)
-            continue
-        # Renew the lease at half-period while the cell runs, so a cell
-        # slower than the lease (full-genetic AES takes tens of minutes) is
-        # not requeued — and eventually parked as failed — by peers while a
-        # healthy worker is still computing it.  The heartbeat thread only
-        # does file I/O, so it gets scheduled even against a CPU-bound cell.
-        stop_heartbeat = threading.Event()
-
-        def _heartbeat(beat_task=task):
-            while not stop_heartbeat.wait(queue.lease_seconds / 2):
-                queue.renew_lease(beat_task, worker)
-
-        heartbeat = threading.Thread(target=_heartbeat, daemon=True)
-        heartbeat.start()
-        try:
-            result = task.cell()
-        except Exception as error:  # noqa: BLE001 — worker must survive bad cells
-            stop_heartbeat.set()
-            heartbeat.join()
-            queue.release_failed(task, f"{type(error).__name__}: {error}", worker)
-            report.failed += 1
-        else:
-            stop_heartbeat.set()
-            heartbeat.join()
-            store.put(
-                task.key,
-                result,
-                meta={"worker": worker, "attempt": task.attempt, **task.meta},
-            )
-            queue.complete(task)
-            report.executed += 1
-            if on_task is not None:
-                on_task(task)
-        if max_tasks is not None and report.executed + report.failed >= max_tasks:
-            return report
+    finally:
+        fleet.event(
+            "worker.exit",
+            executed=report.executed,
+            failed=report.failed,
+            requeued_leases=report.requeued_leases,
+        )
+        fleet.close()
 
 
 # ----------------------------------------------------------------------
@@ -435,6 +488,11 @@ class SweepStatus:
     pending: int
     claimed: int
     failed: int
+    # Appended with defaults so positional construction stays valid:
+    # cells recovered from expired leases during *this* status scan, with
+    # the structured detail records from FileQueue.requeue_expired.
+    requeued: int = 0
+    requeue_details: list = field(default_factory=list)
 
     @property
     def missing(self) -> int:
@@ -446,16 +504,29 @@ class SweepStatus:
 
     def summary(self) -> str:
         state = "complete" if self.complete else f"{self.done}/{self.total} done"
-        return (
+        text = (
             f"sweep {self.name!r}: {state} — {self.pending} pending, "
             f"{self.claimed} claimed, {self.failed} failed"
         )
+        if self.requeued:
+            lost = sorted(
+                {
+                    detail.get("worker") or "worker unknown (lease never written)"
+                    for detail in self.requeue_details
+                }
+            )
+            text += (
+                f"; requeued {self.requeued} expired lease(s)"
+                + (f" lost mid-cell by {', '.join(lost)}" if lost else "")
+            )
+        return text
 
 
 def status(directory: SweepDirectory, name: str) -> SweepStatus:
     manifest = directory.load_manifest(name)
     keys = set(manifest["keys"])
-    directory.queue.requeue_expired()
+    requeue_details: list[dict] = []
+    requeued = directory.queue.requeue_expired(details=requeue_details)
     done = len(directory.store.contains_many(list(keys)))
     return SweepStatus(
         name=name,
@@ -464,7 +535,153 @@ def status(directory: SweepDirectory, name: str) -> SweepStatus:
         pending=len(keys & set(directory.queue.pending_keys())),
         claimed=len(keys & set(directory.queue.claimed_keys())),
         failed=len(keys & set(directory.queue.failed_keys())),
+        requeued=len(requeued),
+        requeue_details=requeue_details,
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet telemetry (``sweep status --telemetry``)
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerTelemetry:
+    """Aggregated view of one worker's ``telemetry/<worker>.jsonl`` log."""
+
+    worker: str
+    cells: int = 0
+    failed: int = 0
+    renewals: int = 0
+    requeues_recovered: int = 0  # expired leases *this* worker returned
+    leases_lost: int = 0  # cells stolen from this worker after lease expiry
+    exited: bool = False
+    first_ts: float | None = None
+    last_ts: float | None = None
+    cell_seconds: Histogram = field(
+        default_factory=lambda: Histogram(name="sweep.cell.seconds")
+    )
+
+    def observe(self, ts: float | None) -> None:
+        if ts is None:
+            return
+        if self.first_ts is None or ts < self.first_ts:
+            self.first_ts = ts
+        if self.last_ts is None or ts > self.last_ts:
+            self.last_ts = ts
+
+    def last_seen_age(self, now: float) -> float | None:
+        if self.last_ts is None:
+            return None
+        return max(0.0, now - self.last_ts)
+
+    def throughput_per_minute(self) -> float:
+        """Completed cells per minute over the worker's active window."""
+        if not self.cells or self.first_ts is None or self.last_ts is None:
+            return 0.0
+        window = max(self.last_ts - self.first_ts, 1e-9)
+        return self.cells / window * 60.0
+
+
+def fleet_telemetry(
+    directory: SweepDirectory, *, now: float | None = None
+) -> list[WorkerTelemetry]:
+    """Parse every worker's telemetry blob into per-worker aggregates.
+
+    Workers that never wrote telemetry but show up as lease losers in
+    *other* workers' requeue events still get a row (with
+    ``leases_lost`` set) — a crashed worker is exactly the one whose own
+    log stops, so its absence is the signal worth surfacing.
+    """
+    del now  # reserved for symmetry with format_fleet_lines
+    storage = directory.storage.sub("telemetry")
+    workers: dict[str, WorkerTelemetry] = {}
+
+    def entry(name: str) -> WorkerTelemetry:
+        telem = workers.get(name)
+        if telem is None:
+            telem = workers[name] = WorkerTelemetry(worker=name)
+        return telem
+
+    for key in sorted(storage.list_keys()):
+        if not key.endswith(".jsonl") or "/" in key:
+            continue
+        name = key[: -len(".jsonl")]
+        telem = entry(name)
+        try:
+            events, _skipped = parse_event_lines(
+                storage.get_text(key).splitlines()
+            )
+        except KeyError:  # pragma: no cover - deleted between list and read
+            continue
+        for record in events:
+            ts = record.get("ts")
+            ts = float(ts) if isinstance(ts, (int, float)) else None
+            telem.observe(ts)
+            kind = record.get("type")
+            if kind == "span" and record.get("name") == "sweep.cell":
+                duration = float(record.get("dur", 0.0))
+                telem.observe((ts or 0.0) + duration if ts is not None else None)
+                telem.cells += 1
+                telem.cell_seconds.observe(duration)
+                if record.get("error"):
+                    telem.failed += 1
+            elif kind == "event":
+                event_name = record.get("name")
+                attrs = record.get("attrs") or {}
+                if event_name == "lease.renewed":
+                    telem.renewals += 1
+                elif event_name == "lease.requeued":
+                    telem.requeues_recovered += 1
+                    loser = attrs.get("worker")
+                    if loser:
+                        entry(str(loser)).leases_lost += 1
+                elif event_name == "cell.failed":
+                    pass  # the erroring sweep.cell span already counted it
+                elif event_name == "worker.exit":
+                    telem.exited = True
+    return sorted(workers.values(), key=lambda telem: telem.worker)
+
+
+def format_fleet_lines(
+    fleet: list[WorkerTelemetry], *, now: float | None = None
+) -> list[str]:
+    """Human-readable per-worker telemetry block for ``sweep status``."""
+    now = time.time() if now is None else now
+    if not fleet:
+        return ["fleet telemetry: no worker telemetry recorded yet"]
+    total_cells = sum(telem.cells for telem in fleet)
+    lines = [
+        f"fleet telemetry: {len(fleet)} worker(s), {total_cells} cell span(s)"
+    ]
+    for telem in fleet:
+        if telem.last_ts is None:
+            # Known only as a lease loser in someone else's log.
+            lines.append(
+                f"  {telem.worker}: no telemetry log — "
+                f"lost {telem.leases_lost} lease(s) mid-cell (presumed dead)"
+            )
+            continue
+        age = telem.last_seen_age(now)
+        seen = "exited" if telem.exited else f"last seen {age:.0f}s ago"
+        parts = [
+            f"{telem.cells} cell(s)",
+            f"{telem.failed} failed",
+            f"{telem.throughput_per_minute():.2f} cells/min",
+        ]
+        if telem.cells:
+            parts.append(
+                "cell p50 {:.3f}s p90 {:.3f}s max {:.3f}s".format(
+                    telem.cell_seconds.percentile(50.0),
+                    telem.cell_seconds.percentile(90.0),
+                    telem.cell_seconds.max,
+                )
+            )
+        parts.append(f"{telem.renewals} lease renewal(s)")
+        if telem.requeues_recovered:
+            parts.append(f"recovered {telem.requeues_recovered} expired lease(s)")
+        if telem.leases_lost:
+            parts.append(f"lost {telem.leases_lost} lease(s) mid-cell")
+        lines.append(f"  {telem.worker}: " + ", ".join(parts) + f" — {seen}")
+    return lines
 
 
 def gc(
@@ -577,6 +794,9 @@ __all__ = [
     "SubmitReport",
     "SweepStatus",
     "WorkerReport",
+    "WorkerTelemetry",
+    "fleet_telemetry",
+    "format_fleet_lines",
     "submit",
     "retry",
     "worker_loop",

@@ -1,0 +1,303 @@
+"""Read telemetry JSONL files and render span trees / metric tables.
+
+The reader is deliberately forgiving: trace files are append-only logs
+shared by many processes, so the last line may be torn mid-write and
+whole lines may come from incompatible versions.  Anything that does not
+parse as a JSON object with a ``type`` field is counted and skipped.
+
+Span reconstruction: events carry ``(pid, tid, id, parent)``; parent
+links are only meaningful within one ``(pid, tid)`` lane, which is also
+what makes concatenating per-worker files safe.  Aggregation groups
+concrete spans by their *name path* (root→leaf chain of span names), so
+a thousand ``kl.pass`` instances under ``kl.bipartition`` fold into one
+tree row with call count, cumulative time, and self time (cumulative
+minus direct children).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from .metrics import MetricsRegistry, format_value
+
+
+def iter_trace_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories (recursively globbing ``*.jsonl``)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.jsonl"))
+        elif path.exists():
+            yield path
+
+
+def read_events(paths: Iterable[str | Path]) -> tuple[list[dict[str, Any]], int]:
+    """Parse every event line; return ``(events, skipped_line_count)``."""
+    events: list[dict[str, Any]] = []
+    skipped = 0
+    for path in iter_trace_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            skipped += 1
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict) and "type" in record:
+                events.append(record)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def parse_event_lines(lines: Iterable[str]) -> tuple[list[dict[str, Any]], int]:
+    """Tolerant parse of in-memory JSONL lines (storage-backed blobs)."""
+    events: list[dict[str, Any]] = []
+    skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if isinstance(record, dict) and "type" in record:
+            events.append(record)
+        else:
+            skipped += 1
+    return events, skipped
+
+
+@dataclass
+class TreeNode:
+    """Aggregated span statistics for one name path."""
+
+    name: str
+    path: tuple[str, ...]
+    calls: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    errors: int = 0
+    children: dict[str, "TreeNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "TreeNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = TreeNode(name=name, path=self.path + (name,))
+        return node
+
+
+def _display_name(record: dict[str, Any]) -> str:
+    attrs = record.get("attrs") or {}
+    algorithm = attrs.get("algorithm")
+    if algorithm:
+        return f"{record.get('name', '?')}[{algorithm}]"
+    return str(record.get("name", "?"))
+
+
+@dataclass
+class TraceReport:
+    """Everything the ``repro trace`` subcommands render."""
+
+    events: list[dict[str, Any]]
+    skipped_lines: int
+    root: TreeNode
+    metrics: MetricsRegistry
+    span_count: int = 0
+    event_count: int = 0
+    first_ts: float | None = None
+    last_ts: float | None = None
+    processes: set[int] = field(default_factory=set)
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.first_ts is None or self.last_ts is None:
+            return 0.0
+        return max(0.0, self.last_ts - self.first_ts)
+
+    # -- aggregate views ---------------------------------------------------
+
+    def flat_rows(self) -> list[TreeNode]:
+        """All tree nodes folded by name path, sorted by cumulative time."""
+        rows: list[TreeNode] = []
+
+        def walk(node: TreeNode) -> None:
+            for child in node.children.values():
+                rows.append(child)
+                walk(child)
+
+        walk(self.root)
+        rows.sort(key=lambda n: (-n.total, n.path))
+        return rows
+
+    def totals_by_name(self) -> dict[str, tuple[int, float]]:
+        """``display name -> (calls, cumulative seconds)`` across all paths."""
+        out: dict[str, tuple[int, float]] = {}
+        for node in self.flat_rows():
+            calls, total = out.get(node.name, (0, 0.0))
+            out[node.name] = (calls + node.calls, total + node.total)
+        return out
+
+    # -- renderers ---------------------------------------------------------
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            (
+                f"Trace: {self.span_count} spans, {self.event_count} events, "
+                f"{len(self.processes)} process(es), wall {format_value(self.wall_seconds)}s"
+                + (f", {self.skipped_lines} unparseable line(s) skipped" if self.skipped_lines else "")
+            )
+        ]
+        rows = self.flat_rows()
+        if rows:
+            name_width = max(len("span"), max(len(" / ".join(r.path)) for r in rows))
+            lines.append(
+                f"{'span'.ljust(name_width)}  {'calls':>7}  {'total s':>10}  "
+                f"{'self s':>10}  {'avg ms':>9}"
+            )
+            for row in rows:
+                avg_ms = (row.total / row.calls * 1000.0) if row.calls else 0.0
+                label = " / ".join(row.path)
+                err = f"  !{row.errors} err" if row.errors else ""
+                lines.append(
+                    f"{label.ljust(name_width)}  {row.calls:>7}  {row.total:>10.4f}  "
+                    f"{row.self_time:>10.4f}  {avg_ms:>9.3f}{err}"
+                )
+        metric_lines = self.metrics.format_table(indent="  ")
+        if metric_lines:
+            lines.append("")
+            lines.append("Metrics:")
+            lines.extend(metric_lines)
+        return lines
+
+    def tree_lines(self) -> list[str]:
+        lines: list[str] = []
+        rows: list[tuple[int, TreeNode]] = []
+
+        def walk(node: TreeNode, depth: int) -> None:
+            ordered = sorted(node.children.values(), key=lambda n: -n.total)
+            for child in ordered:
+                rows.append((depth, child))
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        if not rows:
+            return ["(no spans)"]
+        name_width = max(len("  " * depth + node.name) for depth, node in rows)
+        lines.append(
+            f"{'span'.ljust(name_width)}  {'calls':>7}  {'total s':>10}  {'self s':>10}"
+        )
+        for depth, node in rows:
+            label = "  " * depth + node.name
+            lines.append(
+                f"{label.ljust(name_width)}  {node.calls:>7}  {node.total:>10.4f}  "
+                f"{node.self_time:>10.4f}"
+            )
+        return lines
+
+    def export_events(self) -> list[dict[str, Any]]:
+        return sorted(self.events, key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+
+
+def build_report(events: list[dict[str, Any]], skipped_lines: int = 0) -> TraceReport:
+    root = TreeNode(name="<root>", path=())
+    metrics = MetricsRegistry()
+    report = TraceReport(
+        events=events, skipped_lines=skipped_lines, root=root, metrics=metrics
+    )
+
+    spans = [e for e in events if e.get("type") == "span"]
+    by_key: dict[tuple[Any, Any, Any], dict[str, Any]] = {}
+    for record in spans:
+        by_key[(record.get("pid"), record.get("tid"), record.get("id"))] = record
+
+    child_durations: dict[tuple[Any, Any, Any], float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record.get("pid"), record.get("tid"), parent)
+            if key in by_key:
+                child_durations[key] = child_durations.get(key, 0.0) + float(
+                    record.get("dur", 0.0)
+                )
+
+    def name_path(record: dict[str, Any]) -> tuple[str, ...]:
+        chain: list[str] = []
+        seen: set[tuple[Any, Any, Any]] = set()
+        cursor: dict[str, Any] | None = record
+        while cursor is not None:
+            key = (cursor.get("pid"), cursor.get("tid"), cursor.get("id"))
+            if key in seen:  # pragma: no cover - corrupt linkage guard
+                break
+            seen.add(key)
+            chain.append(_display_name(cursor))
+            parent = cursor.get("parent")
+            cursor = (
+                by_key.get((cursor.get("pid"), cursor.get("tid"), parent))
+                if parent is not None
+                else None
+            )
+        return tuple(reversed(chain))
+
+    for record in spans:
+        duration = float(record.get("dur", 0.0))
+        start = float(record.get("ts", 0.0))
+        report.span_count += 1
+        report.processes.add(record.get("pid", 0))
+        if report.first_ts is None or start < report.first_ts:
+            report.first_ts = start
+        end = start + duration
+        if report.last_ts is None or end > report.last_ts:
+            report.last_ts = end
+
+        node = root
+        for name in name_path(record):
+            node = node.child(name)
+        node.calls += 1
+        node.total += duration
+        key = (record.get("pid"), record.get("tid"), record.get("id"))
+        node.self_time += max(0.0, duration - child_durations.get(key, 0.0))
+        if record.get("error"):
+            node.errors += 1
+
+        metrics.histogram(f"span.{_display_name(record)}.seconds").observe(duration)
+
+    for record in events:
+        kind = record.get("type")
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if report.first_ts is None or ts < report.first_ts:
+                report.first_ts = float(ts)
+            if report.last_ts is None or ts > report.last_ts:
+                report.last_ts = float(ts)
+        if kind == "metrics":
+            values = record.get("values")
+            scope = record.get("scope", "")
+            if isinstance(values, dict):
+                prefixed = {
+                    (f"{scope}.{name}" if scope else name): value
+                    for name, value in values.items()
+                }
+                report.metrics.merge_snapshot(prefixed)
+        elif kind == "event":
+            report.event_count += 1
+            report.metrics.counter(f"event.{record.get('name', '?')}").add(1)
+
+    return report
+
+
+def load_report(paths: Iterable[str | Path]) -> TraceReport:
+    events, skipped = read_events(paths)
+    return build_report(events, skipped)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..errors import WorkloadError
 from ..program import Program
 
@@ -74,7 +75,8 @@ def workload_spec(name: str) -> WorkloadSpec:
 
 def load_workload(name: str) -> Program:
     """Build the named workload's program."""
-    return workload_spec(name).build()
+    with telemetry.span("workload.load", workload=name):
+        return workload_spec(name).build()
 
 
 def available_workloads() -> tuple[str, ...]:

@@ -1,0 +1,30 @@
+"""Isolation for the module-global tracer.
+
+The span tracer is process-global (and may already be live when the whole
+test session runs under ``ISEGEN_TRACE`` — the CI trace cell does exactly
+that).  Every test in this package starts from a clean disabled tracer and
+restores whatever was installed before, so telemetry tests neither see nor
+disturb the session-level trace.
+"""
+
+import os
+
+import pytest
+
+from repro.telemetry import spans
+
+
+@pytest.fixture(autouse=True)
+def isolated_tracer():
+    saved_tracer = spans._tracer
+    saved_env = os.environ.get(spans.TRACE_ENV_VAR)
+    spans._tracer = None
+    os.environ.pop(spans.TRACE_ENV_VAR, None)
+    yield
+    if spans._tracer is not None and spans._tracer is not saved_tracer:
+        spans._tracer.close()
+    spans._tracer = saved_tracer
+    if saved_env is None:
+        os.environ.pop(spans.TRACE_ENV_VAR, None)
+    else:
+        os.environ[spans.TRACE_ENV_VAR] = saved_env

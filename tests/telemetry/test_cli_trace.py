@@ -1,0 +1,77 @@
+"""CLI integration: --trace plumbing, trace subcommands, unified trace blocks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.report import load_report
+
+
+@pytest.mark.parametrize("algorithm", ["ISEGEN", "Greedy", "Iterative"])
+def test_every_engine_prints_search_trace_block(capsys, algorithm):
+    """Satellite: the unified registry formatter prints a trace block for
+    every engine, not just the enumeration baselines."""
+    assert main(["run", "fbital00", "--algorithm", algorithm]) == 0
+    output = capsys.readouterr().out
+    assert "Search trace:" in output
+    if algorithm == "Iterative":
+        # The long-pinned enumeration counter strings survive unchanged.
+        assert "memo hits" in output
+        assert "bound cuts" in output
+    if algorithm == "ISEGEN":
+        assert "gain evals" in output
+        assert "bipartitions" in output
+    if algorithm == "Greedy":
+        assert "seeds tried" in output
+
+
+def test_run_with_trace_writes_spans_and_summary_renders(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["run", "fbital00", "--algorithm", "ISEGEN", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert trace_path.exists()
+    report = load_report([trace_path])
+    names = {name for name, _ in report.totals_by_name().items()}
+    assert "driver.generate[ISEGEN]" in names
+    assert "kl.bipartition" in names
+    assert "kl.pass" in names
+    assert "workload.load" in names
+    # Engine cumulative time is bounded by the driver span that contains it.
+    totals = report.totals_by_name()
+    assert totals["kl.bipartition"][1] <= totals["driver.generate[ISEGEN]"][1]
+    # Kernel dispatch + dfg table builds rode along as metrics events.
+    assert any(name.startswith("kernel.dispatch_") for name in report.metrics.names())
+    assert report.metrics.value("dfg.table_builds") >= 1
+
+    assert main(["trace", "summary", str(trace_path)]) == 0
+    summary = capsys.readouterr().out
+    assert "Trace:" in summary
+    assert "driver.generate[ISEGEN]" in summary
+    assert "Metrics:" in summary
+    assert "kl.toggles" in summary
+
+    assert main(["trace", "tree", str(trace_path)]) == 0
+    tree = capsys.readouterr().out
+    assert "kl.bipartition" in tree
+
+
+def test_trace_export_emits_sorted_jsonl(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["run", "fbital00", "--algorithm", "Greedy", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    out_path = tmp_path / "export.jsonl"
+    assert main(["trace", "export", str(trace_path), "--output", str(out_path)]) == 0
+    lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+    assert lines, "export produced no events"
+    stamps = [line.get("ts", 0.0) for line in lines]
+    assert stamps == sorted(stamps)
+    assert any(line.get("name") == "greedy.search" for line in lines)
+
+
+def test_trace_summary_on_missing_path_fails_cleanly(tmp_path, capsys):
+    code = main(["trace", "summary", str(tmp_path / "missing.jsonl")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

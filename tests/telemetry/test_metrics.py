@@ -1,0 +1,156 @@
+"""Metrics registry: instruments, dataclass absorption, pinned equivalence.
+
+The equivalence tests are the acceptance bar of the telemetry layer: the
+registry *wraps* the legacy trace dataclasses, so every value it reports
+must be bit-identical to the corresponding legacy field (straight sums for
+int fields, last-write-wins for floats) — not approximately equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines import EnumerationTrace, best_single_cut
+from repro.baselines.genetic import GeneticConfig, GeneticSearch, GeneticTrace
+from repro.core import bipartition
+from repro.dfg import random_dfg
+from repro.hwmodel import ISEConstraints
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_trace_block,
+    registry_from_stats,
+)
+
+_CONSTRAINTS = ISEConstraints(max_inputs=4, max_outputs=2, max_ises=4)
+
+
+def test_counter_gauge_histogram_basics():
+    counter = Counter("hits")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+
+    gauge = Gauge("seconds")
+    gauge.set(1.5)
+    gauge.set(0.25)
+    assert gauge.value == 0.25
+
+    hist = Histogram("latency")
+    for value in (4.0, 1.0, 3.0, 2.0):
+        hist.observe(value)
+    assert hist.count == 4 and hist.total == 10.0
+    assert (hist.min, hist.max) == (1.0, 4.0)
+    assert hist.percentile(50) == 2.0
+    assert hist.percentile(100) == 4.0
+    assert hist.mean == 2.5
+
+
+def test_absorb_sums_ints_sets_floats_skips_bools():
+    @dataclasses.dataclass
+    class Sample:
+        hits: int = 3
+        seconds: float = 0.5
+        converged: bool = True
+        label: str = "ignored"
+
+    registry = MetricsRegistry()
+    registry.absorb("kl", Sample())
+    registry.absorb("kl", Sample(hits=4, seconds=0.75))
+    assert registry.value("kl.hits") == 7  # ints accumulate
+    assert registry.value("kl.seconds") == 0.75  # floats last-write-win
+    assert registry.value("kl.converged") is None  # bools skipped
+    assert registry.value("kl.label") is None
+
+
+def test_registry_matches_kl_pass_traces_bit_identically():
+    dfg = random_dfg(48, seed=11, live_out_fraction=0.2)
+    result = bipartition(dfg, _CONSTRAINTS)
+    registry = MetricsRegistry()
+    for trace in result.passes:
+        registry.absorb("kl", trace)
+    for field in dataclasses.fields(result.passes[0]):
+        legacy = [getattr(trace, field.name) for trace in result.passes]
+        if isinstance(legacy[0], bool) or not isinstance(legacy[0], int):
+            continue  # bools are skipped by absorb; floats last-write-win
+        assert registry.value(f"kl.{field.name}") == sum(legacy), field.name
+    # The trace_metrics() view the span layer emits is the same sums.
+    metrics = result.trace_metrics()
+    assert metrics["toggles"] == registry.value("kl.toggles")
+    assert metrics["gain_evals"] == registry.value("kl.gain_evals")
+    assert metrics["passes"] == len(result.passes)
+
+
+def test_registry_matches_genetic_trace_bit_identically():
+    dfg = random_dfg(40, seed=3, live_out_fraction=0.2)
+    config = GeneticConfig(population_size=12, generations=4, stagnation_limit=0, seed=5)
+    search = GeneticSearch(dfg, _CONSTRAINTS, config=config)
+    search.run()
+    registry = MetricsRegistry()
+    registry.absorb("genetic", search.trace)
+    for field in dataclasses.fields(GeneticTrace):
+        legacy = getattr(search.trace, field.name)
+        if isinstance(legacy, bool) or not isinstance(legacy, (int, float)):
+            continue
+        assert registry.value(f"genetic.{field.name}") == legacy, field.name
+
+
+def test_registry_matches_enumeration_trace_bit_identically():
+    dfg = random_dfg(18, seed=21, live_out_fraction=0.3)
+    trace = EnumerationTrace()
+    best_single_cut(dfg, _CONSTRAINTS, node_limit=32, stats=trace)
+    registry = MetricsRegistry()
+    registry.absorb("enum", trace)
+    for field in dataclasses.fields(EnumerationTrace):
+        legacy = getattr(trace, field.name)
+        if isinstance(legacy, bool) or not isinstance(legacy, int):
+            continue
+        assert registry.value(f"enum.{field.name}") == legacy, field.name
+
+
+def test_merge_snapshot_aggregates_across_processes():
+    worker_a = MetricsRegistry()
+    worker_a.counter("cells").add(3)
+    worker_a.gauge("runtime").set(1.5)
+    worker_a.histogram("latency").observe(0.1)
+    worker_a.histogram("latency").observe(0.3)
+
+    worker_b = MetricsRegistry()
+    worker_b.counter("cells").add(2)
+    worker_b.gauge("runtime").set(2.5)
+    worker_b.histogram("latency").observe(0.2)
+
+    merged = MetricsRegistry()
+    merged.merge_snapshot(worker_a.snapshot())
+    merged.merge_snapshot(worker_b.snapshot())
+    assert merged.value("cells") == 5
+    assert merged.value("runtime") == 2.5
+    hist = merged.histogram("latency")
+    assert hist.count == 3
+    assert hist.min == 0.1 and hist.max == 0.3
+
+
+def test_format_trace_block_preserves_pinned_strings():
+    stats = {
+        "states_visited": 120,
+        "memo_hits": 7,
+        "bound_cuts": 3,
+        "runtime_seconds": 0.25,
+        "converged": True,  # bools never reach the block
+    }
+    (line,) = format_trace_block(stats)
+    assert line.startswith("Search trace: ")
+    assert "memo hits 7" in line
+    assert "bound cuts 3" in line
+    assert "states visited 120" in line
+    assert "converged" not in line
+    assert format_trace_block({"name": "text-only"}) == []
+
+
+def test_registry_from_stats_and_table_rendering():
+    registry = registry_from_stats({"hits": 3, "seconds": 0.5, "name": "x"}, "run")
+    lines = registry.format_table()
+    assert any("run.hits" in line and "3" in line for line in lines)
+    assert any("run.seconds" in line for line in lines)

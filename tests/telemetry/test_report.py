@@ -1,0 +1,122 @@
+"""Trace report: tree aggregation, self time, multi-file/process merging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.report import build_report, load_report, parse_event_lines
+
+
+def _span(name, ts, dur, pid=1, tid=1, span_id=1, parent=None, **attrs):
+    record = {
+        "type": "span",
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+        "id": span_id,
+        "parent": parent,
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def test_tree_aggregation_totals_and_self_time():
+    events = [
+        _span("child", ts=0.1, dur=2.0, span_id=2, parent=1),
+        _span("child", ts=2.2, dur=3.0, span_id=3, parent=1),
+        _span("root", ts=0.0, dur=10.0, span_id=1),
+    ]
+    report = build_report(events)
+    root_node = report.root.children["root"]
+    assert root_node.calls == 1
+    assert root_node.total == 10.0
+    assert root_node.self_time == 5.0  # 10 - (2 + 3) from direct children
+    child = root_node.children["child"]
+    assert child.calls == 2 and child.total == 5.0 and child.self_time == 5.0
+    assert report.wall_seconds == 10.0
+    assert report.span_count == 3
+
+
+def test_parent_links_scoped_to_pid_tid_lane():
+    # Same ids in two processes: the lanes must not cross-link.
+    events = [
+        _span("root", ts=0.0, dur=1.0, pid=1, span_id=1),
+        _span("leaf", ts=0.0, dur=0.5, pid=1, span_id=2, parent=1),
+        _span("other-root", ts=0.0, dur=1.0, pid=2, span_id=1),
+        _span("leaf", ts=0.0, dur=0.25, pid=2, span_id=2, parent=1),
+    ]
+    report = build_report(events)
+    assert report.processes == {1, 2}
+    assert report.root.children["root"].children["leaf"].calls == 1
+    assert report.root.children["other-root"].children["leaf"].calls == 1
+
+
+def test_algorithm_attr_becomes_display_name():
+    events = [
+        _span("driver.generate", ts=0.0, dur=1.0, span_id=1, algorithm="ISEGEN"),
+    ]
+    report = build_report(events)
+    assert "driver.generate[ISEGEN]" in report.root.children
+    rows = report.flat_rows()
+    assert rows[0].name == "driver.generate[ISEGEN]"
+
+
+def test_metrics_and_events_fold_into_registry():
+    events = [
+        {"type": "metrics", "scope": "kl", "ts": 1.0, "values": {"toggles": 5}},
+        {"type": "metrics", "scope": "kl", "ts": 2.0, "values": {"toggles": 7}},
+        {"type": "event", "name": "lease.renewed", "ts": 3.0, "attrs": {}},
+        {"type": "event", "name": "lease.renewed", "ts": 4.0, "attrs": {}},
+    ]
+    report = build_report(events)
+    assert report.metrics.value("kl.toggles") == 12  # ints accumulate
+    assert report.metrics.value("event.lease.renewed") == 2
+    assert report.event_count == 2
+
+
+def test_load_report_merges_files_and_directories(tmp_path):
+    worker_dir = tmp_path / "telemetry"
+    worker_dir.mkdir()
+    (worker_dir / "worker-a.jsonl").write_text(
+        json.dumps(_span("cell", ts=0.0, dur=1.0, pid=10)) + "\n"
+    )
+    (worker_dir / "worker-b.jsonl").write_text(
+        json.dumps(_span("cell", ts=1.0, dur=2.0, pid=20)) + "\ntorn-line{{{\n"
+    )
+    lone = tmp_path / "driver.jsonl"
+    lone.write_text(json.dumps(_span("driver", ts=0.0, dur=3.0, pid=30)) + "\n")
+    report = load_report([worker_dir, lone])
+    assert report.span_count == 3
+    assert report.skipped_lines == 1
+    assert report.processes == {10, 20, 30}
+    (calls, total) = report.totals_by_name()["cell"]
+    assert calls == 2 and total == 3.0
+
+
+def test_summary_and_tree_renderers(tmp_path):
+    events = [
+        _span("outer", ts=0.0, dur=4.0, span_id=1),
+        _span("inner", ts=0.5, dur=1.0, span_id=2, parent=1),
+    ]
+    report = build_report(events)
+    summary = report.summary_lines()
+    assert summary[0].startswith("Trace: 2 spans")
+    assert any("outer / inner" in line for line in summary)
+    tree = report.tree_lines()
+    assert any(line.lstrip().startswith("inner") for line in tree)
+    exported = report.export_events()
+    assert [e["name"] for e in exported] == ["outer", "inner"]  # ts order
+
+
+def test_parse_event_lines_for_storage_blobs():
+    lines = [
+        json.dumps(_span("cell", ts=0.0, dur=1.0)),
+        "",
+        "garbage",
+        json.dumps({"no_type": True}),
+    ]
+    events, skipped = parse_event_lines(lines)
+    assert len(events) == 1 and skipped == 2

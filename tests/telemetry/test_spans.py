@@ -1,0 +1,208 @@
+"""Span tracer: nesting, exception safety, disabled no-op, JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import spans
+from repro.telemetry.report import read_events
+
+
+def _spans_by_name(events):
+    return {e["name"]: e for e in events if e["type"] == "span"}
+
+
+def test_nested_spans_link_parents(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path)
+    with telemetry.span("outer", label="a"):
+        with telemetry.span("middle"):
+            with telemetry.span("inner"):
+                pass
+    telemetry.flush()
+    events, skipped = read_events([path])
+    assert skipped == 0
+    by_name = _spans_by_name(events)
+    assert set(by_name) == {"outer", "middle", "inner"}
+    assert by_name["outer"]["parent"] is None
+    assert by_name["middle"]["parent"] == by_name["outer"]["id"]
+    assert by_name["inner"]["parent"] == by_name["middle"]["id"]
+    assert by_name["outer"]["attrs"] == {"label": "a"}
+    # Children close before their parent, so they appear first and their
+    # durations nest inside the parent's.
+    assert by_name["inner"]["dur"] <= by_name["outer"]["dur"]
+
+
+def test_span_exception_marks_error_and_unwinds_stack(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = telemetry.configure(path)
+    with pytest.raises(ValueError, match="boom"):
+        with telemetry.span("outer"):
+            with telemetry.span("failing"):
+                raise ValueError("boom")
+    assert tracer._stack() == []  # fully unwound despite the raise
+    with telemetry.span("after"):
+        pass
+    telemetry.flush()
+    by_name = _spans_by_name(read_events([path])[0])
+    assert by_name["failing"]["error"] is True
+    assert by_name["outer"]["error"] is True
+    assert "error" not in by_name["after"]
+    assert by_name["after"]["parent"] is None  # not parented to dead spans
+
+
+def test_disabled_mode_is_shared_noop_singleton():
+    assert not telemetry.tracing_enabled()
+    first = telemetry.span("anything", key="value")
+    second = telemetry.span("else")
+    assert first is second is spans._NOOP_SPAN
+    with first as ctx:
+        ctx.set(more="attrs")  # must not raise
+    # The free functions are all no-ops without a tracer.
+    telemetry.event("nothing")
+    telemetry.emit_metrics("scope", {"a": 1})
+    telemetry.record_span("phase", telemetry.clock())
+    telemetry.emit_metrics_lazy("scope", lambda: pytest.fail("must not build"))
+    telemetry.flush()
+
+
+def test_jsonl_round_trip_spans_events_metrics(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path)
+    with telemetry.span("work", n=3):
+        telemetry.event("checkpoint", step=1)
+        telemetry.emit_metrics("engine", {"evals": 42, "seconds": 0.5})
+    telemetry.flush()
+    events, skipped = read_events([path])
+    assert skipped == 0
+    kinds = sorted(e["type"] for e in events)
+    assert kinds == ["event", "metrics", "span"]
+    (metric,) = [e for e in events if e["type"] == "metrics"]
+    assert metric["scope"] == "engine"
+    assert metric["values"] == {"evals": 42, "seconds": 0.5}
+    (evt,) = [e for e in events if e["type"] == "event"]
+    assert evt["name"] == "checkpoint" and evt["attrs"] == {"step": 1}
+
+
+def test_reader_tolerates_torn_and_foreign_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path)
+    with telemetry.span("ok"):
+        pass
+    telemetry.flush()
+    with path.open("a") as handle:
+        handle.write('{"type": "span", "name": "torn", "ts": 1.0, "du\n')
+        handle.write("not json at all\n")
+        handle.write('["a", "json", "array"]\n')
+    events, skipped = read_events([path])
+    assert [e["name"] for e in events] == ["ok"]
+    assert skipped == 3
+
+
+def test_record_span_parents_to_enclosing_span(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path)
+    with telemetry.span("outer"):
+        started = telemetry.clock()
+        telemetry.record_span("phase", started, index=0)
+    telemetry.flush()
+    by_name = _spans_by_name(read_events([path])[0])
+    assert by_name["phase"]["parent"] == by_name["outer"]["id"]
+    assert by_name["phase"]["attrs"] == {"index": 0}
+    assert by_name["phase"]["dur"] >= 0.0
+
+
+def test_directory_target_gets_per_process_file(tmp_path):
+    telemetry.configure(tmp_path)
+    with telemetry.span("work"):
+        pass
+    telemetry.flush()
+    files = list(tmp_path.glob("trace-*.jsonl"))
+    assert len(files) == 1
+    assert f"-{os.getpid()}" in files[0].name
+
+
+def test_env_configuration_round_trip(tmp_path, monkeypatch):
+    path = tmp_path / "env-trace.jsonl"
+    monkeypatch.setenv(telemetry.TRACE_ENV_VAR, str(path))
+    tracer = spans.maybe_configure_from_env()
+    assert tracer is not None and telemetry.tracing_enabled()
+    with telemetry.span("from-env"):
+        pass
+    telemetry.flush()
+    assert "from-env" in path.read_text()
+    # Empty value is treated as unset.
+    telemetry.shutdown()
+    monkeypatch.setenv(telemetry.TRACE_ENV_VAR, "  ")
+    assert spans.maybe_configure_from_env() is None
+
+
+def test_threaded_spans_keep_per_thread_stacks(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path)
+
+    def worker(tag):
+        with telemetry.span(f"thread-{tag}"):
+            with telemetry.span(f"child-{tag}"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    telemetry.flush()
+    events, skipped = read_events([path])
+    assert skipped == 0
+    by_name = _spans_by_name(events)
+    for i in range(4):
+        child, parent = by_name[f"child-{i}"], by_name[f"thread-{i}"]
+        assert child["parent"] == parent["id"]
+        assert child["tid"] == parent["tid"]
+        assert parent["parent"] is None
+
+
+def _traced_cell(value):
+    with telemetry.span("cell.inner", value=value):
+        return value + 1
+
+
+def test_pool_children_flush_spans_before_exit(tmp_path):
+    """Forked pool workers die via ``os._exit`` (atexit never runs), so
+    ``_execute`` must flush after every task or each child's final
+    ``experiment.cell`` record is silently dropped, orphaning its subtree."""
+    from repro.parallel import job, run_parallel
+
+    path = tmp_path / "trace.jsonl"
+    # A huge batch threshold means nothing reaches disk except through the
+    # explicit per-task flush — exactly the records the bug used to lose.
+    telemetry.configure(path, flush_every=10_000)
+    results = run_parallel([job(_traced_cell, i) for i in range(4)], workers=2)
+    assert results == [1, 2, 3, 4]
+    telemetry.flush()
+    events, skipped = read_events([path])
+    assert skipped == 0
+    records = [e for e in events if e["type"] == "span"]
+    cells = [s for s in records if s["name"] == "experiment.cell"]
+    inners = [s for s in records if s["name"] == "cell.inner"]
+    assert len(cells) == 4 and len(inners) == 4
+    by_key = {(s["pid"], s["tid"], s["id"]): s for s in records}
+    for inner in inners:  # every inner span's parent record made it to disk
+        parent = by_key[(inner["pid"], inner["tid"], inner["parent"])]
+        assert parent["name"] == "experiment.cell"
+
+
+def test_flush_batches_until_threshold(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    telemetry.configure(path, flush_every=3)
+    telemetry.event("one")
+    telemetry.event("two")
+    assert not path.exists() or path.read_text() == ""
+    telemetry.event("three")  # hits the threshold -> one os.write of 3 lines
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [line["name"] for line in lines] == ["one", "two", "three"]
