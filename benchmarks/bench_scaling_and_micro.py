@@ -14,6 +14,9 @@
   no-op floor (the budget every instrumented hot path pays when tracing is
   off), live span enter/exit against a JSONL sink, and raw event-sink
   throughput.
+* ``test_micro_scheduler_*`` measures profile-guided sweep scheduling:
+  FIFO vs LPT makespan on a tail-heavy sleep-cell mix (row identity
+  asserted) and file-queue drain throughput with batched claims.
 * ``test_parallel_*`` measures the process-pool experiment engine
   (``run_parallel``) against its serial path and asserts the result rows are
   identical; the wall-clock speedup assertion is gated on the machine
@@ -497,3 +500,122 @@ def test_parallel_engine_speedup(benchmark):
             f"expected >= {floor}x from {_PARALLEL_WORKERS} workers, "
             f"got {speedup:.2f}x"
         )
+
+
+# ----------------------------------------------------------------------
+# Profile-guided sweep scheduling: makespan and queue batch throughput
+# ----------------------------------------------------------------------
+def _sleep_cell(seconds, index):
+    time.sleep(seconds)
+    return index
+
+
+class _SleepCostModel:
+    """Oracle for the sleep cells: the duration is the first argument."""
+
+    def predict(self, cell):
+        return float(cell.args[0])
+
+    def affinity(self, cell):
+        return f"cell{cell.args[1]}"
+
+
+#: A deliberately tail-heavy mix: sixteen 100ms cells with one 450ms
+#: straggler submitted *last*, where FIFO dispatch hurts the most.
+_SCHEDULER_DURATIONS = [0.1] * 16 + [0.45]
+_SCHEDULER_WORKERS = 4
+
+
+def _scheduler_makespan(schedule):
+    from repro.parallel import execute_jobs, job as make_job
+
+    jobs = [
+        make_job(_sleep_cell, seconds, index)
+        for index, seconds in enumerate(_SCHEDULER_DURATIONS)
+    ]
+    started = time.perf_counter()
+    results = execute_jobs(
+        jobs,
+        workers=_SCHEDULER_WORKERS,
+        schedule=schedule,
+        cost_model=_SleepCostModel(),
+    )
+    seconds = time.perf_counter() - started
+    assert results == list(range(len(_SCHEDULER_DURATIONS)))
+    return seconds
+
+
+def test_micro_scheduler_makespan(benchmark):
+    """FIFO vs profile-guided LPT on a tail-heavy 17-cell sweep over 4
+    workers.  The cells sleep rather than burn CPU, so the makespan gap is
+    visible even on a 1-core container: FIFO starts the 450ms straggler
+    only after the 16 short cells have cycled through the pool (~0.85s
+    critical path), LPT starts it first (~0.6s).  Rows are asserted
+    identical either way; the speedup floor is droppable on noisy shared
+    runners via ``ISEGEN_RELAX_PARALLEL_ASSERT``."""
+    benchmark.group = "scheduler makespan (17 cells, 4 workers)"
+    fifo_seconds = _scheduler_makespan("fifo")
+    lpt_seconds = run_once(benchmark, _scheduler_makespan, "lpt")
+    benchmark.extra_info["fifo_seconds"] = round(fifo_seconds, 3)
+    benchmark.extra_info["lpt_seconds"] = round(lpt_seconds, 3)
+    benchmark.extra_info["makespan_ratio"] = round(
+        lpt_seconds / fifo_seconds if fifo_seconds else float("inf"), 3
+    )
+    if not os.environ.get("ISEGEN_RELAX_PARALLEL_ASSERT"):
+        assert lpt_seconds <= 0.85 * fifo_seconds, (
+            f"expected LPT to cut the FIFO makespan by >= 15%: "
+            f"fifo={fifo_seconds:.3f}s lpt={lpt_seconds:.3f}s"
+        )
+
+
+def test_micro_scheduler_claim_batch(benchmark):
+    """Draining a 64-task file queue with ``claim_batch(8)`` vs one claim
+    per listing: the batched path amortizes the directory scan that
+    dominates claim latency on cold filesystem caches."""
+    from repro.parallel import job as make_job
+    from repro.sweep import CellTask, FileQueue
+
+    benchmark.group = "scheduler queue throughput (64 tasks)"
+    total = 64
+    hexdigits = "0123456789abcdef"
+
+    def fill(queue):
+        for i in range(total):
+            key = hexdigits[i % 16] * 60 + f"{i:04d}"
+            queue.enqueue(CellTask(key, make_job(_sleep_cell, 0.0, i)))
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        single = FileQueue(os.path.join(root, "single"))
+        fill(single)
+        started = time.perf_counter()
+        while True:
+            task = single.claim("w")
+            if task is None:
+                break
+            single.complete(task)
+        single_seconds = time.perf_counter() - started
+
+        batched = FileQueue(os.path.join(root, "batched"))
+        fill(batched)
+
+        def drain_batched():
+            drained = 0
+            while True:
+                batch = batched.claim_batch(8, worker="w")
+                if not batch:
+                    return drained
+                for task in batch:
+                    batched.complete(task)
+                    drained += 1
+
+        drained = run_once(benchmark, drain_batched)
+
+    assert drained == total
+    assert single.is_idle()
+    benchmark.extra_info["tasks"] = total
+    benchmark.extra_info["single_claim_seconds"] = round(single_seconds, 3)
+    benchmark.extra_info["claims_per_second_single"] = round(
+        total / single_seconds if single_seconds else float("inf"), 1
+    )

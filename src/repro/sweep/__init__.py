@@ -10,6 +10,8 @@ resumable execution service:
   in-repo offline :class:`~repro.sweep.objectstore.FakeObjectServer`;
 * :mod:`repro.sweep.store` — the content-addressed JSON result store;
 * :mod:`repro.sweep.filequeue` — shared-directory claim/lease work queue;
+* :mod:`repro.sweep.costmodel` — profile-guided per-cell runtime model
+  feeding the ``lpt`` schedule of every executor;
 * :mod:`repro.sweep.backends` — serial / process-pool / file-queue executors;
 * :mod:`repro.sweep.orchestrator` — submit / worker / status / collect;
 * :mod:`repro.sweep.registry` — the named sweeps (one per harness);
@@ -25,7 +27,14 @@ from .storage import (
     storage_from_url,
 )
 from .store import GCReport, ResultStore, StoreScan, StoreStats
-from .filequeue import CellTask, FileQueue, worker_identity
+from .filequeue import Backoff, CellTask, FileQueue, worker_identity
+from .costmodel import (
+    CostModel,
+    affinity_key,
+    cost_key,
+    cost_model_for,
+    static_estimate,
+)
 from .backends import (
     ExecutorBackend,
     FileQueueBackend,
@@ -76,9 +85,15 @@ __all__ = [
     "StoreStats",
     "StoreScan",
     "GCReport",
+    "Backoff",
     "CellTask",
     "FileQueue",
     "worker_identity",
+    "CostModel",
+    "affinity_key",
+    "cost_key",
+    "cost_model_for",
+    "static_estimate",
     "ExecutorBackend",
     "SerialBackend",
     "ProcessPoolBackend",

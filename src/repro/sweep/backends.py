@@ -8,13 +8,19 @@ finished and resumes from the first truly missing cell.
 
 * :class:`SerialBackend` — in-process, in submission order; the reference
   semantics (and the ``workers=1`` bit-identical guarantee).
-* :class:`ProcessPoolBackend` — fans cells over a local
-  :class:`~concurrent.futures.ProcessPoolExecutor`; the distributed-sweep
-  equivalent of ``run_parallel(jobs, workers=N)``.
+* :class:`ProcessPoolBackend` — fans cells over local process pools via
+  the shared :func:`~repro.parallel.execute_jobs` engine; the
+  distributed-sweep equivalent of ``run_parallel(jobs, workers=N)``,
+  including its optional profile-guided ``lpt`` schedule.
 * :class:`FileQueueBackend` — enqueues cells onto a shared-directory
   :class:`~repro.sweep.filequeue.FileQueue` for ``repro sweep worker``
   processes (any number, any machine with the same filesystem) and
   optionally blocks until every cell's result appears in the store.
+
+All backends route their execution through ``execute_jobs`` so the
+cancel-on-first-failure discipline is defined in exactly one place, and all
+record the cell's wall time as ``meta.runtime_s`` on the store record —
+the observation feed of :mod:`repro.sweep.costmodel`.
 
 Backends only ever see cache *misses*; hit bookkeeping happens one layer up
 in :class:`~repro.sweep.orchestrator.CachedExecutor`.
@@ -25,12 +31,33 @@ from __future__ import annotations
 import abc
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
 
-from ..parallel import _execute
-from .filequeue import CellTask, FileQueue
+from ..parallel import execute_jobs
+from .filequeue import Backoff, CellTask, FileQueue
 from .hashing import SweepError
 from .store import ResultStore
+
+
+def _store_writer(tasks: Sequence[CellTask], store: ResultStore, backend_name: str):
+    """``on_result`` callback persisting each cell the moment it lands.
+
+    A killed sweep keeps everything that finished, and the resume touches
+    only the rest.  The measured wall time rides along as ``runtime_s``.
+    """
+
+    def on_result(index: int, result, seconds: float) -> None:
+        task = tasks[index]
+        store.put(
+            task.key,
+            result,
+            meta={
+                "backend": backend_name,
+                "runtime_s": round(seconds, 6),
+                **task.meta,
+            },
+        )
+
+    return on_result
 
 
 class ExecutorBackend(abc.ABC):
@@ -49,21 +76,37 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
-        for task in tasks:
-            store.put(
-                task.key, task.cell(), meta={"backend": self.name, **task.meta}
-            )
+        tasks = list(tasks)
+        execute_jobs(
+            [task.cell for task in tasks],
+            workers=1,
+            on_result=_store_writer(tasks, store, self.name),
+        )
 
 
 class ProcessPoolBackend(ExecutorBackend):
-    """Local process-pool execution, results persisted as they complete."""
+    """Local process-pool execution, results persisted as they complete.
+
+    *schedule*/*cost_model* select the dispatch order of the underlying
+    :func:`~repro.parallel.execute_jobs` engine (``lpt`` executes cells in
+    predicted-cost order with cache-affinity steering); either way the set
+    of store records is identical — only the wall clock changes.
+    """
 
     name = "process-pool"
 
-    def __init__(self, workers: int = 2):
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        schedule: str | None = None,
+        cost_model=None,
+    ):
         if workers < 1:
             raise SweepError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.schedule = schedule
+        self.cost_model = cost_model
 
     def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
         tasks = list(tasks)
@@ -72,24 +115,13 @@ class ProcessPoolBackend(ExecutorBackend):
         if self.workers == 1 or len(tasks) == 1:
             SerialBackend().run(tasks, store)
             return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
-            futures = {
-                pool.submit(_execute, task.cell): task for task in tasks
-            }
-            # Persist each result the moment it lands — a killed sweep keeps
-            # everything that finished, and the resume touches only the rest.
-            for future in as_completed(futures):
-                task = futures[future]
-                try:
-                    result = future.result()
-                except Exception:
-                    for outstanding in futures:
-                        outstanding.cancel()
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    raise
-                store.put(
-                    task.key, result, meta={"backend": self.name, **task.meta}
-                )
+        execute_jobs(
+            [task.cell for task in tasks],
+            workers=self.workers,
+            schedule=self.schedule,
+            cost_model=self.cost_model,
+            on_result=_store_writer(tasks, store, self.name),
+        )
 
 
 class FileQueueBackend(ExecutorBackend):
@@ -100,6 +132,13 @@ class FileQueueBackend(ExecutorBackend):
     immediately.  With ``wait=True`` the call blocks, polling the store,
     until every cell has a result — the work itself is done by however many
     ``repro sweep worker`` processes share the queue directory.
+
+    With a *cost_model*, cells are enqueued in descending predicted cost so
+    whichever worker claims first starts the fleet's stragglers first
+    (:meth:`FileQueue._pending_paths` preserves enqueue order).  The wait
+    loop polls with capped exponential backoff — one batched
+    ``contains_many`` probe per wake-up, backing off while nothing lands
+    and snapping back to *poll_interval* the moment a result appears.
     """
 
     name = "file-queue"
@@ -111,18 +150,27 @@ class FileQueueBackend(ExecutorBackend):
         wait: bool = True,
         poll_interval: float = 0.2,
         timeout: float | None = None,
+        cost_model=None,
     ):
         self.queue = queue
         self.wait = wait
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.cost_model = cost_model
+
+    def _enqueue_order(self, tasks: list[CellTask]) -> list[CellTask]:
+        if self.cost_model is None or len(tasks) <= 1:
+            return tasks
+        costs = [self.cost_model.predict(task.cell) for task in tasks]
+        order = sorted(range(len(tasks)), key=lambda i: (-costs[i], i))
+        return [tasks[i] for i in order]
 
     def run(self, tasks: Sequence[CellTask], store: ResultStore) -> None:
         # One batched probe instead of a stat per task (cheap on remote
         # object stores and shared/NFS filesystems alike).
         stored = store.contains_many([task.key for task in tasks])
         tasks = [task for task in tasks if task.key not in stored]
-        for task in tasks:
+        for task in self._enqueue_order(tasks):
             self.queue.enqueue(task)
         if not self.wait:
             return
@@ -133,12 +181,19 @@ class FileQueueBackend(ExecutorBackend):
         # cannot expire faster than a fraction of the lease period anyway.
         scan_interval = max(self.poll_interval, self.queue.lease_seconds / 4)
         last_scan = float("-inf")
+        backoff = Backoff(
+            self.poll_interval,
+            max(self.poll_interval, min(5.0, self.queue.lease_seconds / 8)),
+        )
         while outstanding:
             now = time.monotonic()
             if now - last_scan >= scan_interval:
                 self.queue.requeue_expired()
                 last_scan = now
-            outstanding -= store.contains_many(list(outstanding))
+            landed = store.contains_many(list(outstanding))
+            if landed:
+                backoff.reset()
+            outstanding -= landed
             if not outstanding:
                 break
             failed = outstanding & set(self.queue.failed_keys())
@@ -154,7 +209,10 @@ class FileQueueBackend(ExecutorBackend):
                     f"timed out waiting for {len(outstanding)} queued cell(s); "
                     "are any `sweep worker` processes running?"
                 )
-            time.sleep(self.poll_interval)
+            delay = backoff.step()
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
 
 
 __all__ = [

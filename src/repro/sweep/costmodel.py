@@ -1,0 +1,326 @@
+"""Profile-guided runtime cost model for experiment cells.
+
+The sweeps of the paper's headline figures mix wildly heterogeneous cells:
+a full-genetic AES point costs seconds while an ``autcor00`` greedy point
+costs milliseconds.  Dispatching them in naive submission order leaves a
+straggler running alone at the end of every pool run.  This module turns
+the runtime data the stack already records — ``meta.runtime_s`` on every
+result-store record, written by all executor backends — into per-cell
+runtime *predictions* that the schedulers in :mod:`repro.parallel` and
+:mod:`repro.sweep` consume:
+
+* :func:`cost_key` names the *cost class* of a cell: the cell function
+  plus its scalar arguments (workload name, N_ISE, I/O budget, algorithm)
+  plus the *shape* (type name) of any configuration dataclass.  Two cells
+  in the same class are expected to cost the same.
+* :class:`CostModel` maps cost classes to observed mean runtimes.  For
+  classes never seen it falls back to a **static structural prior** (the
+  workload's critical-block size raised to a superlinear exponent, scaled
+  by a per-algorithm factor) and, failing that, to a *conservative*
+  default — the most expensive class seen so far — so unknown cells are
+  scheduled first rather than discovered to be stragglers last.
+* :func:`affinity_key` names the workload/DFG structural class of a cell.
+  The LPT scheduler steers cells sharing an affinity key to the same
+  worker process so the per-process :func:`repro.dfg.bitset.shared_index`
+  memo and the workload memo of :mod:`repro.workloads.registry` hit
+  instead of every worker rebuilding every graph.
+
+The model persists through the existing
+:class:`~repro.sweep.storage.StorageBackend` protocol (one JSON blob under
+``costmodel/``), and :meth:`CostModel.ingest_store` bootstraps it from any
+existing sweep's result records — legacy records without ``runtime_s`` are
+tolerated and simply contribute nothing.
+
+Predictions only ever influence *order*; every consumer reassembles results
+in submission order, so a wrong (even adversarial) model can cost wall
+clock but never changes a row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from collections.abc import Iterable
+
+from ..parallel import ParallelJob
+from .hashing import qualified_name
+
+#: Storage prefix (under the sweep's storage backend) holding the profile.
+COSTMODEL_PREFIX = "costmodel"
+#: Blob name of the persisted aggregate profile.
+PROFILE_KEY = "profile.json"
+#: Environment variable pointing at a persisted profile JSON file, used by
+#: ``run_parallel`` consumers that have no sweep store (figure CLIs).
+PROFILE_ENV_VAR = "ISEGEN_COST_PROFILE"
+
+#: Superlinear growth of cell cost with critical-block node count (the K-L
+#: loop is ~quadratic per pass but runs fewer toggles on small blocks; 1.5
+#: matches the measured scaling study shape well enough for *ordering*).
+_STATIC_EXPONENT = 1.5
+#: Cost multiplier per algorithm name appearing in the cost key, relative
+#: to ISEGEN.  Ordering-quality constants, not measurements.
+_ALGORITHM_FACTORS = {
+    "ISEGEN": 1.0,
+    "Genetic": 4.0,
+    "Genetic/reference": 12.0,
+    "Iterative": 8.0,
+    "Exact": 20.0,
+    "Greedy": 0.3,
+}
+
+
+def _describe(value) -> str:
+    """One stable token per argument: scalars verbatim, configs by shape."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if isinstance(value, str):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Configuration dataclasses contribute their *shape* only: cells
+        # differing in fine-grained tuning knobs share one cost class.
+        return type(value).__name__
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_describe(item) for item in value) + "]"
+    return type(value).__name__
+
+
+def cost_key(cell: ParallelJob) -> str:
+    """The cost class of one cell (function + scalar args + config shapes)."""
+    parts = [qualified_name(cell.func)]
+    parts.extend(_describe(value) for value in cell.args)
+    parts.extend(
+        f"{name}={_describe(value)}" for name, value in sorted(cell.kwargs.items())
+    )
+    return "|".join(parts)
+
+
+def _workload_sizes() -> dict[str, int]:
+    """``workload name -> critical-block node count`` for the static prior."""
+    from ..workloads import iter_workloads
+
+    return {spec.name: spec.critical_block_size for spec in iter_workloads()}
+
+
+def affinity_key(cell: ParallelJob) -> str:
+    """The workload/DFG structural class of a cell.
+
+    Cells sharing this key rebuild the same graphs and bitset tables, so a
+    scheduler that lands them in one worker process turns those rebuilds
+    into per-process memo hits.  Cells carrying a registered workload name
+    group by it; everything else groups by cell function.
+    """
+    names = _workload_sizes()
+    values = list(cell.args) + [cell.kwargs[k] for k in sorted(cell.kwargs)]
+    for value in values:
+        if isinstance(value, str) and value in names:
+            return f"workload:{value}"
+    return f"func:{qualified_name(cell.func)}"
+
+
+def static_estimate(key: str) -> float | None:
+    """Structural runtime prior for a cost key, or ``None`` if the key
+    names no registered workload.  Units are arbitrary — only relative
+    order matters to the schedulers."""
+    parts = key.split("|")
+    sizes = _workload_sizes()
+    base = None
+    factor = 1.0
+    for part in parts[1:]:
+        value = part.split("=", 1)[-1]
+        if base is None and value in sizes:
+            base = (sizes[value] / 100.0) ** _STATIC_EXPONENT
+        if value in _ALGORITHM_FACTORS:
+            factor = _ALGORITHM_FACTORS[value]
+    if base is None:
+        return None
+    return base * factor
+
+
+class CostModel:
+    """Observed mean runtime per cost class, with conservative fallbacks.
+
+    ``predict`` resolution order: observed mean for the class → static
+    workload prior (:func:`static_estimate`) → the most expensive mean
+    observed for *any* class (never-seen cells are assumed expensive, so
+    LPT starts them first) → ``default_cost``.
+    """
+
+    def __init__(self, *, default_cost: float = 1.0):
+        #: ``cost class -> (observation count, total seconds)``.
+        self._profiles: dict[str, tuple[int, float]] = {}
+        self.default_cost = float(default_cost)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, key: str, seconds) -> bool:
+        """Fold one runtime observation in; bad values are ignored."""
+        try:
+            seconds = float(seconds)
+        except (TypeError, ValueError):
+            return False
+        if not math.isfinite(seconds) or seconds < 0.0 or not key:
+            return False
+        count, total = self._profiles.get(key, (0, 0.0))
+        self._profiles[key] = (count + 1, total + seconds)
+        return True
+
+    def observe_cell(self, cell: ParallelJob, seconds) -> bool:
+        return self.observe(cost_key(cell), seconds)
+
+    def ingest_meta(self, meta: dict) -> bool:
+        """Absorb one result-store record's metadata.  Legacy records
+        without ``runtime_s``/``cost_key`` contribute nothing."""
+        if not isinstance(meta, dict):
+            return False
+        key = meta.get("cost_key")
+        if not isinstance(key, str):
+            return False
+        return self.observe(key, meta.get("runtime_s"))
+
+    def ingest_store(self, store) -> int:
+        """Bootstrap from every record of a result store; returns the
+        number of observations absorbed."""
+        return sum(1 for meta in store.iter_metas() if self.ingest_meta(meta))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        return sum(count for count, _ in self._profiles.values())
+
+    def mean(self, key: str) -> float | None:
+        profile = self._profiles.get(key)
+        if not profile or not profile[0]:
+            return None
+        count, total = profile
+        return total / count
+
+    def _conservative_default(self) -> float:
+        means = [total / count for count, total in self._profiles.values() if count]
+        if means:
+            return max(max(means), self.default_cost)
+        return self.default_cost
+
+    def predict_key(self, key: str) -> float:
+        observed = self.mean(key)
+        if observed is not None:
+            return observed
+        estimate = static_estimate(key)
+        if estimate is not None:
+            return estimate
+        return self._conservative_default()
+
+    def predict(self, cell: ParallelJob) -> float:
+        return self.predict_key(cost_key(cell))
+
+    def affinity(self, cell: ParallelJob) -> str:
+        return affinity_key(cell)
+
+    # ------------------------------------------------------------------
+    # Persistence (StorageBackend blob + env-pointed file)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "version": 1,
+            "profiles": {
+                key: {"count": count, "total": total}
+                for key, (count, total) in sorted(self._profiles.items())
+            },
+        }
+
+    def merge_payload(self, payload: dict) -> int:
+        """Fold a serialized profile in; returns merged class count."""
+        profiles = payload.get("profiles") if isinstance(payload, dict) else None
+        if not isinstance(profiles, dict):
+            return 0
+        merged = 0
+        for key, entry in profiles.items():
+            try:
+                count = int(entry["count"])
+                total = float(entry["total"])
+            except (TypeError, KeyError, ValueError):
+                continue
+            if count < 1 or not math.isfinite(total) or total < 0.0:
+                continue
+            prior_count, prior_total = self._profiles.get(key, (0, 0.0))
+            self._profiles[key] = (prior_count + count, prior_total + total)
+            merged += 1
+        return merged
+
+    def save(self, storage) -> None:
+        storage.put_text(PROFILE_KEY, json.dumps(self.to_payload(), indent=1))
+
+    @classmethod
+    def load(cls, storage) -> "CostModel":
+        """Load the persisted profile; an absent/corrupt blob yields an
+        empty model (static prior + conservative default only)."""
+        model = cls()
+        try:
+            payload = json.loads(storage.get_text(PROFILE_KEY))
+        except (KeyError, ValueError):
+            return model
+        model.merge_payload(payload)
+        return model
+
+    @classmethod
+    def from_env(cls) -> "CostModel":
+        """Model seeded from the ``ISEGEN_COST_PROFILE`` file, when set.
+
+        This is the profile channel for ``run_parallel`` consumers with no
+        sweep store (the figure CLIs): point the variable at a
+        ``costmodel/profile.json`` written by a sweep and the same LPT
+        ordering applies to plain ``--workers`` runs.
+        """
+        model = cls()
+        path = os.environ.get(PROFILE_ENV_VAR)
+        if path:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    model.merge_payload(json.load(handle))
+            except (OSError, ValueError):
+                pass
+        return model
+
+
+def predicted_costs(model, cells: Iterable[ParallelJob]) -> list[float]:
+    return [model.predict(cell) for cell in cells]
+
+
+def cost_model_for(directory, *, refresh: bool = True) -> CostModel:
+    """The cost model of one sweep directory.
+
+    With *refresh* (the default) the model is rebuilt from the result
+    store's records — the ground truth every worker appends to — and the
+    aggregate is persisted under ``costmodel/profile.json`` as a cheap-to-
+    load cache; with ``refresh=False`` only the cached blob is read.  The
+    rebuild always starts from scratch so re-ingesting the same records
+    can never double-count.
+    """
+    storage = directory.storage.sub(COSTMODEL_PREFIX)
+    if refresh:
+        model = CostModel()
+        if model.ingest_store(directory.store):
+            model.save(storage)
+            return model
+    return CostModel.load(storage)
+
+
+__all__ = [
+    "COSTMODEL_PREFIX",
+    "PROFILE_ENV_VAR",
+    "PROFILE_KEY",
+    "CostModel",
+    "affinity_key",
+    "cost_key",
+    "cost_model_for",
+    "predicted_costs",
+    "static_estimate",
+]

@@ -55,6 +55,34 @@ def worker_identity() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
+class Backoff:
+    """Capped exponential backoff for idle polling loops.
+
+    ``step()`` returns the delay to sleep *now* and doubles the next one up
+    to *cap*; ``reset()`` snaps back to the base interval.  Queue consumers
+    reset on progress (a claim, a newly finished key) so an active sweep
+    polls at the base rate while an idle or long-tail sweep costs one
+    directory listing per *cap* seconds instead of per base interval.
+    """
+
+    def __init__(self, base: float, cap: float, *, factor: float = 2.0):
+        self.base = max(float(base), 0.0)
+        self.cap = max(float(cap), self.base)
+        self.factor = float(factor)
+        self._current = self.base
+
+    def reset(self) -> None:
+        self._current = self.base
+
+    def peek(self) -> float:
+        return self._current
+
+    def step(self) -> float:
+        delay = self._current
+        self._current = min(self._current * self.factor, self.cap) if self._current else self.cap
+        return delay
+
+
 @dataclass
 class CellTask:
     """One queued cell: its content address plus the job to run."""
@@ -110,52 +138,98 @@ class FileQueue:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
+    def _pending_paths(self) -> list[Path]:
+        """Pending task files in enqueue order (oldest first).
+
+        Ordered by mtime — stamped at enqueue (or requeue) time — with the
+        file name as a deterministic tie-break.  Enqueue order is what the
+        submitter chose: ``sweep submit --schedule lpt`` writes cells in
+        descending predicted cost so the fleet starts its stragglers first.
+        Correctness never depends on the order.
+        """
+        entries = []
+        for path in self.pending_dir.glob("*.task"):
+            try:
+                stamp = path.stat().st_mtime_ns
+            except FileNotFoundError:
+                continue  # claimed by a racing worker mid-listing
+            entries.append((stamp, path.name, path))
+        entries.sort()
+        return [path for _, _, path in entries]
+
+    def _try_claim(self, path: Path, worker: str) -> CellTask | None:
+        """Attempt to claim one specific pending task file.
+
+        Returns the claimed task, or ``None`` when the task was lost to a
+        racing worker or parked (unpicklable / attempts exhausted).
+        """
+        claimed = self.claimed_dir / path.name
+        try:
+            os.replace(path, claimed)
+        except FileNotFoundError:
+            return None  # lost the race for this task
+        try:
+            # os.replace preserves the (possibly old) enqueue-time mtime;
+            # stamp the claim moment immediately so the orphan scan in
+            # requeue_expired() cannot mistake this fresh claim for a
+            # lease-less leftover of a dead worker.
+            os.utime(claimed)
+            blob = claimed.read_bytes()
+        except FileNotFoundError:
+            return None  # a racing requeue took it back
+        try:
+            task: CellTask = pickle.loads(blob)
+        except Exception as error:
+            self._fail_file(claimed, f"unpicklable task: {error!r}")
+            return None
+        task.attempt += 1
+        if task.attempt > self.max_attempts:
+            # The cell keeps losing its lease (e.g. it crashes every
+            # worker that claims it) — park it instead of crash-looping.
+            self._fail_file(
+                claimed,
+                f"exceeded {self.max_attempts} attempts (lease expiries "
+                "or failures)",
+                attempt=task.attempt,
+            )
+            return None
+        # Persist the bumped attempt counter so it survives a
+        # lease-expiry round trip through pending/.
+        atomic_write_bytes(
+            claimed, pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._write_lease(task, worker)
+        return task
+
+    def claim_batch(self, count: int, worker: str | None = None) -> list[CellTask]:
+        """Atomically take up to *count* pending tasks under one listing.
+
+        One directory listing amortizes over up to *count* claims — the
+        claim itself stays one atomic rename per task, so racing workers
+        interleave safely: every task is won by exactly one worker.  Returns
+        fewer than *count* tasks (possibly none) when the queue runs dry or
+        races are lost; callers treat a short batch as "queue is draining".
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        worker = worker or worker_identity()
+        batch: list[CellTask] = []
+        for path in self._pending_paths():
+            task = self._try_claim(path, worker)
+            if task is not None:
+                batch.append(task)
+                if len(batch) >= count:
+                    break
+        return batch
+
     def claim(self, worker: str | None = None) -> CellTask | None:
         """Atomically take one pending task, or ``None`` when empty.
 
-        Tasks are claimed in sorted-key order so workers tend to spread over
-        the queue front; correctness never depends on the order.
+        Tasks are claimed in enqueue order (see :meth:`_pending_paths`);
+        correctness never depends on the order.
         """
-        worker = worker or worker_identity()
-        for path in sorted(self.pending_dir.glob("*.task")):
-            claimed = self.claimed_dir / path.name
-            try:
-                os.replace(path, claimed)
-            except FileNotFoundError:
-                continue  # lost the race for this task; try the next one
-            try:
-                # os.replace preserves the (possibly old) enqueue-time mtime;
-                # stamp the claim moment immediately so the orphan scan in
-                # requeue_expired() cannot mistake this fresh claim for a
-                # lease-less leftover of a dead worker.
-                os.utime(claimed)
-                blob = claimed.read_bytes()
-            except FileNotFoundError:
-                continue  # a racing requeue took it back; move on
-            try:
-                task: CellTask = pickle.loads(blob)
-            except Exception as error:
-                self._fail_file(claimed, f"unpicklable task: {error!r}")
-                continue
-            task.attempt += 1
-            if task.attempt > self.max_attempts:
-                # The cell keeps losing its lease (e.g. it crashes every
-                # worker that claims it) — park it instead of crash-looping.
-                self._fail_file(
-                    claimed,
-                    f"exceeded {self.max_attempts} attempts (lease expiries "
-                    "or failures)",
-                    attempt=task.attempt,
-                )
-                continue
-            # Persist the bumped attempt counter so it survives a
-            # lease-expiry round trip through pending/.
-            atomic_write_bytes(
-                claimed, pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            self._write_lease(task, worker)
-            return task
-        return None
+        batch = self.claim_batch(1, worker=worker)
+        return batch[0] if batch else None
 
     def complete(self, task: CellTask) -> None:
         """Mark a claimed task done: drop the task file and its lease."""
@@ -346,6 +420,7 @@ class FileQueue:
 
 
 __all__ = [
+    "Backoff",
     "CellTask",
     "FileQueue",
     "worker_identity",

@@ -44,13 +44,15 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..parallel import ParallelJob, _execute
+from ..parallel import ParallelJob, _execute_timed, resolve_schedule
 from ..telemetry import Histogram, StorageSink, Tracer
 from ..telemetry.report import parse_event_lines
 from .backends import ExecutorBackend, FileQueueBackend
+from .costmodel import cost_key, cost_model_for
 from .filequeue import (
     DEFAULT_LEASE_SECONDS,
     DEFAULT_MAX_ATTEMPTS,
+    Backoff,
     CellTask,
     FileQueue,
     worker_identity,
@@ -128,7 +130,14 @@ class CachedExecutor:
                 CellTask(
                     key,
                     cell,
-                    meta={"func": qualified_name(cell.func), "salt": self.salt},
+                    meta={
+                        "func": qualified_name(cell.func),
+                        "salt": self.salt,
+                        # The cell's cost class: together with the backend's
+                        # measured runtime_s this record becomes one training
+                        # observation for the profile-guided cost model.
+                        "cost_key": cost_key(cell),
+                    },
                 )
             )
         if missing:
@@ -254,11 +263,21 @@ def submit(
     *,
     options: dict | None = None,
     salt: str | None = None,
+    schedule: str | None = None,
+    cost_model=None,
 ) -> SubmitReport:
     """Enumerate the cells of sweep *name*, record its manifest, and queue
-    every cell whose result is not already in the store."""
+    every cell whose result is not already in the store.
+
+    Under ``schedule="lpt"`` (or ``ISEGEN_SCHEDULE=lpt``) the missing cells
+    are enqueued in descending predicted cost — workers claim in enqueue
+    order, so the fleet starts the sweep's stragglers first.  The manifest's
+    ``keys`` stay in **submission order** regardless: enqueue order affects
+    wall clock only, never the row order of the collected tables.
+    """
     spec = sweep_spec(name)
     options = spec.normalize_options(options or {})
+    mode = resolve_schedule(schedule)
     executor = _SubmitExecutor(directory.store, salt=salt)
     try:
         spec.build(executor, **options)
@@ -275,6 +294,7 @@ def submit(
         "created_at": time.time(),
         "keys": keys,
         "funcs": sorted({qualified_name(cell.func) for cell in cells}),
+        "schedule": mode,
     }
     directory.save_manifest(name, manifest)
 
@@ -284,6 +304,7 @@ def submit(
     # stat per cell — a resubmitted 100%-hit sweep costs one round trip.
     stored = directory.store.contains_many(list(dict.fromkeys(keys)))
     seen: set[str] = set()
+    to_enqueue: list[CellTask] = []
     for key, cell in zip(keys, cells):
         if key in seen:
             continue
@@ -294,13 +315,29 @@ def submit(
             # Terminal failures stay parked until an operator intervenes
             # (`sweep retry` clears the records and re-submits).
             failed += 1
-        elif directory.queue.enqueue(
-            CellTask(
-                key,
-                cell,
-                meta={"func": qualified_name(cell.func), "salt": executor.salt},
+        else:
+            to_enqueue.append(
+                CellTask(
+                    key,
+                    cell,
+                    meta={
+                        "func": qualified_name(cell.func),
+                        "salt": executor.salt,
+                        "cost_key": cost_key(cell),
+                    },
+                )
             )
-        ):
+    if mode == "lpt" and len(to_enqueue) > 1:
+        model = (
+            cost_model
+            if cost_model is not None
+            else cost_model_for(directory)
+        )
+        costs = [model.predict(task.cell) for task in to_enqueue]
+        order = sorted(range(len(to_enqueue)), key=lambda i: (-costs[i], i))
+        to_enqueue = [to_enqueue[i] for i in order]
+    for task in to_enqueue:
+        if directory.queue.enqueue(task):
             enqueued += 1
         else:
             already_queued += 1
@@ -329,7 +366,12 @@ def retry(directory: SweepDirectory, name: str) -> tuple[int, SubmitReport]:
     cleared = sum(
         1 for key in set(manifest["keys"]) if directory.queue.clear_failure(key)
     )
-    return cleared, submit(directory, name, options=manifest["options"])
+    return cleared, submit(
+        directory,
+        name,
+        options=manifest["options"],
+        schedule=manifest.get("schedule"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +392,12 @@ class WorkerReport:
         )
 
 
+#: Upper bound on the adaptive claim-batch size: big enough to amortize the
+#: pending/ listing over a deep queue, small enough that a claimed batch is
+#: re-executed cheaply elsewhere if this worker dies mid-batch.
+MAX_CLAIM_BATCH = 8
+
+
 def worker_loop(
     directory: SweepDirectory,
     *,
@@ -358,6 +406,8 @@ def worker_loop(
     exit_when_idle: bool = True,
     worker: str | None = None,
     on_task=None,
+    claim_batch: int | None = None,
+    max_poll_interval: float | None = None,
 ) -> WorkerReport:
     """Claim and execute queued cells until the queue is idle.
 
@@ -365,11 +415,21 @@ def worker_loop(
     directory — run this loop concurrently; the claim protocol guarantees
     each cell executes once (unless a lease expires, in which case the cell
     is re-run by a surviving worker and the idempotent store write keeps the
-    outcome unchanged).  While a cell runs, a background thread renews its
-    lease at half-period, so cells slower than the lease are not stolen
-    from a live worker.  ``exit_when_idle=False`` keeps the worker polling
-    for future submissions (a daemon worker); ``max_tasks`` bounds the
-    number of executed cells (used by tests to simulate crashes).
+    outcome unchanged).  While cells run, a background thread renews the
+    leases of every still-outstanding claimed task at half-period, so cells
+    slower than the lease are not stolen from a live worker.
+    ``exit_when_idle=False`` keeps the worker polling for future
+    submissions (a daemon worker); ``max_tasks`` bounds the number of
+    executed cells (used by tests to simulate crashes).
+
+    Tasks are claimed in batches (:meth:`FileQueue.claim_batch` — one
+    pending/ listing per batch instead of per cell).  *claim_batch* fixes
+    the batch size; the default ``None`` adapts it: start at 1, double up
+    to :data:`MAX_CLAIM_BATCH` while the queue keeps filling the batch,
+    snap back to 1 on a short batch — a deep queue amortizes the listing,
+    a draining queue is not hoarded.  Idle polls back off exponentially
+    from *poll_interval* up to *max_poll_interval* (default: a fraction of
+    the lease period, capped at 5s) and reset the moment a claim lands.
 
     Every worker also keeps a **fleet telemetry** log — one
     ``telemetry/<worker>.jsonl`` blob on the sweep's storage backend with a
@@ -394,6 +454,11 @@ def worker_loop(
     # cannot expire faster than that) instead of scanning before every claim.
     scan_interval = max(poll_interval, queue.lease_seconds / 4)
     last_scan = float("-inf")
+    if max_poll_interval is None:
+        max_poll_interval = max(poll_interval, min(5.0, queue.lease_seconds / 8))
+    idle = Backoff(poll_interval, max_poll_interval)
+    adaptive = claim_batch is None
+    batch_target = 1 if adaptive else max(1, int(claim_batch))
     try:
         while True:
             now = time.monotonic()
@@ -405,66 +470,117 @@ def worker_loop(
                 for detail in requeue_details:
                     fleet.event("lease.requeued", recovered_by=worker, **detail)
                 last_scan = now
-            task = queue.claim(worker)
-            if task is None:
+            want = batch_target
+            if max_tasks is not None:
+                # Never claim more than this worker is still allowed to
+                # execute: claimed-but-abandoned tasks would sit out a full
+                # lease period before another worker could recover them.
+                want = min(want, max_tasks - (report.executed + report.failed))
+            batch = queue.claim_batch(want, worker=worker)
+            if not batch:
                 if exit_when_idle and queue.is_idle():
                     return report
-                time.sleep(poll_interval)
+                if adaptive:
+                    batch_target = 1
+                time.sleep(idle.step())
                 continue
-            # Renew the lease at half-period while the cell runs, so a cell
-            # slower than the lease (full-genetic AES takes tens of minutes) is
-            # not requeued — and eventually parked as failed — by peers while a
-            # healthy worker is still computing it.  The heartbeat thread only
-            # does file I/O, so it gets scheduled even against a CPU-bound cell.
+            idle.reset()
+            fleet.event(
+                "queue.claimed",
+                requested=want,
+                got=len(batch),
+                batch_target=batch_target,
+            )
+            if adaptive:
+                # Full batch → the queue is deep, double down; short batch →
+                # it is draining, drop back to single claims so peers get
+                # their share of the tail.
+                batch_target = (
+                    min(batch_target * 2, MAX_CLAIM_BATCH)
+                    if len(batch) >= want
+                    else 1
+                )
+            # Renew the leases at half-period while cells run, so a cell
+            # slower than the lease (full-genetic AES takes tens of minutes)
+            # is not requeued — and eventually parked as failed — by peers
+            # while a healthy worker is still computing it.  One thread
+            # covers the whole batch; `outstanding` (under `beat_lock`)
+            # names the tasks whose leases are still this worker's to renew,
+            # and tasks leave it *before* their completion or release so the
+            # heartbeat can never resurrect a lease the queue already
+            # dropped.  The thread only does file I/O, so it gets scheduled
+            # even against a CPU-bound cell.
             stop_heartbeat = threading.Event()
+            outstanding: list[CellTask] = list(batch)
+            beat_lock = threading.Lock()
 
-            def _heartbeat(beat_task=task):
-                while not stop_heartbeat.wait(queue.lease_seconds / 2):
-                    queue.renew_lease(beat_task, worker)
-                    fleet.event(
-                        "lease.renewed", key=beat_task.key, attempt=beat_task.attempt
-                    )
+            def _heartbeat(tasks=outstanding, lock=beat_lock, stop=stop_heartbeat):
+                while not stop.wait(queue.lease_seconds / 2):
+                    for beat_task in list(tasks):
+                        with lock:
+                            if beat_task not in tasks:
+                                continue
+                            queue.renew_lease(beat_task, worker)
+                        fleet.event(
+                            "lease.renewed",
+                            key=beat_task.key,
+                            attempt=beat_task.attempt,
+                        )
 
             heartbeat = threading.Thread(target=_heartbeat, daemon=True)
             heartbeat.start()
             try:
-                # Route through the shared cell wrapper so the ISEGEN_TRACE
-                # channel gets the same ``experiment.cell`` span whether the
-                # cell ran serially, in a pool worker, or on the sweep fleet.
-                # The fleet span carries the queue-side identity (key,
-                # attempt) and flips to error=True when the cell raises.
-                with fleet.span(
-                    "sweep.cell",
-                    {
-                        "key": task.key,
-                        "attempt": task.attempt,
-                        "func": task.meta.get("func", "?"),
-                    },
-                ):
-                    result = _execute(task.cell)
-            except Exception as error:  # noqa: BLE001 — worker must survive bad cells
+                for task in batch:
+                    try:
+                        # Route through the shared cell wrapper so the
+                        # ISEGEN_TRACE channel gets the same
+                        # ``experiment.cell`` span whether the cell ran
+                        # serially, in a pool worker, or on the sweep fleet.
+                        # The fleet span carries the queue-side identity
+                        # (key, attempt) and flips to error=True when the
+                        # cell raises.
+                        with fleet.span(
+                            "sweep.cell",
+                            {
+                                "key": task.key,
+                                "attempt": task.attempt,
+                                "func": task.meta.get("func", "?"),
+                            },
+                        ):
+                            result, seconds = _execute_timed(task.cell)
+                    except Exception as error:  # noqa: BLE001 — worker must survive bad cells
+                        with beat_lock:
+                            outstanding.remove(task)
+                        queue.release_failed(
+                            task, f"{type(error).__name__}: {error}", worker
+                        )
+                        report.failed += 1
+                        fleet.event(
+                            "cell.failed",
+                            key=task.key,
+                            attempt=task.attempt,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    else:
+                        with beat_lock:
+                            outstanding.remove(task)
+                        store.put(
+                            task.key,
+                            result,
+                            meta={
+                                "worker": worker,
+                                "attempt": task.attempt,
+                                "runtime_s": round(seconds, 6),
+                                **task.meta,
+                            },
+                        )
+                        queue.complete(task)
+                        report.executed += 1
+                        if on_task is not None:
+                            on_task(task)
+            finally:
                 stop_heartbeat.set()
                 heartbeat.join()
-                queue.release_failed(task, f"{type(error).__name__}: {error}", worker)
-                report.failed += 1
-                fleet.event(
-                    "cell.failed",
-                    key=task.key,
-                    attempt=task.attempt,
-                    error=f"{type(error).__name__}: {error}",
-                )
-            else:
-                stop_heartbeat.set()
-                heartbeat.join()
-                store.put(
-                    task.key,
-                    result,
-                    meta={"worker": worker, "attempt": task.attempt, **task.meta},
-                )
-                queue.complete(task)
-                report.executed += 1
-                if on_task is not None:
-                    on_task(task)
             if max_tasks is not None and report.executed + report.failed >= max_tasks:
                 return report
     finally:
@@ -781,9 +897,14 @@ def make_queue_backend(
     wait: bool = True,
     poll_interval: float = 0.2,
     timeout: float | None = None,
+    cost_model=None,
 ) -> FileQueueBackend:
     return FileQueueBackend(
-        directory.queue, wait=wait, poll_interval=poll_interval, timeout=timeout
+        directory.queue,
+        wait=wait,
+        poll_interval=poll_interval,
+        timeout=timeout,
+        cost_model=cost_model,
     )
 
 

@@ -28,6 +28,8 @@ ready for any ISE-generation algorithm.
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
@@ -73,10 +75,62 @@ def workload_spec(name: str) -> WorkloadSpec:
         ) from exc
 
 
+#: Kill switch for the per-process workload memo (``=0`` disables it).
+MEMO_ENV_VAR = "ISEGEN_WORKLOAD_MEMO"
+#: Bounded size of the memo: larger than the paper's benchmark set, small
+#: enough that generated/synthetic corpora cannot grow a worker unboundedly.
+_MEMO_LIMIT = 8
+
+#: ``name -> pickled Program`` (insertion order doubles as LRU order).
+_MEMO: dict[str, bytes] = {}
+#: Hit/miss counters, exposed for tests and telemetry.
+memo_hits = 0
+memo_misses = 0
+
+
+def clear_workload_memo() -> None:
+    """Drop the per-process memo (tests; also resets the counters)."""
+    global memo_hits, memo_misses
+    _MEMO.clear()
+    memo_hits = 0
+    memo_misses = 0
+
+
+def _memo_enabled() -> bool:
+    return os.environ.get(MEMO_ENV_VAR, "1") != "0"
+
+
 def load_workload(name: str) -> Program:
-    """Build the named workload's program."""
-    with telemetry.span("workload.load", workload=name):
-        return workload_spec(name).build()
+    """Build the named workload's program.
+
+    Builds are memoized per process (generator runs are deterministic but
+    not free — AES is a 696-node profiled program).  The memo stores
+    *pickled* programs and returns a fresh unpickle per call, so callers
+    that mutate their program cannot leak state into the next cell — while
+    the structural work the cell actually repeats (bitset index tables)
+    still hits the per-process :func:`repro.dfg.bitset.shared_index` memo,
+    which keys on graph structure, not object identity.  This is what the
+    ``lpt`` schedule's cache-affinity steering makes pay off: cells of one
+    workload land in one worker process, so every build after the first is
+    a memo hit.  ``ISEGEN_WORKLOAD_MEMO=0`` disables the memo.
+    """
+    global memo_hits, memo_misses
+    if not _memo_enabled():
+        with telemetry.span("workload.load", workload=name):
+            return workload_spec(name).build()
+    blob = _MEMO.get(name)
+    if blob is not None:
+        memo_hits += 1
+        _MEMO[name] = _MEMO.pop(name)  # refresh LRU position
+        with telemetry.span("workload.load", workload=name, memo="hit"):
+            return pickle.loads(blob)
+    memo_misses += 1
+    with telemetry.span("workload.load", workload=name, memo="miss"):
+        program = workload_spec(name).build()
+    _MEMO[name] = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    while len(_MEMO) > _MEMO_LIMIT:
+        _MEMO.pop(next(iter(_MEMO)))
+    return program
 
 
 def available_workloads() -> tuple[str, ...]:

@@ -1,0 +1,102 @@
+"""Profile-guided scheduling with real process pools.
+
+The thread-pool property suite (``tests/properties/test_property_scheduler``)
+covers the planning/reassembly space broadly; these tests pin the same
+guarantees on actual :class:`~concurrent.futures.ProcessPoolExecutor` pools
+at fixed worker counts, including harness-level row identity under
+``ISEGEN_SCHEDULE=lpt`` and failure-discipline parity between schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_ablation
+from repro.parallel import (
+    SCHEDULE_ENV_VAR,
+    execute_jobs,
+    job,
+    resolve_schedule,
+    run_parallel,
+)
+from repro.sweep.costmodel import CostModel
+
+
+def _square_cell(value, offset=0):
+    return value * value + offset
+
+
+def _failing_cell():
+    raise ValueError("cell exploded")
+
+
+class _InvertedModel(CostModel):
+    """Adversarial oracle: claims cheap cells are dear and vice versa."""
+
+    def predict(self, cell):
+        return -float(cell.args[0])
+
+    def affinity(self, cell):
+        return f"g{cell.args[0] % 2}"
+
+
+# ----------------------------------------------------------------------
+# Schedule resolution
+# ----------------------------------------------------------------------
+def test_resolve_schedule_precedence(monkeypatch):
+    monkeypatch.delenv(SCHEDULE_ENV_VAR, raising=False)
+    assert resolve_schedule() == "fifo"
+    monkeypatch.setenv(SCHEDULE_ENV_VAR, "lpt")
+    assert resolve_schedule() == "lpt"
+    assert resolve_schedule("fifo") == "fifo"  # explicit argument wins
+    with pytest.raises(ValueError, match="unknown schedule"):
+        resolve_schedule("sjf")
+    monkeypatch.setenv(SCHEDULE_ENV_VAR, "bogus")
+    with pytest.raises(ValueError, match="unknown schedule"):
+        resolve_schedule()
+
+
+# ----------------------------------------------------------------------
+# Real-pool row identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("schedule", ["fifo", "lpt"])
+@pytest.mark.parametrize("model", [None, _InvertedModel()])
+def test_process_pool_rows_identical_across_schedules(schedule, model):
+    jobs = [job(_square_cell, i) for i in range(12)]
+    results = run_parallel(jobs, workers=2, schedule=schedule, cost_model=model)
+    assert results == [i * i for i in range(12)]
+
+
+@pytest.mark.parametrize("schedule", ["fifo", "lpt"])
+def test_process_pool_propagates_failures_under_any_schedule(schedule):
+    jobs = [job(_square_cell, 0), job(_failing_cell), job(_square_cell, 2)]
+    with pytest.raises(ValueError, match="cell exploded"):
+        run_parallel(jobs, workers=2, schedule=schedule, cost_model=CostModel())
+
+
+def test_on_result_reports_every_job_with_runtime():
+    jobs = [job(_square_cell, i) for i in range(8)]
+    reported = {}
+    execute_jobs(
+        jobs,
+        workers=2,
+        schedule="lpt",
+        cost_model=_InvertedModel(),
+        on_result=lambda index, result, seconds: reported.update(
+            {index: (result, seconds)}
+        ),
+    )
+    assert sorted(reported) == list(range(8))
+    assert all(result == i * i for i, (result, _) in reported.items())
+    assert all(seconds >= 0.0 for _, seconds in reported.values())
+
+
+# ----------------------------------------------------------------------
+# Harness-level identity under the env-var channel (what `--schedule lpt`
+# exports for pool workers to inherit).
+# ----------------------------------------------------------------------
+def test_ablation_rows_identical_under_lpt_env(monkeypatch):
+    serial = run_ablation(benchmarks=("autcor00",), workers=1)
+    monkeypatch.setenv(SCHEDULE_ENV_VAR, "lpt")
+    pooled = run_ablation(benchmarks=("autcor00",), workers=3)
+    assert serial.rows == pooled.rows

@@ -1,0 +1,159 @@
+"""The profile-guided cost model: keys, priors, persistence, ingestion."""
+
+from __future__ import annotations
+
+import json
+
+from repro.parallel import job
+from repro.sweep import CostModel, MemoryBackend, ResultStore
+from repro.sweep.costmodel import (
+    PROFILE_ENV_VAR,
+    affinity_key,
+    cost_key,
+    cost_model_for,
+    static_estimate,
+)
+
+
+def _cell(workload, nise, algorithm="ISEGEN"):
+    return workload, nise, algorithm
+
+
+def _other(x):
+    return x
+
+
+# ----------------------------------------------------------------------
+# Cost keys / affinity keys
+# ----------------------------------------------------------------------
+def test_cost_key_captures_function_args_and_kwargs():
+    a = cost_key(job(_cell, "aes", 4, algorithm="Genetic"))
+    b = cost_key(job(_cell, "aes", 4, algorithm="Genetic"))
+    c = cost_key(job(_cell, "aes", 8, algorithm="Genetic"))
+    d = cost_key(job(_other, "aes"))
+    assert a == b
+    assert a != c
+    assert a != d
+    assert "aes" in a and "Genetic" in a
+
+
+def test_cost_key_uses_config_shape_not_values():
+    from repro.hwmodel import ISEConstraints
+
+    a = cost_key(job(_cell, "aes", ISEConstraints(max_inputs=4, max_outputs=2)))
+    b = cost_key(job(_cell, "aes", ISEConstraints(max_inputs=9, max_outputs=3)))
+    assert a == b
+    assert "ISEConstraints" in a
+
+
+def test_affinity_key_groups_by_workload_then_function():
+    assert affinity_key(job(_cell, "aes", 4)) == "workload:aes"
+    assert affinity_key(job(_cell, "conven00", 1)) == affinity_key(
+        job(_cell, "conven00", 9, algorithm="Greedy")
+    )
+    no_workload = affinity_key(job(_other, "not-a-workload"))
+    assert no_workload.startswith("func:")
+
+
+# ----------------------------------------------------------------------
+# Prediction: observed mean -> static prior -> conservative default
+# ----------------------------------------------------------------------
+def test_observed_mean_wins():
+    model = CostModel()
+    key = cost_key(job(_cell, "aes", 4))
+    assert model.observe(key, 2.0)
+    assert model.observe(key, 4.0)
+    assert model.predict_key(key) == 3.0
+
+
+def test_bad_observations_are_ignored():
+    model = CostModel()
+    assert not model.observe("k", None)
+    assert not model.observe("k", float("nan"))
+    assert not model.observe("k", -1.0)
+    assert not model.observe("", 1.0)
+    assert model.observations == 0
+
+
+def test_static_prior_orders_workloads_and_algorithms():
+    # Bigger critical block -> bigger prior; heavier algorithm -> bigger prior.
+    aes = static_estimate("f|aes|ISEGEN")
+    conven = static_estimate("f|conven00|ISEGEN")
+    assert aes is not None and conven is not None
+    assert aes > conven
+    assert static_estimate("f|aes|Genetic") > aes
+    assert static_estimate("f|no-such-workload") is None
+
+
+def test_unseen_cells_predict_conservatively():
+    model = CostModel(default_cost=0.5)
+    unknown = cost_key(job(_other, 1))
+    assert model.predict_key(unknown) == 0.5  # empty model: default
+    model.observe("some|key", 7.0)
+    # Now: at least as expensive as the dearest observed class.
+    assert model.predict_key(unknown) == 7.0
+    # A workload-bearing key still prefers its structural prior.
+    assert model.predict_key("f|aes|ISEGEN") == static_estimate("f|aes|ISEGEN")
+
+
+# ----------------------------------------------------------------------
+# Persistence + ingestion
+# ----------------------------------------------------------------------
+def test_profile_round_trip_through_storage():
+    storage = MemoryBackend()
+    model = CostModel()
+    model.observe("k1", 2.0)
+    model.observe("k1", 4.0)
+    model.observe("k2", 0.25)
+    model.save(storage)
+    loaded = CostModel.load(storage)
+    assert loaded.mean("k1") == 3.0
+    assert loaded.mean("k2") == 0.25
+    assert loaded.observations == 3
+
+
+def test_load_tolerates_missing_and_corrupt_blobs():
+    storage = MemoryBackend()
+    assert CostModel.load(storage).observations == 0
+    storage.put_text("profile.json", "not json {")
+    assert CostModel.load(storage).observations == 0
+
+
+def test_ingest_store_reads_runtimes_and_skips_legacy_records(tmp_path):
+    store = ResultStore(MemoryBackend())
+    store.put("a" * 64, [1], meta={"cost_key": "k1", "runtime_s": 2.0})
+    store.put("b" * 64, [2], meta={"cost_key": "k1", "runtime_s": 4.0})
+    store.put("c" * 64, [3], meta={"func": "legacy.cell"})  # pre-runtime record
+    store.put("d" * 64, [4], meta={"cost_key": "k2", "runtime_s": "bogus"})
+    model = CostModel()
+    assert model.ingest_store(store) == 2
+    assert model.mean("k1") == 3.0
+    assert model.mean("k2") is None
+
+
+def test_cost_model_for_rebuilds_from_store_without_double_counting(tmp_path):
+    from repro.sweep import SweepDirectory
+
+    directory = SweepDirectory(tmp_path / "sweep")
+    directory.store.put("a" * 64, [1], meta={"cost_key": "k", "runtime_s": 1.0})
+    first = cost_model_for(directory)
+    assert first.mean("k") == 1.0 and first.observations == 1
+    # A second refresh re-ingests the same record yet observation counts
+    # stay flat — the rebuild starts from scratch every time.
+    second = cost_model_for(directory)
+    assert second.observations == 1
+    # The aggregate is cached as a blob for refresh=False consumers.
+    cached = cost_model_for(directory, refresh=False)
+    assert cached.mean("k") == 1.0
+
+
+def test_from_env_reads_profile_file(tmp_path, monkeypatch):
+    path = tmp_path / "profile.json"
+    path.write_text(
+        json.dumps({"version": 1, "profiles": {"k": {"count": 2, "total": 6.0}}})
+    )
+    monkeypatch.setenv(PROFILE_ENV_VAR, str(path))
+    model = CostModel.from_env()
+    assert model.mean("k") == 3.0
+    monkeypatch.setenv(PROFILE_ENV_VAR, str(tmp_path / "missing.json"))
+    assert CostModel.from_env().observations == 0

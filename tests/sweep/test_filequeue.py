@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 
+import pytest
+
 from repro.parallel import job
-from repro.sweep import CellTask, FileQueue
+from repro.sweep import Backoff, CellTask, FileQueue
 
 
 def _cell(value):
@@ -129,3 +133,98 @@ def test_stale_release_failed_does_not_clobber_new_claimant(tmp_path):
     # worker-b's own failure report is honoured and keeps the counter.
     assert queue.release_failed(fresh, "ValueError: boom", "worker-b")
     assert queue.claim("worker-c").attempt == 3
+
+
+# ----------------------------------------------------------------------
+# Batch claiming + enqueue-order dispatch + backoff
+# ----------------------------------------------------------------------
+def test_claim_batch_takes_up_to_count(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    for byte in "abcde":
+        queue.enqueue(_task(byte))
+    batch = queue.claim_batch(3, worker="w")
+    assert len(batch) == 3
+    assert all(task.attempt == 1 for task in batch)
+    # The rest is still pending; a short batch signals a draining queue.
+    assert len(queue.pending_keys()) == 2
+    assert len(queue.claim_batch(10, worker="w")) == 2
+    assert queue.claim_batch(1, worker="w") == []
+    # Every claimed task carries a lease.
+    assert len(list((tmp_path / "q" / "leases").iterdir())) == 5
+
+
+def test_claim_batch_rejects_bad_count(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    with pytest.raises(ValueError):
+        queue.claim_batch(0)
+
+
+def test_claim_order_is_enqueue_order_not_key_order(tmp_path):
+    queue = FileQueue(tmp_path / "q")
+    # Enqueue in deliberately anti-alphabetical order with distinct mtimes.
+    for byte in "cab":
+        queue.enqueue(_task(byte))
+        ns = time.time_ns()
+        path = tmp_path / "q" / "pending" / f"{byte * 64}.task"
+        os.utime(path, ns=(ns, ns))
+        time.sleep(0.002)
+    claimed = [queue.claim("w").key[0] for _ in range(3)]
+    assert claimed == list("cab")
+
+
+def test_racing_workers_claim_batches_without_loss_or_duplication(tmp_path):
+    """N workers hammering claim_batch concurrently: every task is won by
+    exactly one worker — no double claims, no lost tasks."""
+    queue = FileQueue(tmp_path / "q")
+    total = 40
+    hexdigits = "0123456789abcdef"
+    keys = set()
+    for i in range(total):
+        key_byte = hexdigits[i % 16]
+        key = (key_byte * 60 + f"{i:04d}")
+        task = CellTask(key, job(_cell, i))
+        assert queue.enqueue(task)
+        keys.add(key)
+    claimed_by: dict[str, list[str]] = {}
+    errors: list[BaseException] = []
+
+    def drain(worker: str):
+        mine = claimed_by.setdefault(worker, [])
+        try:
+            while True:
+                batch = queue.claim_batch(4, worker=worker)
+                if not batch:
+                    if not queue.pending_keys():
+                        return
+                    continue
+                for task in batch:
+                    mine.append(task.key)
+                    queue.complete(task)
+        except BaseException as error:  # pragma: no cover - fail loudly below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=drain, args=(f"w{i}",)) for i in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    won = [key for worker_keys in claimed_by.values() for key in worker_keys]
+    assert len(won) == total  # no task lost
+    assert len(set(won)) == total  # no task double-claimed
+    assert set(won) == keys
+    assert queue.is_idle()
+
+
+def test_backoff_doubles_to_cap_and_resets():
+    backoff = Backoff(0.1, 1.0)
+    delays = [backoff.step() for _ in range(6)]
+    assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+    backoff.reset()
+    assert backoff.step() == 0.1
+    # The cap can never fall below the base interval.
+    floor = Backoff(2.0, 0.5)
+    assert floor.step() == 2.0
+    assert floor.step() == 2.0

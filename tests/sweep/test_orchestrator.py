@@ -336,3 +336,98 @@ def test_submit_reports_parked_failures_and_retry_requeues_them(tmp_path):
     assert status(directory, "figure1").complete
     (table,) = collect(directory, "figure1")
     assert table.rows == run_figure1().rows
+
+
+# ----------------------------------------------------------------------
+# Profile-guided scheduling through the sweep layer
+# ----------------------------------------------------------------------
+def test_store_records_carry_runtime_and_cost_key(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    submit(directory, "figure1")
+    worker_loop(directory, poll_interval=0.01)
+    metas = list(directory.store.iter_metas())
+    assert len(metas) == 4
+    for meta in metas:
+        assert meta["runtime_s"] >= 0.0
+        assert isinstance(meta["cost_key"], str) and meta["cost_key"]
+
+
+def test_backend_records_runtime_and_model_bootstraps_from_store(tmp_path):
+    from repro.sweep import cost_model_for
+
+    directory = SweepDirectory(tmp_path / "sweep")
+    tables, executor = run_cached(directory, "figure1", backend=SerialBackend())
+    model = cost_model_for(directory)
+    assert model.observations == 4
+    for cell_meta in directory.store.iter_metas():
+        assert cell_meta["backend"] == "serial"
+        assert cell_meta["runtime_s"] >= 0.0
+
+
+def test_submit_lpt_records_schedule_and_enqueues_cost_descending(tmp_path):
+    from repro.sweep import CostModel
+
+    class _ByKey(CostModel):
+        def predict(self, cell):
+            # figure1's cells vary by workload argument; rank by name so
+            # the expected enqueue order is known.
+            return float(len(str(cell.args)))
+
+    directory = SweepDirectory(tmp_path / "sweep")
+    report = submit(directory, "figure1", schedule="lpt", cost_model=_ByKey())
+    assert report.enqueued == 4
+    manifest = directory.load_manifest("figure1")
+    assert manifest["schedule"] == "lpt"
+    # Manifest keys stay in submission order (row order of the tables),
+    # identical to what a fifo submit of the same sweep records...
+    fifo_dir = SweepDirectory(tmp_path / "fifo")
+    submit(fifo_dir, "figure1")
+    assert manifest["keys"] == fifo_dir.load_manifest("figure1")["keys"]
+    # ...while the queue hands tasks out in predicted-cost-descending order.
+    model = _ByKey()
+    claimed = []
+    while True:
+        task = directory.queue.claim("probe")
+        if task is None:
+            break
+        claimed.append(model.predict(task.cell))
+    assert claimed == sorted(claimed, reverse=True)
+    # Default submission (no flag, no env) records fifo and is unchanged.
+    directory2 = SweepDirectory(tmp_path / "sweep2")
+    submit(directory2, "figure1")
+    assert directory2.load_manifest("figure1")["schedule"] == "fifo"
+
+
+def test_sweep_rows_identical_under_lpt_submit_and_batched_workers(tmp_path):
+    serial = run_figure1()
+    directory = SweepDirectory(tmp_path / "sweep")
+    submit(directory, "figure1", schedule="lpt")
+    report = worker_loop(directory, poll_interval=0.01, claim_batch=3)
+    assert report.executed == 4 and report.failed == 0
+    (table,) = collect(directory, "figure1")
+    assert table.rows == serial.rows
+
+
+def test_worker_loop_adaptive_batching_drains_deep_queue(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    keys = []
+    for i in range(20):
+        key = cell_key(job(_double, i))
+        keys.append(key)
+        directory.queue.enqueue(CellTask(key, job(_double, i)))
+    report = worker_loop(directory, poll_interval=0.01)  # adaptive batching
+    assert report.executed == 20 and report.failed == 0
+    assert directory.queue.is_idle()
+    assert directory.store.contains_many(keys) == set(keys)
+
+
+def test_worker_loop_max_tasks_never_strands_claimed_cells(tmp_path):
+    directory = SweepDirectory(tmp_path / "sweep")
+    for i in range(10):
+        directory.queue.enqueue(CellTask(cell_key(job(_double, i)), job(_double, i)))
+    report = worker_loop(directory, poll_interval=0.01, max_tasks=3, claim_batch=8)
+    assert report.executed == 3
+    # The batch claim was capped at the remaining budget: nothing sits in
+    # claimed/ waiting out a lease after the worker exits.
+    assert directory.queue.claimed_keys() == []
+    assert len(directory.queue.pending_keys()) == 7

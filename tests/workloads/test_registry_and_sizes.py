@@ -85,3 +85,33 @@ def test_workloads_rebuild_identically():
     assert dfg_to_dict(first.largest_block.dfg) == dfg_to_dict(
         second.largest_block.dfg
     )
+
+
+# ----------------------------------------------------------------------
+# The per-process workload memo
+# ----------------------------------------------------------------------
+def test_load_workload_memoizes_per_process(monkeypatch):
+    from repro.workloads import registry
+
+    registry.clear_workload_memo()
+    first = load_workload("conven00")
+    second = load_workload("conven00")
+    assert registry.memo_hits == 1 and registry.memo_misses == 1
+    # Fresh objects per call (no shared mutable state between cells)...
+    assert first is not second
+    # ...but structurally identical programs.
+    assert first.blocks[0].dfg.num_nodes == second.blocks[0].dfg.num_nodes
+    assert [
+        (op.opcode, tuple(op.operands)) for op in first.blocks[0].dfg.nodes
+    ] == [(op.opcode, tuple(op.operands)) for op in second.blocks[0].dfg.nodes]
+    registry.clear_workload_memo()
+
+
+def test_workload_memo_env_kill_switch(monkeypatch):
+    from repro.workloads import registry
+
+    registry.clear_workload_memo()
+    monkeypatch.setenv(registry.MEMO_ENV_VAR, "0")
+    load_workload("conven00")
+    load_workload("conven00")
+    assert registry.memo_hits == 0 and registry.memo_misses == 0
