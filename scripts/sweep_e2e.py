@@ -11,11 +11,16 @@ Asserted invariants:
 
 * every cell executes exactly once across the two workers;
 * the collected figure6 table is row-identical between the file:// run,
-  the profile-guided ``--schedule lpt`` run, the s3:// run, and the
-  serial in-process harness;
+  the profile-guided ``--schedule lpt`` run, the s3:// run, the fully
+  remote ``--queue-url s3://`` run, and the serial in-process harness;
 * resubmitting each finished sweep reports 100% cache hits with nothing
   enqueued, and (s3://) the cache probe is one batched listing — no
-  per-cell HEAD requests.
+  per-cell HEAD requests;
+* the remote-queue shard shares **no filesystem at all** between workers
+  (store and queue both on the bucket), and still completes — with
+  row-identical output — after one worker is SIGKILLed mid-sweep: its
+  expired lease is stolen and the cell re-executed (``attempt >= 2`` on
+  the store record).
 
 Usage::
 
@@ -30,6 +35,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
@@ -97,6 +103,89 @@ def run_sweep(
     return strip_timing(table.rows)
 
 
+def run_remote_queue_sweep(label: str, workdir: Path, env: dict):
+    """Fully remote fleet: store AND queue on the bucket, one worker killed.
+
+    Every worker gets a private ``--dir`` — the only thing they share is
+    the bucket URL.  One worker is SIGKILLed mid-sweep; the sweep must
+    still complete via lease expiry → steal → re-execution.  Returns the
+    stripped collected rows.
+    """
+    store_url = "s3://sweep-e2e-remote"
+    queue_url = "s3://sweep-e2e-remote/fleet-queue"
+    lease = 4.0
+    directory = SweepDirectory(
+        workdir / "submit",
+        store_url=store_url,
+        queue_url=queue_url,
+        lease_seconds=lease,
+    )
+    assert directory.queue.flavor == "object", directory.queue.describe()
+    report = submit(directory, "figure6", options=REDUCED)
+    assert report.total == 4 and report.enqueued == 4, report.summary()
+    print(f"[{label}] {report.summary()}", flush=True)
+
+    # A phantom worker claims one cell and "dies" instantly (no complete,
+    # no heartbeat): the deterministic mid-cell loss.  Its lease must be
+    # stolen and the cell re-executed at attempt >= 2.
+    stuck = directory.queue.claim("phantom-worker")
+    assert stuck is not None
+
+    def worker_command(name: str) -> list[str]:
+        return [
+            sys.executable, "-m", "repro.cli", "sweep", "worker",
+            "--dir", str(workdir / name), "--poll", "0.05",
+            "--lease", str(lease),
+            "--store-url", store_url, "--queue-url", queue_url,
+        ]
+
+    # The victim claims real work and is then SIGKILLed mid-sweep.
+    victim = subprocess.Popen(
+        worker_command("victim"), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if len(directory.queue.claimed_keys()) >= 2:  # phantom + victim
+            break
+        time.sleep(0.02)
+    else:
+        victim.kill()
+        raise AssertionError(f"[{label}] victim never claimed a cell")
+    victim.kill()
+    victim.wait(timeout=60)
+    print(f"[{label}] victim SIGKILLed after claiming", flush=True)
+
+    survivors = [
+        subprocess.Popen(
+            worker_command(f"survivor-{index}"), env=env,
+            stdout=subprocess.PIPE, text=True,
+        )
+        for index in range(WORKERS)
+    ]
+    executed = 0
+    for process in survivors:
+        stdout, _ = process.communicate(timeout=600)
+        assert process.returncode == 0, f"[{label}] survivor failed:\n{stdout}"
+        print(f"[{label}] {stdout.strip()}", flush=True)
+        executed += int(re.search(r"executed (\d+) cell", stdout).group(1))
+    assert executed >= 2, f"[{label}] survivors executed only {executed} cells"
+
+    sweep_status = status(directory, "figure6")
+    assert sweep_status.complete, f"[{label}] {sweep_status.summary()}"
+    assert directory.queue.is_idle(), f"[{label}] queue not drained"
+    attempts = [
+        directory.store.record(key)["meta"]["attempt"]
+        for key in directory.load_manifest("figure6")["keys"]
+    ]
+    assert any(attempt >= 2 for attempt in attempts), (
+        f"[{label}] no cell was re-executed after the kill: {attempts}"
+    )
+    print(f"[{label}] store attempts per cell: {attempts}", flush=True)
+    (table,) = collect(directory, "figure6")
+    return strip_timing(table.rows)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workdir", default=None, help="scratch dir (default: mkdtemp)")
@@ -127,16 +216,28 @@ def main() -> int:
         heads = [entry for entry in server.request_log() if entry[0] == "HEAD"]
         assert not heads, f"[s3] unbatched per-cell probes: {heads}"
 
+    with FakeObjectServer() as server:
+        os.environ["ISEGEN_S3_ENDPOINT"] = server.endpoint
+        env = {**base_env, "ISEGEN_S3_ENDPOINT": server.endpoint}
+        print(f"[remote-queue] FakeObjectServer at {server.endpoint}", flush=True)
+        remote_rows = run_remote_queue_sweep(
+            "remote-queue", workdir / "remote-queue", env
+        )
+
     serial_rows = strip_timing(
         run_figure6(io_sweep=[(2, 1), (4, 2)], nise_values=[1], quick_genetic=True).rows
     )
     assert file_rows == serial_rows, "file:// rows differ from the serial harness"
     assert lpt_rows == serial_rows, "lpt-scheduled rows differ from the serial harness"
     assert s3_rows == serial_rows, "s3:// rows differ from the serial harness"
+    assert remote_rows == serial_rows, (
+        "remote-queue rows differ from the serial harness"
+    )
     assert file_rows == s3_rows
     print(
         f"sweep-e2e OK: {len(file_rows)} figure6 rows identical across "
-        "serial, file:// (fifo and lpt) and s3:// (2 workers each), "
+        "serial, file:// (fifo and lpt), s3:// store, and the fully remote "
+        "s3:// queue with a SIGKILLed worker (2 workers each), "
         "100% cache hits on resubmit, batched probes",
         flush=True,
     )

@@ -279,6 +279,7 @@ def _sweep_directory(args: argparse.Namespace):
         lease_seconds=DEFAULT_LEASE_SECONDS if lease is None else lease,
         max_attempts=DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts,
         store_url=getattr(args, "store_url", None),
+        queue_url=getattr(args, "queue_url", None),
     )
 
 
@@ -303,6 +304,8 @@ def _cmd_sweep_submit(args: argparse.Namespace) -> int:
         hint = f"isegen sweep worker --dir {args.dir}"
         if getattr(args, "store_url", None):
             hint += f" --store-url {args.store_url}"
+        if getattr(args, "queue_url", None):
+            hint += f" --queue-url {args.queue_url}"
         print(
             f"run `{hint}` (any number of processes/machines sharing the "
             "directory) to execute the cells"
@@ -330,7 +333,7 @@ def _cmd_sweep_worker(args: argparse.Namespace) -> int:
     if parked:
         print(
             f"{len(parked)} cell(s) parked as permanently failed "
-            f"(see {directory.queue.failed_dir})",
+            f"(see the failed/ records of the {directory.queue.describe()})",
             file=sys.stderr,
         )
         return 1
@@ -661,6 +664,16 @@ def _add_sweep_parsers(subparsers) -> None:
             "s3://bucket[/prefix] (S3 endpoint via ?endpoint=... or "
             "$ISEGEN_S3_ENDPOINT; the queue stays under --dir).  Pass the "
             "same URL to every sweep subcommand touching the sweep",
+        )
+        sub.add_argument(
+            "--queue-url",
+            default=None,
+            help="relocate the work queue itself: file:///path keeps the "
+            "shared-directory FileQueue, s3://bucket/prefix or mem://name "
+            "runs the claim/lease protocol over conditional PUTs on that "
+            "backend — workers then coordinate through the bucket alone, "
+            "no shared filesystem.  Pass the same URL to every sweep "
+            "subcommand touching the sweep (default: <--dir>/queue)",
         )
 
     sub = commands.add_parser(

@@ -33,7 +33,7 @@ import time
 from collections.abc import Sequence
 
 from ..parallel import execute_jobs
-from .filequeue import Backoff, CellTask, FileQueue
+from .filequeue import Backoff, CellTask, QueueBackend
 from .hashing import SweepError
 from .store import ResultStore
 
@@ -125,13 +125,18 @@ class ProcessPoolBackend(ExecutorBackend):
 
 
 class FileQueueBackend(ExecutorBackend):
-    """Distributed execution through a shared-filesystem work queue.
+    """Distributed execution through a claim/lease work queue.
+
+    Despite the historical name this speaks the
+    :class:`~repro.sweep.filequeue.QueueBackend` protocol, so it drives
+    the shared-directory :class:`~repro.sweep.filequeue.FileQueue` and the
+    object-store :class:`~repro.sweep.remotequeue.ObjectQueue` alike.
 
     ``wait=False`` turns :meth:`run` into pure submission (used by
     ``repro sweep submit``): cells are enqueued and the call returns
     immediately.  With ``wait=True`` the call blocks, polling the store,
     until every cell has a result — the work itself is done by however many
-    ``repro sweep worker`` processes share the queue directory.
+    ``repro sweep worker`` processes share the queue.
 
     With a *cost_model*, cells are enqueued in descending predicted cost so
     whichever worker claims first starts the fleet's stragglers first
@@ -145,7 +150,7 @@ class FileQueueBackend(ExecutorBackend):
 
     def __init__(
         self,
-        queue: FileQueue,
+        queue: QueueBackend,
         *,
         wait: bool = True,
         poll_interval: float = 0.2,

@@ -34,6 +34,7 @@ cannot wedge the queue.
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import pickle
@@ -93,8 +94,101 @@ class CellTask:
     meta: dict = field(default_factory=dict)
 
 
-class FileQueue:
+class QueueBackend(abc.ABC):
+    """Claim/lease work-queue protocol shared by every queue flavour.
+
+    Extracted from the :class:`FileQueue` surface so
+    :func:`~repro.sweep.orchestrator.worker_loop`, the shared heartbeat
+    thread, adaptive ``claim_batch`` dispatch and the whole
+    ``sweep submit/worker/status/retry`` CLI run unchanged against either
+    the shared-directory queue or the object-store
+    :class:`~repro.sweep.remotequeue.ObjectQueue`.
+
+    The contract every implementation honours:
+
+    * **exactly-once claims** — of any number of racing ``claim_batch``
+      calls, each queued task is won by exactly one;
+    * **leases** — a claim carries a lease of ``lease_seconds``; a lease
+      that expires un-renewed makes the task stealable
+      (:meth:`requeue_expired`), and a stale owner's late
+      :meth:`release_failed` / :meth:`renew_lease` must not clobber the
+      new claimant;
+    * **failure parking** — a task that fails (or loses its lease)
+      ``max_attempts`` times is parked under a terminal failure record
+      instead of crash-looping the fleet.
+    """
+
+    #: Short name for telemetry (lease events name the queue flavour).
+    flavor: str = "abstract"
+    lease_seconds: float
+    max_attempts: int
+
+    @abc.abstractmethod
+    def enqueue(self, task: CellTask) -> bool:
+        """Add *task* unless its key is already pending/claimed/failed."""
+
+    @abc.abstractmethod
+    def claim_batch(self, count: int, worker: str | None = None) -> list[CellTask]:
+        """Atomically take up to *count* pending tasks."""
+
+    def claim(self, worker: str | None = None) -> CellTask | None:
+        """Atomically take one pending task, or ``None`` when empty."""
+        batch = self.claim_batch(1, worker=worker)
+        return batch[0] if batch else None
+
+    @abc.abstractmethod
+    def complete(self, task: CellTask) -> None:
+        """Mark a claimed task done: drop the task and its lease."""
+
+    @abc.abstractmethod
+    def release_failed(
+        self, task: CellTask, error: str, worker: str | None = None
+    ) -> bool:
+        """Requeue (or park) a cell that raised; ``True`` when requeued."""
+
+    @abc.abstractmethod
+    def renew_lease(self, task: CellTask, worker: str | None = None) -> bool:
+        """Heartbeat: extend the lease of a long-running cell.
+
+        Returns ``False`` when the lease is no longer this worker's to
+        renew (expired and stolen); the renewal must not resurrect it.
+        """
+
+    @abc.abstractmethod
+    def requeue_expired(
+        self, now: float | None = None, *, details: list | None = None
+    ) -> list[str]:
+        """Return expired claims to the pending set (crash recovery)."""
+
+    @abc.abstractmethod
+    def pending_keys(self) -> list[str]: ...
+
+    @abc.abstractmethod
+    def claimed_keys(self) -> list[str]: ...
+
+    @abc.abstractmethod
+    def failed_keys(self) -> list[str]: ...
+
+    @abc.abstractmethod
+    def failure(self, key: str) -> dict:
+        """The terminal failure record for *key*; :class:`SweepError` if none."""
+
+    @abc.abstractmethod
+    def clear_failure(self, key: str) -> bool:
+        """Drop a terminal failure record so the cell may re-enqueue."""
+
+    def is_idle(self) -> bool:
+        """True when nothing is pending or claimed."""
+        return not self.pending_keys() and not self.claimed_keys()
+
+    def describe(self) -> str:
+        return f"{self.flavor} queue"
+
+
+class FileQueue(QueueBackend):
     """Claim/lease work queue over a shared directory."""
+
+    flavor = "file"
 
     def __init__(
         self,
@@ -296,9 +390,17 @@ class FileQueue:
         }
         atomic_write_text(self.leases_dir / f"{task.key}.json", json.dumps(lease))
 
-    def renew_lease(self, task: CellTask, worker: str | None = None) -> None:
-        """Extend the lease of a long-running cell (heartbeat)."""
+    def renew_lease(self, task: CellTask, worker: str | None = None) -> bool:
+        """Extend the lease of a long-running cell (heartbeat).
+
+        Unconditional: the lease file is rewritten whether or not it still
+        exists.  The requeue/steal window this leaves open is closed one
+        layer up — a stale owner's :meth:`release_failed` is
+        ownership-checked, and the store write is idempotent — so the
+        rewrite is always reported as a successful renewal.
+        """
         self._write_lease(task, worker or worker_identity())
+        return True
 
     def requeue_expired(
         self, now: float | None = None, *, details: list | None = None
@@ -418,11 +520,15 @@ class FileQueue:
         """True when nothing is pending or claimed."""
         return not self.pending_keys() and not self.claimed_keys()
 
+    def describe(self) -> str:
+        return f"file queue at {self.root}"
+
 
 __all__ = [
     "Backoff",
     "CellTask",
     "FileQueue",
+    "QueueBackend",
     "worker_identity",
     "DEFAULT_LEASE_SECONDS",
     "DEFAULT_MAX_ATTEMPTS",

@@ -39,6 +39,7 @@ from urllib.parse import parse_qs, quote, unquote, urlsplit
 from xml.etree import ElementTree
 from xml.sax.saxutils import escape
 
+from . import sigv4
 from .hashing import SweepError
 from .storage import StorageBackend, check_key
 
@@ -61,6 +62,8 @@ class ObjectStoreBackend(StorageBackend):
         retries: int = DEFAULT_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
         timeout: float = 30.0,
+        region: str | None = None,
+        credentials: "sigv4.Credentials | None" = None,
     ):
         if not bucket:
             raise SweepError("object store bucket must be non-empty")
@@ -70,6 +73,14 @@ class ObjectStoreBackend(StorageBackend):
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.timeout = float(timeout)
+        # SigV4 signing is engaged exactly when credentials exist — passed
+        # explicitly or found in the standard AWS env vars.  Anonymous
+        # endpoints (MinIO without auth, the FakeObjectServer) see plain
+        # requests, authenticated real buckets see signed ones.
+        self.credentials = (
+            credentials if credentials is not None else sigv4.credentials_from_env()
+        )
+        self.region = region or sigv4.region_from_env()
 
     # ------------------------------------------------------------------
     # Transport
@@ -95,13 +106,32 @@ class ObjectStoreBackend(StorageBackend):
         """
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
+            send_headers = dict(headers or {})
+            if self.credentials is not None:
+                # Sign every attempt freshly: a retry re-stamps x-amz-date
+                # so a backed-off resend cannot drift outside the server's
+                # clock-skew window on a stale signature.
+                send_headers = sigv4.sign_request(
+                    method,
+                    url,
+                    credentials=self.credentials,
+                    region=self.region,
+                    headers=send_headers,
+                    payload=body or b"",
+                )
             request = urllib.request.Request(
-                url, data=body, method=method, headers=headers or {}
+                url, data=body, method=method, headers=send_headers
             )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as reply:
                     return reply.status, reply.read()
             except urllib.error.HTTPError as error:
+                # Whatever the status, the error carries an open response
+                # body holding the socket; close it on every path (the
+                # status/reason attributes survive closing) — retaining an
+                # unclosed response across the backoff sleep leaked one
+                # fd per retried attempt.
+                error.close()
                 if error.code in ok_statuses:
                     return error.code, b""
                 if error.code < 500:
@@ -138,9 +168,13 @@ class ObjectStoreBackend(StorageBackend):
     def put_if_absent(self, key: str, payload: bytes) -> bool:
         """Conditional PUT (``If-None-Match: *``); ``False`` when taken.
 
-        Best-effort: a retried PUT whose first attempt succeeded but whose
-        response was lost reports ``False`` (the key exists — written by
-        us).  Fine for advisory claims; not a linearizable lock.
+        A 412 is ambiguous under retry: a first attempt whose success
+        response was lost in transit makes the retried PUT collide with
+        *our own* write.  Reporting that as "taken by another worker"
+        would silently drop a claimed cell under the lease protocol, so a
+        412 is settled by reading the key back — byte-equality with our
+        payload (callers embed a unique owner token) means the claim is
+        ours after all.
         """
         status, _ = self._request(
             "PUT",
@@ -149,7 +183,14 @@ class ObjectStoreBackend(StorageBackend):
             headers={"If-None-Match": "*"},
             ok_statuses=frozenset({412}),
         )
-        return status != 412
+        if status != 412:
+            return True
+        try:
+            return self.get(key) == payload
+        except KeyError:
+            # Created then deleted between our PUT and the read-back —
+            # whoever held it is gone, but it was never ours.
+            return False
 
     def delete(self, key: str) -> bool:
         status, _ = self._request(
@@ -184,6 +225,15 @@ class ObjectStoreBackend(StorageBackend):
             token = (document.findtext("{*}NextContinuationToken") or "").strip()
             if document.findtext("{*}IsTruncated", "false").strip() != "true":
                 break
+            if not token:
+                # A truncated page without a continuation token would
+                # re-request page one forever; a malformed listing is an
+                # error, not an infinite loop.
+                raise SweepError(
+                    f"object store listing of {self.bucket!r} (prefix "
+                    f"{full_prefix!r}) is truncated but carries no "
+                    "NextContinuationToken; refusing to loop on page one"
+                )
         strip = len(self.prefix) + 1 if self.prefix else 0
         return sorted(key[strip:] for key in keys)
 
@@ -226,6 +276,17 @@ class _ObjectRequestHandler(BaseHTTPRequestHandler):
         bucket, key, query = self._route()
         with state.lock:
             state.requests.append((self.command, unquote(self.path)))
+            authorization = self.headers.get("Authorization")
+            if authorization:
+                state.auth_log.append(
+                    (
+                        self.command,
+                        unquote(self.path),
+                        authorization,
+                        self.headers.get("x-amz-date") or "",
+                        self.headers.get("x-amz-content-sha256") or "",
+                    )
+                )
             if state.fail_requests > 0:
                 state.fail_requests -= 1
                 return self._reply(503, b"injected fault")
@@ -260,6 +321,14 @@ class _ObjectRequestHandler(BaseHTTPRequestHandler):
             state.version_counter += 1
             version = state.version_counter
             objects[key] = (version, payload)
+            if state.fail_commits > 0:
+                # Lost-response injection: the write above is applied, but
+                # the success reply never reaches the client — the retry
+                # then collides with its own payload (the put_if_absent
+                # 412 ambiguity).  Not consumed on the 412 path: only a
+                # *committed* write can lose its response.
+                state.fail_commits -= 1
+                return self._reply(503, b"injected fault after commit")
         return self._reply(200, headers={"x-object-version": str(version)})
 
     def _get(self, state, bucket: str, key: str):
@@ -294,6 +363,20 @@ class _ObjectRequestHandler(BaseHTTPRequestHandler):
             "<ListBucketResult "
             "xmlns=\"http://s3.amazonaws.com/doc/2006-03-01/\">"
         ]
+        if state.truncate_without_token:
+            # Malformed-listing injection: claim truncation but omit the
+            # continuation token (exercises the client's loop guard).
+            truncated = True
+            body.append("<IsTruncated>true</IsTruncated>")
+            body.extend(
+                f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
+            )
+            body.append("</ListBucketResult>")
+            return self._reply(
+                200,
+                "".join(body).encode("utf-8"),
+                headers={"Content-Type": "application/xml"},
+            )
         body.append(f"<IsTruncated>{'true' if truncated else 'false'}</IsTruncated>")
         if truncated:
             body.append(
@@ -319,8 +402,16 @@ class _ServerState:
         self.version_counter = 0
         #: Fault injection: the next N requests answer HTTP 503.
         self.fail_requests = 0
+        #: Fault injection: the next N PUTs *commit* then answer 503
+        #: (lost success response — the retry-ambiguity scenario).
+        self.fail_commits = 0
+        #: Fault injection: listings claim IsTruncated without a token.
+        self.truncate_without_token = False
         #: ``(method, path)`` log, for asserting batching in tests.
         self.requests: list[tuple[str, str]] = []
+        #: ``(method, path, authorization, x-amz-date, content-sha256)``
+        #: for requests that arrived signed (SigV4 wiring tests).
+        self.auth_log: list[tuple[str, str, str, str, str]] = []
         #: Listing page size (small values exercise pagination).
         self.max_keys = 1000
 
@@ -385,6 +476,21 @@ class FakeObjectServer:
         """Answer the next *count* requests with HTTP 503 (fault injection)."""
         with self.state.lock:
             self.state.fail_requests = int(count)
+
+    def fail_commit_next(self, count: int) -> None:
+        """Apply the next *count* PUTs but answer 503 (lost response)."""
+        with self.state.lock:
+            self.state.fail_commits = int(count)
+
+    def truncate_without_token(self, enabled: bool = True) -> None:
+        """Make listings claim truncation without a continuation token."""
+        with self.state.lock:
+            self.state.truncate_without_token = bool(enabled)
+
+    def auth_log(self) -> list[tuple[str, str, str, str, str]]:
+        """Signed requests seen: ``(method, path, auth, date, sha256)``."""
+        with self.state.lock:
+            return list(self.state.auth_log)
 
     def request_log(self) -> list[tuple[str, str]]:
         with self.state.lock:

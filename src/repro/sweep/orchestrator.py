@@ -55,10 +55,12 @@ from .filequeue import (
     Backoff,
     CellTask,
     FileQueue,
+    QueueBackend,
     worker_identity,
 )
 from .hashing import SweepError, cell_key, qualified_name, sweep_salt
 from .registry import sweep_spec
+from .remotequeue import queue_from_url
 from .storage import LocalFSBackend, StorageBackend, storage_from_url
 from .store import GCReport, ResultStore, StoreScan
 
@@ -165,20 +167,25 @@ class _SubmitExecutor(CachedExecutor):
 class SweepDirectory:
     """Paths + handles of one (possibly shared) sweep directory.
 
-    The work queue always lives under *root* (the claim/lease protocol
-    needs a shared filesystem); the result store and the sweep manifests
+    By default the work queue is a :class:`FileQueue` under *root* (the
+    claim/lease protocol over a shared filesystem); a *queue_url*
+    relocates it — ``file://`` onto another directory, ``s3://`` /
+    ``mem://`` onto an :class:`~repro.sweep.remotequeue.ObjectQueue` whose
+    claim protocol runs over conditional PUTs, so workers need no shared
+    filesystem at all.  The result store and the sweep manifests likewise
     go through a :class:`~repro.sweep.storage.StorageBackend` — under
-    *root* as well by default, or wherever *store_url* points (``file://``,
-    ``mem://``, ``s3://``), so workers sharing only a queue directory can
-    publish results to a common object store.
+    *root* by default, or wherever *store_url* points (``file://``,
+    ``mem://``, ``s3://``).  With both URLs on one bucket, a fleet
+    coordinates through nothing but that bucket.
     """
 
     root: Path
     lease_seconds: float = DEFAULT_LEASE_SECONDS
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     store_url: "str | StorageBackend | None" = None
+    queue_url: "str | QueueBackend | None" = None
     store: ResultStore = field(init=False)
-    queue: FileQueue = field(init=False)
+    queue: QueueBackend = field(init=False)
     storage: StorageBackend = field(init=False)
 
     def __post_init__(self) -> None:
@@ -190,11 +197,18 @@ class SweepDirectory:
         )
         self.store = ResultStore(self.storage.sub("store"))
         self._manifests = self.storage.sub("manifests")
-        self.queue = FileQueue(
-            self.root / "queue",
-            lease_seconds=self.lease_seconds,
-            max_attempts=self.max_attempts,
-        )
+        if self.queue_url is not None:
+            self.queue = queue_from_url(
+                self.queue_url,
+                lease_seconds=self.lease_seconds,
+                max_attempts=self.max_attempts,
+            )
+        else:
+            self.queue = FileQueue(
+                self.root / "queue",
+                lease_seconds=self.lease_seconds,
+                max_attempts=self.max_attempts,
+            )
 
     @staticmethod
     def _manifest_key(name: str) -> str:
@@ -447,7 +461,7 @@ def worker_loop(
         StorageSink(directory.storage.sub("telemetry"), f"{worker}.jsonl"),
         flush_every=1,
     )
-    fleet.event("worker.start", worker=worker)
+    fleet.event("worker.start", worker=worker, queue=queue.flavor)
     # The recovery scan stats every lease and claimed task — O(queue size)
     # filesystem metadata reads, painful on the shared/NFS deployments the
     # queue targets.  Throttle it to a fraction of the lease period (leases
@@ -468,7 +482,12 @@ def worker_loop(
                     queue.requeue_expired(details=requeue_details)
                 )
                 for detail in requeue_details:
-                    fleet.event("lease.requeued", recovered_by=worker, **detail)
+                    fleet.event(
+                        "lease.requeued",
+                        recovered_by=worker,
+                        queue=queue.flavor,
+                        **detail,
+                    )
                 last_scan = now
             want = batch_target
             if max_tasks is not None:
@@ -520,11 +539,20 @@ def worker_loop(
                         with lock:
                             if beat_task not in tasks:
                                 continue
-                            queue.renew_lease(beat_task, worker)
+                            renewed = queue.renew_lease(beat_task, worker)
+                            if not renewed:
+                                # The lease expired and was stolen (object
+                                # queue; the file queue always renews):
+                                # stand down — further heartbeats on this
+                                # task would race the new claimant.  The
+                                # cell keeps running; its store write is
+                                # idempotent, so finishing it is harmless.
+                                tasks.remove(beat_task)
                         fleet.event(
-                            "lease.renewed",
+                            "lease.renewed" if renewed else "lease.lost",
                             key=beat_task.key,
                             attempt=beat_task.attempt,
+                            queue=queue.flavor,
                         )
 
             heartbeat = threading.Thread(target=_heartbeat, daemon=True)
@@ -550,7 +578,8 @@ def worker_loop(
                             result, seconds = _execute_timed(task.cell)
                     except Exception as error:  # noqa: BLE001 — worker must survive bad cells
                         with beat_lock:
-                            outstanding.remove(task)
+                            if task in outstanding:
+                                outstanding.remove(task)
                         queue.release_failed(
                             task, f"{type(error).__name__}: {error}", worker
                         )
@@ -563,7 +592,8 @@ def worker_loop(
                         )
                     else:
                         with beat_lock:
-                            outstanding.remove(task)
+                            if task in outstanding:
+                                outstanding.remove(task)
                         store.put(
                             task.key,
                             result,

@@ -77,6 +77,20 @@ class StorageBackend(abc.ABC):
         """
 
     @abc.abstractmethod
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        """Publish *payload* under *key* only if the key is absent.
+
+        Returns ``True`` iff the key now holds **this** payload — either
+        the call created it, or an identical payload was already there
+        (our own earlier write whose acknowledgement was lost in transit).
+        ``False`` means the key holds *different* bytes: another writer
+        won.  Callers building mutual exclusion on this primitive (the
+        :class:`~repro.sweep.remotequeue.ObjectQueue` lease protocol)
+        embed a unique owner token in the payload, which is what makes
+        the equality read-back an ownership test rather than a guess.
+        """
+
+    @abc.abstractmethod
     def list_keys(self, prefix: str = "") -> list[str]:
         """All stored keys starting with *prefix*, sorted."""
 
@@ -190,6 +204,38 @@ class LocalFSBackend(StorageBackend):
                 if attempt:
                     raise
 
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        path = self.path_for(key)
+        # ``os.link`` of a fully written temp sibling is both atomic and
+        # exclusive: it fails with EEXIST when the target exists, and a
+        # reader can never observe a torn blob (the link either is the
+        # complete file or is not there).  open("xb") would give
+        # exclusivity but not torn-read safety.
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.x.tmp"
+        )
+        for attempt in (0, 1, 2):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                tmp.write_bytes(payload)
+                os.link(tmp, path)
+                return True
+            except FileExistsError:
+                try:
+                    return path.read_bytes() == payload
+                except FileNotFoundError:
+                    # Deleted between the failed link and the read-back —
+                    # contend again for the now-absent key.
+                    continue
+            except FileNotFoundError:
+                # A concurrent `sweep gc` compaction rmdir'd the freshly
+                # emptied parent between mkdir and the write; retry.
+                if attempt == 2:
+                    raise
+            finally:
+                tmp.unlink(missing_ok=True)
+        raise SweepError(f"put_if_absent could not settle key {key!r}")
+
     def list_keys(self, prefix: str = "") -> list[str]:
         if not self.root.is_dir():
             return []
@@ -270,6 +316,11 @@ class MemoryBackend(StorageBackend):
         with self._lock:
             self._blobs[check_key(key)] = bytes(payload)
 
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        with self._lock:
+            current = self._blobs.setdefault(check_key(key), bytes(payload))
+            return current == payload
+
     def list_keys(self, prefix: str = "") -> list[str]:
         with self._lock:
             return sorted(key for key in self._blobs if key.startswith(prefix))
@@ -332,6 +383,9 @@ class _PrefixedBackend(StorageBackend):
     def put_atomic(self, key: str, payload: bytes) -> None:
         self.base.put_atomic(self._qualify(key), payload)
 
+    def put_if_absent(self, key: str, payload: bytes) -> bool:
+        return self.base.put_if_absent(self._qualify(key), payload)
+
     def list_keys(self, prefix: str = "") -> list[str]:
         return [
             self._strip(key)
@@ -375,9 +429,12 @@ def storage_from_url(url: "str | Path | StorageBackend") -> StorageBackend:
       — :class:`LocalFSBackend`;
     * ``mem://name`` — the process-shared named :class:`MemoryBackend`
       (``mem://`` alone yields a fresh anonymous one);
-    * ``s3://bucket[/prefix][?endpoint=http://host:port]`` —
-      :class:`~repro.sweep.objectstore.ObjectStoreBackend`; the endpoint
-      may also come from ``$ISEGEN_S3_ENDPOINT`` or ``$AWS_ENDPOINT_URL``.
+    * ``s3://bucket[/prefix][?endpoint=http://host:port][&region=eu-west-1]``
+      — :class:`~repro.sweep.objectstore.ObjectStoreBackend`; the endpoint
+      may also come from ``$ISEGEN_S3_ENDPOINT`` or ``$AWS_ENDPOINT_URL``,
+      the region from ``$AWS_REGION`` / ``$AWS_DEFAULT_REGION``.  SigV4
+      signing engages automatically when ``$AWS_ACCESS_KEY_ID`` /
+      ``$AWS_SECRET_ACCESS_KEY`` are present.
     """
     if isinstance(url, StorageBackend):
         return url
@@ -413,6 +470,7 @@ def storage_from_url(url: "str | Path | StorageBackend") -> StorageBackend:
             parts.netloc,
             prefix=unquote(parts.path).strip("/"),
             endpoint=endpoint,
+            region=(query.get("region") or [None])[0],
         )
     raise SweepError(
         f"unsupported store URL scheme {parts.scheme!r} in {url!r} "

@@ -431,3 +431,85 @@ def test_worker_loop_max_tasks_never_strands_claimed_cells(tmp_path):
     # claimed/ waiting out a lease after the worker exits.
     assert directory.queue.claimed_keys() == []
     assert len(directory.queue.pending_keys()) == 7
+
+
+# ----------------------------------------------------------------------
+# The same lifecycle over the object-store queue (--queue-url)
+# ----------------------------------------------------------------------
+def test_full_sweep_lifecycle_over_object_queue(tmp_path):
+    """submit / worker / status / collect run unchanged when the queue is
+    an ObjectQueue — rows identical to the serial harness."""
+    from repro.sweep import MemoryBackend, ObjectQueue
+
+    directory = SweepDirectory(
+        tmp_path / "sweep", queue_url=ObjectQueue(MemoryBackend())
+    )
+    assert directory.queue.flavor == "object"
+    report = submit(directory, "figure1")
+    assert report.total == 4 and report.enqueued == 4
+
+    before = status(directory, "figure1")
+    assert (before.done, before.pending, before.complete) == (0, 4, False)
+
+    worker = worker_loop(directory, poll_interval=0.01)
+    assert worker.executed == 4 and worker.failed == 0
+
+    after = status(directory, "figure1")
+    assert after.complete and after.pending == 0 and after.claimed == 0
+    (table,) = collect(directory, "figure1")
+    assert table.rows == run_figure1().rows
+
+    again = submit(directory, "figure1")
+    assert again.cached == again.total == 4 and again.enqueued == 0
+
+
+def test_object_queue_worker_recovers_expired_lease(tmp_path):
+    directory = SweepDirectory(
+        tmp_path / "sweep",
+        lease_seconds=0.05,
+        queue_url=f"mem://orch-lease-{os.getpid()}-{id(tmp_path)}",
+    )
+    assert directory.queue.flavor == "object"
+    assert directory.queue.lease_seconds == 0.05
+    submit(directory, "figure1")
+    stuck = directory.queue.claim("crashed-worker")
+    assert stuck is not None
+    time.sleep(0.06)
+    report = worker_loop(directory, poll_interval=0.01)
+    assert report.requeued_leases >= 1
+    assert report.executed == 4  # including the recovered cell
+    assert status(directory, "figure1").complete
+
+
+def test_object_queue_worker_parks_poisoned_cells(tmp_path):
+    from repro.sweep import MemoryBackend, ObjectQueue
+
+    directory = SweepDirectory(
+        tmp_path / "sweep",
+        queue_url=ObjectQueue(MemoryBackend(), max_attempts=2),
+    )
+    directory.queue.enqueue(CellTask(cell_key(job(_boom, 1)), job(_boom, 1)))
+    directory.queue.enqueue(CellTask(cell_key(job(_double, 2)), job(_double, 2)))
+    report = worker_loop(directory, poll_interval=0.01)
+    assert report.executed == 1
+    assert report.failed == 2  # two attempts, then parked
+    assert directory.queue.failed_keys() == [cell_key(job(_boom, 1))]
+    assert directory.queue.is_idle()
+
+
+def test_worker_telemetry_names_the_queue_flavor(tmp_path):
+    from repro.sweep import MemoryBackend, ObjectQueue
+
+    directory = SweepDirectory(
+        tmp_path / "sweep", queue_url=ObjectQueue(MemoryBackend())
+    )
+    submit(directory, "figure1")
+    worker_loop(directory, poll_interval=0.01, worker="telem-worker")
+    log = directory.storage.sub("telemetry").get_text("telem-worker.jsonl")
+    assert '"queue":"object"' in log
+
+    plain = SweepDirectory(tmp_path / "sweep-file")
+    submit(plain, "figure1")
+    worker_loop(plain, poll_interval=0.01, worker="telem-worker")
+    log = plain.storage.sub("telemetry").get_text("telem-worker.jsonl")
+    assert '"queue":"file"' in log

@@ -1,0 +1,210 @@
+"""SigV4 signing pinned against the official AWS worked example.
+
+The constants below come from the AWS General Reference, "Signature
+Version 4 signing process" — the documented ``iam ListUsers`` GET request
+signed with the ``AKIDEXAMPLE`` example credentials.  Every intermediate
+(signing key, canonical request hash, final signature) is pinned, so a
+canonicalization bug points at the exact step that broke.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.sweep import sigv4
+from repro.sweep.objectstore import FakeObjectServer, ObjectStoreBackend
+
+# Note the ``+`` in the example secret: the SigV4 worked example uses
+# ``…MDENG+bPx…``, not the all-slash secret of other AWS docs.
+EXAMPLE = sigv4.Credentials(
+    access_key="AKIDEXAMPLE",
+    secret_key="wJalrXUtnFEMI/K7MDENG+bPxRfiCYEXAMPLEKEY",
+)
+EXAMPLE_MOMENT = datetime(2015, 8, 30, 12, 36, 0, tzinfo=timezone.utc)
+EXAMPLE_URL = "https://iam.amazonaws.com/?Action=ListUsers&Version=2010-05-08"
+
+
+class TestAwsReferenceVectors:
+    def test_signing_key_cascade(self):
+        key = sigv4.signing_key(EXAMPLE.secret_key, "20150830", "us-east-1", "iam")
+        assert key.hex() == (
+            "c4afb1cc5771d871763a393e44b703571b55cc28424d1a5e86da6ed3c154a4b9"
+        )
+
+    def test_canonical_request_hash(self):
+        headers = {
+            "content-type": "application/x-www-form-urlencoded; charset=utf-8",
+            "host": "iam.amazonaws.com",
+            "x-amz-date": "20150830T123600Z",
+        }
+        creq, signed = sigv4.canonical_request(
+            "GET", EXAMPLE_URL, headers, sigv4._sha256_hex(b"")
+        )
+        assert signed == "content-type;host;x-amz-date"
+        assert sigv4._sha256_hex(creq) == (
+            "f536975d06c0309214f805bb90ccff089219ecd68b2577efef23edd43b7e1a59"
+        )
+
+    def test_string_to_sign(self):
+        value = sigv4.string_to_sign(
+            "20150830T123600Z",
+            "20150830/us-east-1/iam/aws4_request",
+            "placeholder",  # hashed inside; pin format not content here
+        )
+        lines = value.split("\n")
+        assert lines[0] == "AWS4-HMAC-SHA256"
+        assert lines[1] == "20150830T123600Z"
+        assert lines[2] == "20150830/us-east-1/iam/aws4_request"
+
+    def test_full_signature(self):
+        headers = sigv4.sign_request(
+            "GET",
+            EXAMPLE_URL,
+            credentials=EXAMPLE,
+            region="us-east-1",
+            service="iam",
+            headers={
+                "content-type": (
+                    "application/x-www-form-urlencoded; charset=utf-8"
+                )
+            },
+            now=EXAMPLE_MOMENT,
+        )
+        assert headers["Authorization"] == (
+            "AWS4-HMAC-SHA256 "
+            "Credential=AKIDEXAMPLE/20150830/us-east-1/iam/aws4_request, "
+            "SignedHeaders=content-type;host;x-amz-date, "
+            "Signature=5d672d79c15b13162d9279b0855cfba6789a8edb4c82c400"
+            "e06b5924a6f2b5d7"
+        )
+        assert headers["x-amz-date"] == "20150830T123600Z"
+        # The IAM vector does not carry x-amz-content-sha256 (S3-only).
+        assert "x-amz-content-sha256" not in headers
+
+
+class TestCanonicalization:
+    def test_canonical_uri_encodes_once(self):
+        assert sigv4.canonical_uri("/") == "/"
+        assert sigv4.canonical_uri("") == "/"
+        assert sigv4.canonical_uri("/a b") == "/a%20b"
+        # Already-encoded input normalizes to the same single encoding.
+        assert sigv4.canonical_uri("/a%20b") == "/a%20b"
+        assert sigv4.canonical_uri("/bucket/key~1") == "/bucket/key~1"
+
+    def test_canonical_query_sorts_and_encodes(self):
+        assert sigv4.canonical_query("b=2&a=1") == "a=1&b=2"
+        assert sigv4.canonical_query("") == ""
+        assert sigv4.canonical_query("k=a b") == "k=a%20b"
+        assert sigv4.canonical_query("flag") == "flag="
+
+    def test_headers_lowercased_and_collapsed(self):
+        creq, signed = sigv4.canonical_request(
+            "GET",
+            "https://example.com/",
+            {"Host": "example.com", "X-Custom": "  a   b  "},
+            sigv4._sha256_hex(b""),
+        )
+        assert signed == "host;x-custom"
+        assert "x-custom:a b\n" in creq
+
+
+class TestS3Flavour:
+    def test_s3_requests_carry_content_sha256(self):
+        headers = sigv4.sign_request(
+            "PUT",
+            "https://bucket.example.com/key",
+            credentials=EXAMPLE,
+            region="us-east-1",
+            payload=b"hello",
+            now=EXAMPLE_MOMENT,
+        )
+        assert headers["x-amz-content-sha256"] == sigv4._sha256_hex(b"hello")
+        assert "x-amz-content-sha256" in headers["Authorization"]
+
+    def test_session_token_rides_along_signed(self):
+        creds = sigv4.Credentials("AKID", "secret", session_token="TOKEN")
+        headers = sigv4.sign_request(
+            "GET",
+            "https://bucket.example.com/key",
+            credentials=creds,
+            region="us-east-1",
+            now=EXAMPLE_MOMENT,
+        )
+        assert headers["x-amz-security-token"] == "TOKEN"
+        assert "x-amz-security-token" in headers["Authorization"]
+
+
+class TestEnvResolution:
+    def test_credentials_absent(self):
+        assert sigv4.credentials_from_env({}) is None
+        assert sigv4.credentials_from_env({"AWS_ACCESS_KEY_ID": "x"}) is None
+
+    def test_credentials_present(self):
+        creds = sigv4.credentials_from_env(
+            {
+                "AWS_ACCESS_KEY_ID": "AKID",
+                "AWS_SECRET_ACCESS_KEY": "secret",
+                "AWS_SESSION_TOKEN": "tok",
+            }
+        )
+        assert creds == sigv4.Credentials("AKID", "secret", "tok")
+
+    def test_region_resolution_order(self):
+        assert sigv4.region_from_env({}) == "us-east-1"
+        assert sigv4.region_from_env({"AWS_DEFAULT_REGION": "eu-west-1"}) == (
+            "eu-west-1"
+        )
+        assert (
+            sigv4.region_from_env(
+                {"AWS_REGION": "ap-south-1", "AWS_DEFAULT_REGION": "eu-west-1"}
+            )
+            == "ap-south-1"
+        )
+
+
+class TestWiring:
+    """The backend signs exactly when credentials are present."""
+
+    @pytest.fixture()
+    def server(self):
+        with FakeObjectServer() as fake:
+            yield fake
+
+    def test_anonymous_requests_unsigned(self, server):
+        backend = ObjectStoreBackend(
+            "bucket", endpoint=server.endpoint, credentials=None
+        )
+        backend.credentials = None  # defeat any ambient env credentials
+        backend.put_atomic("k", b"v")
+        assert backend.get("k") == b"v"
+        assert server.auth_log() == []
+
+    def test_credentialed_requests_signed_per_attempt(self, server):
+        backend = ObjectStoreBackend(
+            "bucket",
+            endpoint=server.endpoint,
+            credentials=sigv4.Credentials("AKID", "secret"),
+            region="us-east-1",
+            retries=3,
+            backoff=0.01,
+        )
+        server.fail_next(1)  # force one retry: both attempts must be signed
+        backend.put_atomic("k", b"v")
+        log = server.auth_log()
+        puts = [entry for entry in log if entry[0] == "PUT"]
+        assert len(puts) == 2
+        for _method, _path, auth, date, sha in puts:
+            assert auth.startswith("AWS4-HMAC-SHA256 Credential=AKID/")
+            assert "/us-east-1/s3/aws4_request" in auth
+            assert date  # x-amz-date present on every attempt
+            assert sha == sigv4._sha256_hex(b"v")
+
+    def test_url_region_reaches_the_backend(self, server):
+        from repro.sweep import storage_from_url
+
+        backend = storage_from_url(
+            f"s3://bucket/pre?endpoint={server.endpoint}&region=eu-central-1"
+        )
+        assert backend.region == "eu-central-1"

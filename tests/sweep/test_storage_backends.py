@@ -179,6 +179,50 @@ def test_put_atomic_under_racing_writers(backend):
 
 
 # ----------------------------------------------------------------------
+# Conditional puts (the lease-protocol primitive)
+# ----------------------------------------------------------------------
+def test_put_if_absent_contract(backend):
+    """True iff the key now holds *this* payload (creator or own retry)."""
+    assert backend.put_if_absent("cond/key", b"first") is True
+    assert backend.put_if_absent("cond/key", b"other") is False
+    # Identical payload → True: indistinguishable from our own retried
+    # write whose first response was lost, and callers embed unique owner
+    # tokens, so "holds our bytes" == "ours".
+    assert backend.put_if_absent("cond/key", b"first") is True
+    assert backend.get("cond/key") == b"first"
+    backend.delete("cond/key")
+    assert backend.put_if_absent("cond/key", b"second") is True
+    assert backend.get("cond/key") == b"second"
+
+
+def test_put_if_absent_racers_exactly_one_winner(backend):
+    winners: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def racer(index: int) -> None:
+        barrier.wait()
+        if backend.put_if_absent("race/cond", f"worker-{index}".encode()):
+            with lock:
+                winners.append(index)
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(winners) == 1
+    assert backend.get("race/cond") == f"worker-{winners[0]}".encode()
+
+
+def test_put_if_absent_through_sub_view(backend):
+    view = backend.sub("condns")
+    assert view.put_if_absent("lease", b"tok") is True
+    assert view.put_if_absent("lease", b"other") is False
+    assert backend.get("condns/lease") == b"tok"
+
+
+# ----------------------------------------------------------------------
 # Namespaced sub-views
 # ----------------------------------------------------------------------
 def test_sub_view_namespacing(backend):
@@ -233,6 +277,85 @@ def test_object_store_put_if_absent_key_versioning():
         assert backend.put_if_absent("once", b"first") is True
         assert backend.put_if_absent("once", b"second") is False
         assert backend.get("once") == b"first"
+
+
+def test_object_store_put_if_absent_own_lost_response_reads_back_true():
+    """A retried conditional PUT colliding with its own committed first
+    attempt must report success — misreporting it as "taken" would drop a
+    claimed cell under the lease protocol."""
+    with FakeObjectServer() as server:
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        server.fail_commit_next(1)  # PUT commits, 200 lost, client retries
+        assert backend.put_if_absent("lease", b"owner-token-A") is True
+        assert backend.get("lease") == b"owner-token-A"
+        # A genuinely different claimant still loses.
+        assert backend.put_if_absent("lease", b"owner-token-B") is False
+
+
+def test_object_store_truncated_listing_without_token_raises():
+    """IsTruncated=true with no NextContinuationToken must error out, not
+    re-request page one forever."""
+    with FakeObjectServer() as server:
+        server.state.max_keys = 2
+        backend = ObjectStoreBackend("bucket", endpoint=server.endpoint, backoff=0.001)
+        backend.put_many([(f"page/{i}", b"x") for i in range(5)])
+        server.truncate_without_token()
+        with pytest.raises(SweepError, match="NextContinuationToken"):
+            backend.list_keys("page/")
+        server.truncate_without_token(False)
+        assert len(backend.list_keys("page/")) == 5
+
+
+def test_object_store_5xx_response_closed_before_backoff(monkeypatch):
+    """The retained HTTPError of a retried 5xx must be closed before the
+    backoff sleep — it holds the socket (one leaked fd per retry)."""
+    import io
+    import urllib.error
+
+    closed: list[int] = []
+
+    class TrackedHTTPError(urllib.error.HTTPError):
+        def close(self):
+            closed.append(self.code)
+            super().close()
+
+    attempts: list[str] = []
+
+    def fake_urlopen(request, timeout=None):
+        attempts.append(request.full_url)
+        if len(attempts) <= 2:
+            raise TrackedHTTPError(
+                request.full_url, 503, "injected", {}, io.BytesIO(b"")
+            )
+
+        class Reply:
+            status = 200
+
+            def read(self):
+                return b"ok"
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+        return Reply()
+
+    sleeps: list[int] = []  # how many errors were closed at each sleep
+    monkeypatch.setattr(
+        "repro.sweep.objectstore.urllib.request.urlopen", fake_urlopen
+    )
+    monkeypatch.setattr(
+        "repro.sweep.objectstore.time.sleep",
+        lambda seconds: sleeps.append(len(closed)),
+    )
+    backend = ObjectStoreBackend("bucket", endpoint="http://fake", backoff=0.001)
+    backend.credentials = None
+    status, payload = backend._request("GET", backend._object_url("k"))
+    assert (status, payload) == (200, b"ok")
+    # Two retries slept; by each sleep, every error so far was closed.
+    assert sleeps == [1, 2]
 
 
 def test_object_store_404_is_not_retried():
