@@ -1,0 +1,95 @@
+"""Validate relative links in the repo's Markdown docs.
+
+Every ``[text](target)`` whose target is a relative path must point at a
+file that exists (anchors and external ``http(s):``/``mailto:`` targets
+are skipped; an ``#anchor`` suffix on a file link is checked against the
+file's headings).  CI runs this in the lint job so a renamed doc or a
+typo'd cross-reference fails in seconds, and ``tests/test_doc_links.py``
+runs the same check under pytest.
+
+Usage::
+
+    python scripts/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target).  Images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not filesystem paths.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directories never scanned for Markdown sources.
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".benchtrack"}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchors for every heading in *path*."""
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        title = re.sub(r"[`*_]", "", match.group(1).strip())
+        anchor = re.sub(r"[^\w\s-]", "", title.lower())
+        anchors.add(re.sub(r"\s+", "-", anchor.strip()))
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain bracketed text that is not a
+    # link (argparse usage, JSON) — drop them before matching.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        target_path, _, anchor = target.partition("#")
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def check_tree(root: Path) -> tuple[int, list[str]]:
+    """Return (files checked, error list) for every Markdown file in *root*."""
+    errors: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        errors.extend(check_file(path, root))
+    return len(files), errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    checked, errors = check_tree(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} Markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,6 +419,154 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     return code
 
 
+# ----------------------------------------------------------------------
+# Service: `isegen serve` / `isegen client`
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import IseService, ServiceConfig
+
+    directory = _sweep_directory(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        max_inflight=args.max_inflight,
+        longpoll_cap=args.longpoll_cap,
+        local_workers=args.local_workers,
+        worker_poll=args.poll,
+    )
+    service = IseService(directory, config)
+
+    def _terminate(signum, frame):  # SIGTERM drains like ctrl-C
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    endpoint = service.start()
+    print(f"serving ISE generation on {endpoint}")
+    print(f"  store: {directory.storage.describe()}")
+    print(f"  queue: {directory.queue.describe()}")
+    if config.local_workers:
+        print(f"  local workers: {config.local_workers}")
+    else:
+        hint = f"isegen sweep worker --dir {args.dir} --keep-alive"
+        if getattr(args, "store_url", None):
+            hint += f" --store-url {args.store_url}"
+        if getattr(args, "queue_url", None):
+            hint += f" --queue-url {args.queue_url}"
+        print(f"  attach workers with `{hint}`")
+    print("ctrl-C (or SIGTERM) drains the embedded workers and stops")
+    service.serve_forever()
+    print("service stopped")
+    return 0
+
+
+def _print_json(payload) -> None:
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(
+        args.url, client_id=args.client, timeout=args.timeout
+    )
+
+
+def _client_job_spec(args: argparse.Namespace) -> dict:
+    import json
+
+    chosen = [
+        name
+        for name, value in (
+            ("--spec", args.spec),
+            ("--sweep", args.sweep),
+            ("--workload", args.workload),
+            ("--ir", args.ir),
+        )
+        if value
+    ]
+    if len(chosen) != 1:
+        raise ReproError(
+            "pass exactly one of --spec FILE, --sweep NAME, --workload NAME, "
+            "--ir FILE"
+        )
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            return json.load(handle)
+    if args.sweep:
+        spec: dict = {"sweep": args.sweep}
+        if args.options:
+            spec["options"] = json.loads(args.options)
+        return spec
+    spec = {
+        "algorithm": args.algorithm,
+        "constraints": {
+            "max_inputs": args.max_inputs,
+            "max_outputs": args.max_outputs,
+            "max_ises": args.max_ises,
+        },
+    }
+    if args.config:
+        spec["config"] = json.loads(args.config)
+    if args.node_limit is not None:
+        spec["node_limit"] = args.node_limit
+    if args.workload:
+        spec["workload"] = args.workload
+    else:
+        with open(args.ir, encoding="utf-8") as handle:
+            spec["ir"] = json.load(handle)
+    return spec
+
+
+def _cmd_client_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    summary = client.submit(_client_job_spec(args))
+    if not args.wait:
+        _print_json(summary)
+        return 0
+    status = client.wait(summary["job_id"], timeout=args.timeout_job)
+    if status["state"] != "done":
+        _print_json(status)
+        return 1
+    _print_json(client.result(summary["job_id"]))
+    return 0
+
+
+def _cmd_client_status(args: argparse.Namespace) -> int:
+    _print_json(_service_client(args).status(args.job_id))
+    return 0
+
+
+def _cmd_client_wait(args: argparse.Namespace) -> int:
+    status = _service_client(args).wait(args.job_id, timeout=args.wait_timeout)
+    _print_json(status)
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_client_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    result = _service_client(args).result(args.job_id)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    else:
+        _print_json(result)
+    return 0
+
+
+def _cmd_client_workloads(args: argparse.Namespace) -> int:
+    _print_json(_service_client(args).workloads())
+    return 0
+
+
 def _bench_location(args: argparse.Namespace) -> str:
     return getattr(args, "store_url", None) or args.dir
 
@@ -634,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
 
     _add_sweep_parsers(subparsers)
+    _add_service_parsers(subparsers)
     _add_bench_parsers(subparsers)
     _add_trace_parsers(subparsers)
     return parser
@@ -804,6 +953,206 @@ def _add_sweep_parsers(subparsers) -> None:
     _add_trace_argument(sub)
     _add_schedule_argument(sub)
     sub.set_defaults(handler=_cmd_sweep_run)
+
+
+def _add_service_parsers(subparsers) -> None:
+    from .sweep import available_sweeps
+    from .sweep.filequeue import DEFAULT_LEASE_SECONDS, DEFAULT_MAX_ATTEMPTS
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP front door: submit jobs over JSON, results from the "
+        "content-addressed store (see docs/API.md)",
+    )
+    serve.add_argument(
+        "--dir",
+        required=True,
+        help="sweep directory backing the service (store + queue + job records)",
+    )
+    serve.add_argument(
+        "--store-url",
+        default=None,
+        help="relocate the result store + job records onto a storage backend "
+        "(file:///path, mem://name, s3://bucket[/prefix])",
+    )
+    serve.add_argument(
+        "--queue-url",
+        default=None,
+        help="relocate the work queue (file:///path, mem://name, "
+        "s3://bucket/prefix) so a remote fleet needs no shared filesystem",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (default 8321)"
+    )
+    serve.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        help="embed this many worker threads (default 0: attach external "
+        "`isegen sweep worker --keep-alive` processes instead)",
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        help="embedded workers' queue poll interval in seconds (default 0.1)",
+    )
+    serve.add_argument(
+        "--lease",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help=f"queue claim lease in seconds (default {DEFAULT_LEASE_SECONDS:g})",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help="attempts before a failing cell is parked as failed "
+        f"(default {DEFAULT_MAX_ATTEMPTS})",
+    )
+    serve.add_argument(
+        "--quota-rps",
+        type=float,
+        default=20.0,
+        help="per-client request quota: token refill rate per second "
+        "(default 20)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=40.0,
+        help="per-client request quota: bucket capacity (default 40)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=32,
+        help="concurrent requests served before shedding load with 503 "
+        "(default 32)",
+    )
+    serve.add_argument(
+        "--longpoll-cap",
+        type=float,
+        default=30.0,
+        help="ceiling on a single /wait long-poll in seconds (default 30)",
+    )
+    _add_kernel_argument(serve)
+    _add_trace_argument(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running `isegen serve` over HTTP"
+    )
+    client_commands = client.add_subparsers(dest="client_command", required=True)
+
+    def add_connection(sub) -> None:
+        sub.add_argument(
+            "--url",
+            default="http://127.0.0.1:8321",
+            help="service base URL (default http://127.0.0.1:8321)",
+        )
+        sub.add_argument(
+            "--client",
+            default="public",
+            help="client namespace id sent as X-Client (default 'public')",
+        )
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=60.0,
+            help="per-request HTTP timeout in seconds (default 60)",
+        )
+
+    sub = client_commands.add_parser(
+        "submit", help="submit a job (sweep, workload, or inline IR)"
+    )
+    add_connection(sub)
+    sub.add_argument(
+        "--spec", default=None, help="JSON file with a raw job spec (see docs/API.md)"
+    )
+    sub.add_argument(
+        "--sweep",
+        choices=available_sweeps(),
+        default=None,
+        help="submit a registered sweep harness",
+    )
+    sub.add_argument(
+        "--options",
+        default=None,
+        help="JSON object of sweep options (with --sweep)",
+    )
+    sub.add_argument(
+        "--workload", default=None, help="submit one registered workload"
+    )
+    sub.add_argument(
+        "--ir", default=None, help="JSON file with inline serialized IR"
+    )
+    sub.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="ISEGEN",
+        help="algorithm for --workload / --ir jobs (default ISEGEN)",
+    )
+    sub.add_argument(
+        "--config",
+        default=None,
+        help="JSON object of algorithm config overrides "
+        "(ISEGEN: ISEGenConfig fields; Genetic: {\"quick\": bool})",
+    )
+    sub.add_argument(
+        "--node-limit",
+        type=_positive_int,
+        default=None,
+        help="enumeration limit override for the exhaustive baselines",
+    )
+    _add_constraint_arguments(sub)
+    sub.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    sub.add_argument(
+        "--job-timeout",
+        dest="timeout_job",
+        type=float,
+        default=600.0,
+        help="ceiling on --wait in seconds (default 600)",
+    )
+    sub.set_defaults(handler=_cmd_client_submit)
+
+    sub = client_commands.add_parser("status", help="one job's progress")
+    add_connection(sub)
+    sub.add_argument("job_id")
+    sub.set_defaults(handler=_cmd_client_status)
+
+    sub = client_commands.add_parser(
+        "wait", help="block until a job reaches a terminal state"
+    )
+    add_connection(sub)
+    sub.add_argument("job_id")
+    sub.add_argument(
+        "--job-timeout",
+        dest="wait_timeout",
+        type=float,
+        default=600.0,
+        help="give up after this many seconds (default 600)",
+    )
+    sub.set_defaults(handler=_cmd_client_wait)
+
+    sub = client_commands.add_parser(
+        "fetch", help="fetch a finished job's rows/tables"
+    )
+    add_connection(sub)
+    sub.add_argument("job_id")
+    sub.add_argument("--output", default=None, help="write the JSON here")
+    sub.set_defaults(handler=_cmd_client_fetch)
+
+    sub = client_commands.add_parser(
+        "workloads", help="the service's workload catalog"
+    )
+    add_connection(sub)
+    sub.set_defaults(handler=_cmd_client_workloads)
 
 
 def _add_bench_parsers(subparsers) -> None:

@@ -1,0 +1,148 @@
+"""Stdlib client for the service API (the ``repro client`` subcommand).
+
+Same transport discipline as
+:class:`~repro.sweep.objectstore.ObjectStoreBackend`: ``urllib`` only,
+bounded retries with exponential backoff on 5xx/connection errors, 4xx
+raised immediately as :class:`ServiceClientError`.  A ``Retry-After``
+header (the server sends one with every 429/503) overrides the backoff
+for that attempt, so a quota'd client waits exactly as long as the
+server asked, never longer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..errors import ReproError
+from .jobs import DEFAULT_CLIENT, TERMINAL_STATES
+
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF = 0.2
+#: Ceiling on a single server-directed Retry-After pause.
+MAX_RETRY_AFTER = 30.0
+
+
+class ServiceClientError(ReproError):
+    """A definitive (non-retryable) API error: the 4xx body, decoded."""
+
+    def __init__(self, status: int, message: str, body: dict | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceClient:
+    """Typed access to one service endpoint under one client namespace."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str = DEFAULT_CLIENT,
+        timeout: float = 60.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        sleep=time.sleep,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.backoff = backoff
+        self._sleep = sleep
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"X-Client": self.client_id, "Accept": "application/json"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        last_error: Exception | None = None
+        for attempt in range(self.retries):
+            request = Request(
+                f"{self.base_url}{path}", data=body, headers=headers, method=method
+            )
+            pause = self.backoff * (2**attempt)
+            try:
+                with urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read() or b"{}")
+            except HTTPError as error:
+                raw = error.read()
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except ValueError:
+                    decoded = {"error": raw.decode(errors="replace")}
+                retry_after = error.headers.get("Retry-After")
+                if error.code in (429, 503) or error.code >= 500:
+                    last_error = error
+                    if retry_after is not None:
+                        try:
+                            pause = min(float(retry_after), MAX_RETRY_AFTER)
+                        except ValueError:
+                            pass
+                else:
+                    raise ServiceClientError(
+                        error.code,
+                        str(decoded.get("error", error.reason)),
+                        decoded,
+                    ) from None
+            except URLError as error:
+                last_error = error
+            self._sleep(pause)
+        raise ReproError(
+            f"service request {method} {path} failed after "
+            f"{self.retries} attempt(s): {last_error}"
+        )
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def workloads(self) -> dict:
+        return self._request("GET", "/v1/workloads")
+
+    def sweeps(self) -> dict:
+        return self._request("GET", "/v1/sweeps")
+
+    def submit(self, spec: dict) -> dict:
+        return self._request("POST", "/v1/jobs", spec)
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/v1/jobs")
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0, poll: float = 0.25) -> dict:
+        """Block until the job is terminal, riding the server's long-poll.
+
+        The server caps a single ``/wait`` at its own long-poll ceiling;
+        this loops whole long-polls until *timeout* is spent, then
+        returns the last status (check ``timed_out``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                status = self.status(job_id)
+                status["timed_out"] = status["state"] not in TERMINAL_STATES
+                return status
+            status = self._request(
+                "GET",
+                f"/v1/jobs/{job_id}/wait?timeout={max(0.0, remaining):.3f}"
+                f"&poll={poll:.3f}",
+            )
+            if status["state"] in TERMINAL_STATES:
+                return status
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

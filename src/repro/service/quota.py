@@ -1,0 +1,134 @@
+"""Request quotas: per-client token buckets + a global inflight gate.
+
+The service applies the same fault discipline as the queue transport —
+overload is signalled, never absorbed:
+
+* every client (the ``X-Client`` namespace) gets a :class:`TokenBucket`
+  refilled at ``rate`` requests/second with a ``burst`` ceiling; an empty
+  bucket is a **429** with a ``Retry-After`` telling the client exactly
+  when a token will exist again;
+* one :class:`InflightGate` bounds requests executing concurrently
+  across all clients; past the bound the server answers **503** with a
+  short ``Retry-After`` — shedding load instead of stacking threads.
+
+Both are pure in-memory state: quotas are per-process, like the server
+itself.  ``now`` is injectable everywhere so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float, *, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def acquire(self, tokens: float = 1.0) -> float | None:
+        """Take *tokens* if available; else return seconds until they are.
+
+        ``None`` means the request is admitted.  A float is the
+        ``Retry-After`` to send with the 429.
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return None
+            return (tokens - self._tokens) / self.rate
+
+
+class ClientQuotas:
+    """Lazy per-client :class:`TokenBucket` map (bounded client count)."""
+
+    #: Safety valve on distinct client-ids tracked; past it, new clients
+    #: share one overflow bucket instead of growing memory without bound.
+    MAX_CLIENTS = 4096
+
+    def __init__(self, rate: float, burst: float, *, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._overflow: TokenBucket | None = None
+        self._lock = threading.Lock()
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.MAX_CLIENTS:
+                    if self._overflow is None:
+                        self._overflow = TokenBucket(
+                            self.rate, self.burst, clock=self._clock
+                        )
+                    return self._overflow
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            return bucket
+
+    def acquire(self, client: str, tokens: float = 1.0) -> float | None:
+        return self._bucket(client).acquire(tokens)
+
+
+class InflightGate:
+    """Bound on concurrently executing requests across all clients."""
+
+    def __init__(self, limit: int, *, retry_after: float = 1.0):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = int(limit)
+        self.retry_after = float(retry_after)
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def enter(self) -> bool:
+        """Admit a request; ``False`` means the caller must 503."""
+        with self._lock:
+            if self._inflight >= self.limit:
+                return False
+            self._inflight += 1
+            return True
+
+    def exit(self) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def __enter__(self) -> "InflightGate":
+        if not self.enter():
+            from .jobspec import ServiceError
+
+            raise ServiceError(
+                "server is at its concurrent-request limit",
+                status=503,
+                retry_after=self.retry_after,
+            )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.exit()
+
+
+__all__ = ["ClientQuotas", "InflightGate", "TokenBucket"]

@@ -422,6 +422,7 @@ def worker_loop(
     on_task=None,
     claim_batch: int | None = None,
     max_poll_interval: float | None = None,
+    stop: "threading.Event | None" = None,
 ) -> WorkerReport:
     """Claim and execute queued cells until the queue is idle.
 
@@ -435,6 +436,14 @@ def worker_loop(
     ``exit_when_idle=False`` keeps the worker polling for future
     submissions (a daemon worker); ``max_tasks`` bounds the number of
     executed cells (used by tests to simulate crashes).
+
+    *stop* is an optional :class:`threading.Event` for graceful shutdown
+    of embedded daemon workers (``repro serve --local-workers``): the
+    event is checked **between claim batches only** — a batch already
+    claimed runs to completion and every one of its leases is completed
+    or released before the loop returns, so stopping never strands a
+    lease for peers to recover.  Idle sleeps wait on the event, so a
+    stop request interrupts the backoff immediately.
 
     Tasks are claimed in batches (:meth:`FileQueue.claim_batch` — one
     pending/ listing per batch instead of per cell).  *claim_batch* fixes
@@ -475,6 +484,8 @@ def worker_loop(
     batch_target = 1 if adaptive else max(1, int(claim_batch))
     try:
         while True:
+            if stop is not None and stop.is_set():
+                return report
             now = time.monotonic()
             if now - last_scan >= scan_interval:
                 requeue_details: list[dict] = []
@@ -501,7 +512,11 @@ def worker_loop(
                     return report
                 if adaptive:
                     batch_target = 1
-                time.sleep(idle.step())
+                wait = idle.step()
+                if stop is not None:
+                    stop.wait(wait)
+                else:
+                    time.sleep(wait)
                 continue
             idle.reset()
             fleet.event(

@@ -10,6 +10,7 @@ from .registry import (
     load_workload,
     register_workload,
     workload_spec,
+    workload_summaries,
 )
 from .embench import (
     build_autcor00,
@@ -36,6 +37,7 @@ __all__ = [
     "load_workload",
     "available_workloads",
     "iter_workloads",
+    "workload_summaries",
     "PAPER_BENCHMARKS",
     "AES_BENCHMARK",
     "build_conven00",

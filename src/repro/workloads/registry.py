@@ -144,6 +144,25 @@ def iter_workloads() -> Iterator[WorkloadSpec]:
     return iter(_REGISTRY.values())
 
 
+def workload_summaries() -> list[dict]:
+    """JSON-ready metadata of every registered workload.
+
+    The service's ``GET /v1/workloads`` catalog — name, suite, and the
+    critical-block size a client needs to judge which algorithms are
+    feasible (the exhaustive baselines are node-limited).
+    """
+    _ensure_loaded()
+    return [
+        {
+            "name": spec.name,
+            "suite": spec.suite,
+            "critical_block_size": spec.critical_block_size,
+            "description": spec.description,
+        }
+        for spec in _REGISTRY.values()
+    ]
+
+
 #: The Figure-4 benchmark list, ordered by critical-block size as in the
 #: paper (AES is evaluated separately in Figures 6 and 7).
 PAPER_BENCHMARKS: tuple[str, ...] = (

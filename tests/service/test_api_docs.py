@@ -1,0 +1,67 @@
+"""docs/API.md must match the server's registered route table exactly.
+
+The acceptance bar for the service is that every endpoint implemented in
+``src/repro/service`` is documented.  Rather than trusting humans to keep
+prose in sync, this test diffs the ``ROUTES`` table (the single source of
+truth the dispatcher iterates) against the ``### `METHOD /path```
+headings in docs/API.md — in both directions, so stale docs fail just
+like missing docs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.service import ROUTES
+
+API_DOC = Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+#: Endpoint headings look like ``### `GET /v1/jobs/{job_id}` ``.
+HEADING_RE = re.compile(
+    r"^#{2,4}\s+`(?P<method>[A-Z]+)\s+(?P<template>/\S+)`\s*$", re.MULTILINE
+)
+
+
+def documented_endpoints() -> set[tuple[str, str]]:
+    text = API_DOC.read_text(encoding="utf-8")
+    return {
+        (match.group("method"), match.group("template"))
+        for match in HEADING_RE.finditer(text)
+    }
+
+
+def test_api_doc_exists():
+    assert API_DOC.is_file(), "docs/API.md is part of the service contract"
+
+
+def test_every_route_is_documented():
+    implemented = {(route.method, route.template) for route in ROUTES}
+    documented = documented_endpoints()
+    missing = implemented - documented
+    assert not missing, (
+        f"endpoints implemented but absent from docs/API.md: {sorted(missing)}"
+    )
+
+
+def test_no_phantom_endpoints_in_doc():
+    implemented = {(route.method, route.template) for route in ROUTES}
+    documented = documented_endpoints()
+    phantom = documented - implemented
+    assert not phantom, (
+        f"docs/API.md documents endpoints the server does not register: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_routes_have_names_and_descriptions():
+    names = [route.name for route in ROUTES]
+    assert len(names) == len(set(names)), "route names must be unique"
+    for route in ROUTES:
+        assert route.description, f"route {route.name} lacks a description"
+
+
+def test_error_statuses_documented():
+    text = API_DOC.read_text(encoding="utf-8")
+    for status in (400, 404, 405, 409, 413, 429, 503):
+        assert f"| {status} |" in text, f"error status {status} undocumented"

@@ -1,0 +1,90 @@
+"""Unit tests for the token buckets and the inflight gate (no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ClientQuotas, InflightGate, TokenBucket
+from repro.service.jobspec import ServiceError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_burst_then_retry_after():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    assert bucket.acquire() is None
+    assert bucket.acquire() is None
+    retry = bucket.acquire()
+    assert retry == pytest.approx(1.0)  # one token, one second away
+    clock.advance(0.5)
+    assert bucket.acquire() == pytest.approx(0.5)
+    clock.advance(0.5)
+    assert bucket.acquire() is None
+
+
+def test_bucket_refill_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+    for _ in range(3):
+        assert bucket.acquire() is None
+    clock.advance(100.0)  # refill far past the cap
+    for _ in range(3):
+        assert bucket.acquire() is None
+    assert bucket.acquire() is not None
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=0)
+
+
+def test_client_quotas_are_isolated():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=1.0, burst=1.0, clock=clock)
+    assert quotas.acquire("alice") is None
+    assert quotas.acquire("alice") is not None  # alice exhausted
+    assert quotas.acquire("bob") is None  # bob unaffected
+
+
+def test_client_quotas_overflow_bucket_bounds_memory():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=1.0, burst=1.0, clock=clock)
+    quotas.MAX_CLIENTS = 2
+    assert quotas.acquire("a") is None
+    assert quotas.acquire("b") is None
+    # Past the cap, new clients share the overflow bucket.
+    assert quotas.acquire("c") is None
+    assert quotas.acquire("d") is not None
+    assert len(quotas._buckets) == 2
+
+
+def test_inflight_gate_counts_and_bounds():
+    gate = InflightGate(limit=2, retry_after=0.5)
+    assert gate.enter() and gate.enter()
+    assert gate.inflight == 2
+    assert not gate.enter()
+    gate.exit()
+    assert gate.enter()
+
+
+def test_inflight_gate_context_manager_raises_503():
+    gate = InflightGate(limit=1)
+    with gate:
+        with pytest.raises(ServiceError) as excinfo:
+            with gate:
+                pass  # pragma: no cover - never admitted
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after is not None
+    assert gate.inflight == 0
